@@ -1,0 +1,20 @@
+"""Artifact collection shared by the bench modules.
+
+Rendered paper artifacts are stored here so the conftest's terminal
+summary hook can print them after the benchmark tables, and written to
+``benchmarks/out/<name>.txt`` for later inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+ARTIFACTS: dict[str, str] = {}
+_OUT_DIR = Path(__file__).parent / "out"
+
+
+def register_artifact(name: str, text: str) -> None:
+    """Record a rendered paper artifact for the terminal summary."""
+    ARTIFACTS[name] = text
+    _OUT_DIR.mkdir(exist_ok=True)
+    (_OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,60 @@
+"""Ablation — Flip-script site-selection policy (DESIGN.md choice).
+
+The WEIGHTED policy (stack-share split, the default) is a calibration
+decision; this ablation reruns a DGEMM campaign under all three
+policies and shows how the outcome shares move, quantifying how much
+of Figure 4's shape rests on the selection model.
+"""
+
+from repro.carolfi.campaign import CampaignConfig, run_campaign
+from repro.carolfi.flipscript import SitePolicy
+from repro.util.tables import format_table
+
+from _artifacts import register_artifact
+
+_INJECTIONS = 240
+
+
+def _campaign(policy: SitePolicy):
+    return run_campaign(
+        CampaignConfig(
+            benchmark="dgemm", injections=_INJECTIONS, seed=404, policy=policy
+        )
+    )
+
+
+def test_policy_ablation(benchmark, data):
+    results = {policy: _campaign(policy) for policy in SitePolicy}
+    rows = []
+    for policy, result in results.items():
+        shares = result.outcome_fractions()
+        rows.append(
+            [
+                policy.value,
+                100.0 * shares["masked"],
+                100.0 * shares["sdc"],
+                100.0 * shares["due"],
+            ]
+        )
+    table = format_table(
+        ["site policy", "masked %", "sdc %", "due %"],
+        rows,
+        title=f"ablation: Flip-script site policy (dgemm, {_INJECTIONS} injections)",
+        floatfmt=".1f",
+    )
+    register_artifact("ablation_policies", table)
+
+    # Timed unit: one campaign batch under the default policy.
+    benchmark.pedantic(
+        lambda: run_campaign(
+            CampaignConfig(benchmark="dgemm", injections=24, seed=405)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    weighted = results[SitePolicy.WEIGHTED].outcome_fractions()
+    footprint = results[SitePolicy.FOOTPRINT].outcome_fractions()
+    # Pure footprint selection starves the control/pointer classes, so
+    # it must produce fewer DUEs than the stack-aware default.
+    assert footprint["due"] < weighted["due"]

@@ -1,0 +1,24 @@
+"""Section 6 — per-benchmark criticality tables.
+
+Times the portion-grouping analysis and regenerates the criticality
+table (paper anchors: DGEMM matrices 43/19 and control 38/38, CLAMR
+Sort/Tree/others, LUD matrices 54/28, ...).
+"""
+
+from repro.experiments import criticality
+
+from _artifacts import register_artifact
+
+
+def test_criticality_reproduction(benchmark, data):
+    result = criticality.run(data)
+    register_artifact("criticality", criticality.render(result))
+    benchmark(criticality.run, data)
+
+    # Control-portion faults are DUE-prone across the algebraic codes.
+    for name in ("dgemm", "lud"):
+        by_portion = {r.portion: r for r in result.portions[name]}
+        assert by_portion["control"].due.value > 0.15
+    # CLAMR's three paper portions are all present.
+    clamr_portions = {r.portion for r in result.portions["clamr"]}
+    assert clamr_portions == {"sort", "tree", "others"}

@@ -1,0 +1,24 @@
+"""Section 4.2 — Trinity / exascale machine projections.
+
+Times the projection math and regenerates the extrapolation table
+(paper: SDC or DUE every 11-12 days at Trinity scale, almost daily at
+exascale).
+"""
+
+from repro.experiments import extrapolation
+
+from _artifacts import register_artifact
+
+
+def test_extrapolation_reproduction(benchmark, data):
+    result = extrapolation.run(data)
+    register_artifact("extrapolation", extrapolation.render(result))
+    benchmark(extrapolation.run, data)
+
+    for name, projections in result.trinity.items():
+        for outcome, projection in projections.items():
+            exa = result.exascale[name][outcome]
+            # Exascale is 10x the boards -> 10x shorter MTBF.
+            assert abs(projection.mtbf_hours / exa.mtbf_hours - 10.0) < 1e-6
+            # Trinity-scale MTBFs land in the paper's days-to-months band.
+            assert 0.5 < projection.mtbf_days < 400.0

@@ -1,0 +1,36 @@
+"""Figure 2 — beam FIT rates and spatial error distribution.
+
+Times one strike trial of the machine-model beam pipeline (the unit of
+work the whole figure scales with) and regenerates the Figure 2 table:
+SDC FIT partitioned by spatial pattern plus DUE FIT per benchmark.
+"""
+
+from repro.beam.experiment import BeamExperiment
+from repro.experiments import figure2
+
+from _artifacts import register_artifact
+
+
+def test_figure2_reproduction(benchmark, data):
+    result = figure2.run(data)  # campaigns cached for the whole session
+    register_artifact("figure2", figure2.render(result))
+    # Timed section: the FIT aggregation over the cached campaigns.
+    benchmark(figure2.run, data)
+    assert set(result.reports) == {"clamr", "dgemm", "hotspot", "lavamd", "lud"}
+    # Shape checks the paper's Section 4 narrative relies on:
+    for name, report in result.reports.items():
+        assert report.sdc.fit > 0, name
+    # Multi-element SDCs dominate (Section 4.3: <10% single-element).
+    assert all(f < 0.5 for f in result.single_element_fraction.values())
+
+
+def test_single_strike_trial_dgemm(benchmark):
+    experiment = BeamExperiment("dgemm", seed=42)
+    counter = iter(range(10**9))
+    benchmark(lambda: experiment.run_trial(next(counter)))
+
+
+def test_single_strike_trial_hotspot(benchmark):
+    experiment = BeamExperiment("hotspot", seed=42)
+    counter = iter(range(10**9))
+    benchmark(lambda: experiment.run_trial(next(counter)))

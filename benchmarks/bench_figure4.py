@@ -1,0 +1,36 @@
+"""Figure 4 — outcomes of fault injections (Masked / SDC / DUE).
+
+Times one CAROL-FI injection test (interrupt, flip, resume, classify)
+and regenerates the six-benchmark outcome-share table.
+"""
+
+from repro.benchmarks.registry import create
+from repro.carolfi.supervisor import Supervisor
+from repro.experiments import figure4
+from repro.faults.models import FaultModel
+
+from _artifacts import register_artifact
+
+
+def test_figure4_reproduction(benchmark, data):
+    result = figure4.run(data)
+    register_artifact("figure4", figure4.render(result))
+    benchmark(figure4.run, data)
+    assert len(result.shares) == 6
+    for name, shares in result.shares.items():
+        assert abs(sum(shares.values()) - 1.0) < 1e-9, name
+    # CLAMR masks a solid majority, as in the paper.
+    assert result.shares["clamr"]["masked"] > 0.5
+
+
+def test_single_injection_dgemm(benchmark):
+    supervisor = Supervisor(create("dgemm"), seed=7)
+    counter = iter(range(10**9))
+    models = FaultModel.all()
+    benchmark(lambda: supervisor.run_one(next(counter), models[next(counter) % 4]))
+
+
+def test_single_injection_nw(benchmark):
+    supervisor = Supervisor(create("nw"), seed=7)
+    counter = iter(range(10**9))
+    benchmark(lambda: supervisor.run_one(next(counter), FaultModel.SINGLE))

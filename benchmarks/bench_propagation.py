@@ -1,0 +1,32 @@
+"""Extension — per-step fault propagation tracking.
+
+Times one lockstep propagation profile and regenerates the propagation
+summary table (spread, compounding, attenuation per benchmark).
+"""
+
+from repro.benchmarks.registry import create
+from repro.analysis.propagation import propagation_profile
+from repro.experiments import propagation
+from repro.faults.models import FaultModel
+
+from _artifacts import register_artifact
+
+
+def test_propagation_reproduction(benchmark, data):
+    result = propagation.run(data)
+    register_artifact("propagation", propagation.render(result))
+
+    bench = create("lud", n=24, block=4)
+    counter = iter(range(10**9))
+    benchmark(
+        lambda: propagation_profile(
+            bench, seed=next(counter), model=FaultModel.RANDOM
+        )
+    )
+
+    for name, profiles in result.profiles.items():
+        assert profiles, name
+    # Somebody propagates: the iterative codes produce multi-element
+    # corruption in a visible share of profiles.
+    lud = result.summary("lud")
+    assert lud["grown"] > 0.0

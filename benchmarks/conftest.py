@@ -1,0 +1,39 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every ``bench_*`` module times a core operation with pytest-benchmark
+*and* regenerates its paper artifact (figure series / table rows).
+Rendered artifacts are written to ``benchmarks/out/<name>.txt`` and
+echoed into the terminal summary, so ``pytest benchmarks/
+--benchmark-only`` prints the paper-vs-measured rows for every figure
+and table.
+
+Campaign sizes scale with ``REPRO_BENCH_SCALE`` (default 0.25; 1.0
+reproduces the full statistics, 0.05 is a smoke run).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from _artifacts import ARTIFACTS
+from repro.experiments.data import ExperimentData
+
+
+@pytest.fixture(scope="session")
+def data() -> ExperimentData:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+    return ExperimentData(seed=2017, scale=scale)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not ARTIFACTS:
+        return
+    tr = terminalreporter
+    tr.section("paper reproduction artifacts")
+    for name in sorted(ARTIFACTS):
+        tr.write_line("")
+        tr.write_line(f"==== {name} " + "=" * max(0, 66 - len(name)))
+        for line in ARTIFACTS[name].splitlines():
+            tr.write_line(line)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""A simulated day at the LANSCE beam line.
+
+Reproduces the paper's Section 4 workflow end to end for one benchmark:
+
+1. check the flux tuning — pick a beam intensity that keeps observed
+   errors below 1e-4 per execution so double-strike events stay
+   negligible (Section 4.1);
+2. run a strike campaign on the Xeon Phi machine model while HotSpot
+   executes (Section 4.2);
+3. report SDC/DUE FIT rates with confidence intervals, the spatial
+   distribution of the corrupted outputs (Section 4.3), and the FIT
+   reduction under accepted error tolerances (Section 4.4);
+4. extrapolate to a Trinity-sized machine (19,000 boards).
+
+Run:  python examples/beam_day.py
+"""
+
+from repro.analysis import fit_reduction_curve, project_machine, TRINITY_BOARDS
+from repro.beam import BeamExperiment, BeamSession, LanceBeam, estimate_fit
+from repro.faults import Outcome
+from repro.util.rng import derive_rng
+from repro.util.tables import format_series, format_table
+
+TRIALS = 800
+BENCHMARK = "hotspot"
+
+
+def main() -> None:
+    # --- 1. flux tuning ----------------------------------------------------
+    beam = LanceBeam(flux_n_cm2_s=1.0e6)
+    session = BeamSession(beam, execution_seconds=1.0)
+    stats = session.simulate(20_000, derive_rng(7, "session"))
+    print(
+        f"beam tuning at {beam.flux_n_cm2_s:.1e} n/cm2/s: "
+        f"{stats.strikes_per_execution:.2e} strikes/execution, "
+        f"{stats.multi_strike_fraction:.2e} multi-strike executions"
+    )
+    max_flux = session.max_flux_for_error_rate(1e-4, visible_probability=0.3)
+    print(f"flux keeping errors/execution below 1e-4: {max_flux:.2e} n/cm2/s")
+
+    # --- 2. strike campaign --------------------------------------------------
+    print(f"\nirradiating {BENCHMARK} for {TRIALS} strike trials ...")
+    experiment = BeamExperiment(BENCHMARK, seed=2016)
+    campaign = experiment.run_campaign(TRIALS)
+
+    # --- 3. FIT report -------------------------------------------------------
+    report = estimate_fit(campaign, beam=beam)
+    print(
+        f"\nSDC FIT {report.sdc.fit:.1f} "
+        f"[{report.sdc.lower:.1f}, {report.sdc.upper:.1f}] "
+        f"({report.sdc.events} events)   "
+        f"DUE FIT {report.due.fit:.1f} "
+        f"[{report.due.lower:.1f}, {report.due.upper:.1f}]"
+    )
+    print(
+        f"equivalent exposure: {report.equivalent_beam_hours:.1f} beam hours, "
+        f"{report.equivalent_natural_hours / 8766:.0f} years natural"
+    )
+
+    rows = [
+        [pattern, estimate.fit]
+        for pattern, estimate in report.sdc_by_pattern.items()
+        if estimate.events
+    ]
+    print()
+    print(format_table(["pattern", "FIT"], rows, title="spatial distribution of SDCs"))
+
+    sdc_errors = [r.sdc_metrics["max_rel_err"] for r in campaign.sdc_records()]
+    if sdc_errors:
+        curve = fit_reduction_curve(sdc_errors)
+        print()
+        print(
+            format_series(
+                "FIT reduction vs tolerance (tol %, reduction %)",
+                [100 * t for t, _ in curve],
+                [r for _, r in curve],
+                floatfmt=".0f",
+            )
+        )
+
+    # --- 4. machine-scale view ----------------------------------------------
+    due_projection = project_machine(max(report.due.fit, 1e-9), TRINITY_BOARDS)
+    print(
+        f"\nat Trinity scale ({TRINITY_BOARDS} boards): one {BENCHMARK} DUE "
+        f"every {due_projection.mtbf_days:.1f} days"
+    )
+    masked = campaign.probability(Outcome.MASKED)
+    print(f"(architectural + program masking absorbed {masked:.0%} of strikes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The artifact's experiment workflow, end to end (Appendix A.4).
+
+The paper's artifact works in three moves: write a configuration file,
+run the fault injector with it (plus a repetition count), then run the
+parser scripts over the persisted logs.  A physical beam campaign adds
+a sizing step: how much beam time buys the statistics you need.
+
+This example does all four on the reproduction:
+
+1. size a beam campaign for the paper's CI criterion (>=100 events,
+   sub-10% intervals) with the statistics-driven planner;
+2. write an artifact-style CAROL-FI config file;
+3. run it through the same entry point the ``repro-carolfi`` CLI uses;
+4. re-derive every summary from the JSONL log alone with the parser
+   tooling (``repro-parse-logs``).
+
+Run:  python examples/campaign_workflow.py
+"""
+
+import io
+import tempfile
+from pathlib import Path
+
+from repro.beam.planner import plan_campaign
+from repro.carolfi.configfile import run_from_config
+from repro.logtools import summarize_injection_log
+
+CONFIG_TEMPLATE = """
+[carol-fi]
+benchmark = lud
+injections = 400
+seed = 2017
+fault_models = single, double, random, zero
+policy = weighted
+log = {log}
+
+[benchmark.params]
+n = 48
+block = 4
+"""
+
+
+def main() -> None:
+    # --- 1. plan the beam time ------------------------------------------------
+    print("sizing a beam campaign for the paper's CI criterion ...")
+    plan = plan_campaign(("dgemm", "lud"), seed=2017, pilot_trials=150)
+    print(plan.render())
+
+    # --- 2 + 3. config-file driven injection campaign -------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        log_path = Path(tmp) / "lud.jsonl"
+        config_path = Path(tmp) / "lud.conf"
+        config_path.write_text(CONFIG_TEMPLATE.format(log=log_path))
+        print(f"\nrunning CAROL-FI from {config_path.name} (300 repetitions) ...")
+        result = run_from_config(config_path, repetitions=300)
+        shares = result.outcome_fractions()
+        print(
+            f"  outcomes: masked {shares['masked']:.1%}  "
+            f"SDC {shares['sdc']:.1%}  DUE {shares['due']:.1%}"
+        )
+
+        # --- 4. everything again, from the log alone -------------------------
+        print("\nre-deriving the summaries from the persisted log:")
+        buffer = io.StringIO()
+        summarize_injection_log([str(log_path)], buffer)
+        print(buffer.getvalue())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""How does one fault become many wrong outputs?
+
+The paper observes that errors in iterative HPC codes "not only tend to
+propagate, but also tend to compound", while HotSpot's open-system
+stencil attenuates them.  This example makes that visible: it injects
+one Random fault into LUD (in-place, compounding) and one into HotSpot
+(dissipating), traces the corrupted-element count step by step, and
+renders both trajectories as ASCII sparklines.
+
+Run:  python examples/propagation_study.py
+"""
+
+from repro.analysis.propagation import propagation_profile
+from repro.benchmarks import create
+from repro.faults import FaultModel
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    top = max(values) or 1.0
+    return "".join(_BARS[int(v / top * (len(_BARS) - 1))] for v in values)
+
+
+def trace(name: str, seeds: range) -> None:
+    bench = create(name)
+    print(f"\n=== {name}")
+    shown = 0
+    for seed in seeds:
+        profile = propagation_profile(bench, seed=seed, model=FaultModel.RANDOM)
+        if profile.crashed:
+            print(
+                f"  seed {seed}: {profile.site.variable} -> DUE after "
+                f"{len(profile.points)} steps ({profile.crash_detail.split(':')[0]})"
+            )
+            shown += 1
+        elif profile.final_wrong > 0:
+            counts = [p.wrong_elements for p in profile.points]
+            rels = [p.max_rel_err for p in profile.points]
+            print(
+                f"  seed {seed}: {profile.site.variable} "
+                f"wrong {counts[0]} -> {counts[-1]} elements  |{sparkline(counts)}|"
+            )
+            print(
+                f"          max rel err {rels[0]:.2e} -> {rels[-1]:.2e}  "
+                f"(monotone growth {profile.monotone_growth_fraction():.2f})"
+            )
+            shown += 1
+        if shown >= 3:
+            break
+
+
+def main() -> None:
+    trace("lud", range(30))      # in-place factorisation: compounds
+    trace("hotspot", range(30))  # open-system stencil: spreads but attenuates
+    trace("clamr", range(30))    # AMR pipeline: spreads or aborts
+    print(
+        "\nLUD's corruption grows monotonically (compounding); HotSpot's "
+        "footprint widens while its relative error shrinks (attenuation); "
+        "CLAMR either contaminates the mesh or trips its own sanity checks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setuptools shim.
+
+Kept so ``pip install -e .`` works on minimal offline environments
+whose setuptools lacks PEP 660 editable-wheel support; all project
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,105 @@
+"""Criticality analysis: which code portions matter (paper Section 6).
+
+CAROL-FI's purpose is to grade benchmark portions by how likely their
+corruption is to produce an SDC or a DUE, so hardening can be targeted.
+This module groups injection records by variable class (with the
+per-benchmark aggregations the paper uses, e.g. folding operand
+pointers into the "matrices" portion and splitting CLAMR's mesh into
+Sort / Tree / others) and ranks the portions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.outcome import InjectionRecord, Outcome
+from repro.util.stats import CountEstimate, proportion_ci
+
+__all__ = ["PortionReport", "criticality_by_portion", "portion_of_record"]
+
+#: Per-benchmark mapping from our variable classes to the portion names
+#: the paper's analysis uses.  Pointers are reported with the data they
+#: point at (a corrupted operand pointer is a fault "in the matrices" at
+#: the paper's level of description).
+PORTION_MAPS: dict[str, dict[str, str]] = {
+    "dgemm": {
+        "matrix": "matrices",
+        "pointer": "matrices",
+        "control": "control",
+    },
+    "lud": {
+        "matrix": "matrices",
+        "pointer": "matrices",
+        "control": "control",
+    },
+    "nw": {
+        "matrix": "matrices",
+        "pointer": "matrices",
+        "input": "matrices",
+        "reference": "matrices",
+        "control": "control",
+    },
+    "hotspot": {
+        "grid": "grid",
+        "pointer": "grid",
+        "constant": "constant+control",
+        "control": "constant+control",
+    },
+    "lavamd": {
+        "charge_distance": "charge+distance",
+        "pointer": "charge+distance",
+        "force": "force",
+        "constant": "control",
+        "control": "control",
+    },
+    "clamr": {
+        "sort": "sort",
+        "tree": "tree",
+        "others": "others",
+        "control": "others",
+        "constant": "others",
+    },
+}
+
+
+@dataclass(frozen=True)
+class PortionReport:
+    """Outcome statistics of faults landing in one portion."""
+
+    portion: str
+    injections: int
+    sdc: CountEstimate
+    due: CountEstimate
+
+    @property
+    def harmful_fraction(self) -> float:
+        return self.sdc.value + self.due.value
+
+
+def portion_of_record(record: InjectionRecord) -> str:
+    """Paper-level portion name for one injection record."""
+    mapping = PORTION_MAPS.get(record.benchmark, {})
+    return mapping.get(record.site.var_class, record.site.var_class)
+
+
+def criticality_by_portion(records: list[InjectionRecord]) -> list[PortionReport]:
+    """Portion reports sorted by harmful fraction, most critical first."""
+    if not records:
+        raise ValueError("no records")
+    groups: dict[str, list[InjectionRecord]] = {}
+    for record in records:
+        groups.setdefault(portion_of_record(record), []).append(record)
+    reports = []
+    for portion, subset in groups.items():
+        sdc = sum(1 for r in subset if r.outcome is Outcome.SDC)
+        due = sum(1 for r in subset if r.outcome is Outcome.DUE)
+        reports.append(
+            PortionReport(
+                portion=portion,
+                injections=len(subset),
+                sdc=proportion_ci(sdc, len(subset)),
+                due=proportion_ci(due, len(subset)),
+            )
+        )
+    reports.sort(key=lambda r: r.harmful_fraction, reverse=True)
+    return reports

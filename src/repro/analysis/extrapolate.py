@@ -1,0 +1,62 @@
+"""Machine-scale reliability extrapolation (paper Section 4.2).
+
+"If we extrapolate the FIT rates to a Trinity-size machine with 19,000
+Xeon Phis, operating at sea level, one should expect to see a SDC for
+LUD or DUE for HotSpot every eleven or twelve days.  A hypothetical
+exascale machine built with the tested Xeon Phi would require at least
+an increase of 10x in the number of boards and would lead to almost
+daily SDC or DUE."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import FIT_HOURS
+
+__all__ = [
+    "EXASCALE_BOARDS",
+    "TRINITY_BOARDS",
+    "MachineProjection",
+    "project_machine",
+]
+
+TRINITY_BOARDS = 19_000
+"""Trinity-scale Xeon Phi count used by the paper."""
+
+EXASCALE_BOARDS = 190_000
+"""The paper's hypothetical exascale machine (10x Trinity)."""
+
+
+@dataclass(frozen=True)
+class MachineProjection:
+    """Expected failure cadence of a machine built from tested boards."""
+
+    boards: int
+    fit_per_board: float
+    mtbf_hours: float
+
+    @property
+    def mtbf_days(self) -> float:
+        return self.mtbf_hours / 24.0
+
+    @property
+    def events_per_day(self) -> float:
+        return 24.0 / self.mtbf_hours
+
+
+def project_machine(fit_per_board: float, boards: int) -> MachineProjection:
+    """MTBF of ``boards`` devices each failing at ``fit_per_board``.
+
+    FIT rates add across identical independent boards, so the machine
+    MTBF is 1e9 / (FIT x boards) hours.
+    """
+    if fit_per_board <= 0:
+        raise ValueError("FIT must be positive")
+    if boards <= 0:
+        raise ValueError("boards must be positive")
+    return MachineProjection(
+        boards=boards,
+        fit_per_board=fit_per_board,
+        mtbf_hours=FIT_HOURS / (fit_per_board * boards),
+    )

@@ -1,0 +1,79 @@
+"""Program Vulnerability Factor aggregations (paper Section 6).
+
+The PVF of a program for an outcome is the probability that an injected
+fault produces that outcome.  The paper slices it three ways:
+
+* overall Masked/SDC/DUE shares (Figure 4);
+* per fault model (Figures 5a and 5b);
+* per execution-time window (Figures 6a and 6b) — the PVF *of* each
+  window, not each window's contribution, "which is why the sum of
+  percentages is higher than 100%".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.faults.outcome import InjectionRecord, Outcome
+from repro.util.stats import CountEstimate, proportion_ci
+
+__all__ = [
+    "outcome_shares",
+    "pvf",
+    "pvf_by_fault_model",
+    "pvf_by_window",
+]
+
+
+def pvf(records: list[InjectionRecord], outcome: Outcome) -> CountEstimate:
+    """P(outcome | fault) with its 95% Wald interval."""
+    if not records:
+        raise ValueError("no records")
+    hits = sum(1 for r in records if r.outcome is outcome)
+    return proportion_ci(hits, len(records))
+
+
+def outcome_shares(records: list[InjectionRecord]) -> dict[str, float]:
+    """Masked/SDC/DUE fractions (Figure 4's stacked bars)."""
+    if not records:
+        raise ValueError("no records")
+    total = len(records)
+    return {
+        o.value: sum(1 for r in records if r.outcome is o) / total for o in Outcome.all()
+    }
+
+
+def pvf_by_fault_model(
+    records: list[InjectionRecord],
+    outcome: Outcome,
+    models: Iterable[str] | None = None,
+) -> dict[str, CountEstimate]:
+    """PVF per fault model (Figure 5)."""
+    if not records:
+        raise ValueError("no records")
+    if models is None:
+        models = sorted({r.fault_model for r in records})
+    out: dict[str, CountEstimate] = {}
+    for model in models:
+        subset = [r for r in records if r.fault_model == model]
+        if subset:
+            out[model] = pvf(subset, outcome)
+    return out
+
+
+def pvf_by_window(
+    records: list[InjectionRecord], outcome: Outcome
+) -> dict[int, CountEstimate]:
+    """PVF per execution-time window (Figure 6).
+
+    Windows with no injections are omitted; each window's estimate is
+    independent, so the values may legitimately sum past 100%.
+    """
+    if not records:
+        raise ValueError("no records")
+    windows = sorted({r.time_window for r in records})
+    out: dict[int, CountEstimate] = {}
+    for window in windows:
+        subset = [r for r in records if r.time_window == window]
+        out[window] = pvf(subset, outcome)
+    return out

@@ -1,0 +1,119 @@
+"""SDC severity qualification (paper Section 2.2 / 4.3-4.4).
+
+The paper builds on its authors' earlier criticality metrics
+("Radiation-Induced Error Criticality in Modern HPC Parallel
+Accelerators", ref [38]): an SDC is qualified by *how far* the
+corrupted values deviate (magnitude) and *how much of the output* they
+touch (spread), extended here with the tolerance notion of Section 4.4.
+Crossing the two axes yields four severity classes:
+
+===================  =======================  =========================
+                     small spread             large spread
+===================  =======================  =========================
+small magnitude      TOLERABLE — inside an    ATTENUATED — HotSpot's
+                     application's accepted   signature: wide but tiny,
+                     imprecision              vanishes under tolerance
+large magnitude      LOCALIZED — a few badly  CRITICAL — propagated and
+                     wrong values (ABFT       compounded corruption, the
+                     territory)               checkpoint-killing case
+===================  =======================  =========================
+
+plus NEGLIGIBLE for SDCs whose every deviation sits below the accepted
+tolerance (they stop being errors at all once imprecision is allowed).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+__all__ = [
+    "SeverityClass",
+    "SeverityThresholds",
+    "classify_severity",
+    "severity_census",
+]
+
+
+class SeverityClass(str, enum.Enum):
+    """Joint magnitude x spread qualification of one SDC."""
+
+    NEGLIGIBLE = "negligible"
+    TOLERABLE = "tolerable"
+    ATTENUATED = "attenuated"
+    LOCALIZED = "localized"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class SeverityThresholds:
+    """The three knobs of the qualification.
+
+    ``tolerance`` is the accepted relative imprecision (the paper
+    sweeps 0.1%-15%; 2% is the seismic-simulation figure its Section
+    2.1 quotes); ``magnitude`` splits small from large deviations;
+    ``spread`` splits localized from spread-out corruption (fraction of
+    output elements).
+    """
+
+    tolerance: float = 0.02
+    magnitude: float = 0.10
+    spread: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if self.magnitude <= self.tolerance:
+            raise ValueError("magnitude threshold must exceed the tolerance")
+        if not 0 < self.spread < 1:
+            raise ValueError("spread threshold must be in (0, 1)")
+
+
+def classify_severity(
+    max_rel_err: float,
+    wrong_fraction: float,
+    thresholds: SeverityThresholds = SeverityThresholds(),
+) -> SeverityClass:
+    """Qualify one SDC from its recorded metrics.
+
+    Both campaign record types (``sdc_metrics`` of the injector and the
+    beam driver) carry ``max_rel_err`` and ``wrong_fraction``, so any
+    log can be re-qualified at any thresholds after the fact.
+    """
+    if max_rel_err < 0:
+        raise ValueError("max_rel_err must be non-negative")
+    if not 0 <= wrong_fraction <= 1:
+        raise ValueError("wrong_fraction must be in [0, 1]")
+    if max_rel_err <= thresholds.tolerance:
+        return SeverityClass.NEGLIGIBLE
+    big = max_rel_err > thresholds.magnitude
+    wide = wrong_fraction > thresholds.spread
+    if big and wide:
+        return SeverityClass.CRITICAL
+    if big:
+        return SeverityClass.LOCALIZED
+    if wide:
+        return SeverityClass.ATTENUATED
+    return SeverityClass.TOLERABLE
+
+
+def severity_census(
+    sdc_metrics: Iterable[dict],
+    thresholds: SeverityThresholds = SeverityThresholds(),
+) -> dict[str, int]:
+    """Count SDCs per severity class.
+
+    ``sdc_metrics`` is an iterable of the ``sdc_metrics`` dicts carried
+    by SDC records (injection or beam).  Classes with zero members are
+    included, so censuses are directly comparable.
+    """
+    census = {cls.value: 0 for cls in SeverityClass}
+    for metrics in sdc_metrics:
+        cls = classify_severity(
+            float(metrics["max_rel_err"]),
+            float(metrics.get("wrong_fraction", 0.0)),
+            thresholds,
+        )
+        census[cls.value] += 1
+    return census

@@ -1,0 +1,104 @@
+"""Poisson beam-session mode.
+
+The event-driven campaign (:mod:`repro.beam.experiment`) assumes the
+single-strike regime.  This module simulates the physical session the
+paper actually ran: executions back to back under a Poisson strike
+process at a chosen flux, which lets one *verify* the tuning criterion
+("experiments were tuned to guarantee observed output error rates
+lower than 1e-4 errors/execution, ensuring that the probability of
+more than one neutron generating a failure in a single benchmark
+execution remains negligible").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.beam.flux import LanceBeam
+from repro.beam.sensitivity import DEFAULT_SENSITIVITY, DeviceSensitivity
+
+__all__ = ["BeamSession", "SessionStats"]
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Aggregate statistics of one simulated beam session."""
+
+    executions: int
+    strikes: int
+    multi_strike_executions: int
+    beam_seconds: float
+    fluence_n_cm2: float
+
+    @property
+    def strikes_per_execution(self) -> float:
+        return self.strikes / self.executions if self.executions else 0.0
+
+    @property
+    def multi_strike_fraction(self) -> float:
+        return (
+            self.multi_strike_executions / self.executions if self.executions else 0.0
+        )
+
+
+class BeamSession:
+    """Simulates executions under a Poisson strike arrival process."""
+
+    def __init__(
+        self,
+        beam: LanceBeam,
+        sensitivity: DeviceSensitivity = DEFAULT_SENSITIVITY,
+        execution_seconds: float = 1.0,
+    ):
+        if execution_seconds <= 0:
+            raise ValueError("execution time must be positive")
+        self.beam = beam
+        self.sensitivity = sensitivity
+        self.execution_seconds = float(execution_seconds)
+
+    @property
+    def strikes_per_execution_mean(self) -> float:
+        """Expected strikes landing in the modelled area per execution."""
+        return (
+            self.sensitivity.total_cross_section_cm2
+            * self.beam.flux_n_cm2_s
+            * self.execution_seconds
+        )
+
+    def strike_counts(self, executions: int, rng: np.random.Generator) -> np.ndarray:
+        """Number of strikes in each of ``executions`` runs."""
+        if executions < 1:
+            raise ValueError("executions must be positive")
+        return rng.poisson(self.strikes_per_execution_mean, size=executions)
+
+    def simulate(self, executions: int, rng: np.random.Generator) -> SessionStats:
+        """Run the arrival process (no program execution) and summarise."""
+        counts = self.strike_counts(executions, rng)
+        beam_seconds = executions * self.execution_seconds
+        return SessionStats(
+            executions=executions,
+            strikes=int(counts.sum()),
+            multi_strike_executions=int((counts >= 2).sum()),
+            beam_seconds=beam_seconds,
+            fluence_n_cm2=self.beam.fluence(beam_seconds),
+        )
+
+    def max_flux_for_error_rate(
+        self, errors_per_execution: float, visible_probability: float
+    ) -> float:
+        """Flux keeping observed errors/execution below a target.
+
+        ``visible_probability`` is P(SDC or DUE | strike) for the
+        benchmark, from a strike campaign.  This reproduces the paper's
+        tuning: pick the flux so error rate <= 1e-4 per execution.
+        """
+        if not 0 < visible_probability <= 1:
+            raise ValueError("visible_probability must be in (0, 1]")
+        if errors_per_execution <= 0:
+            raise ValueError("target error rate must be positive")
+        sigma = self.sensitivity.total_cross_section_cm2
+        return errors_per_execution / (
+            sigma * visible_probability * self.execution_seconds
+        )

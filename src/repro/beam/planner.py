@@ -1,0 +1,133 @@
+"""Beam-time planner — the paper's statistics-driven campaign sizing.
+
+The paper sizes its beam campaigns by a statistical criterion: collect
+enough SDC and DUE events per benchmark that the 95% confidence
+intervals are tight (Section 4.2), within ~500 hours of beam time.
+This module plans such a campaign on the model: run a cheap pilot per
+benchmark to estimate P(SDC|strike) and P(DUE|strike), then compute how
+many strike trials — and how much fluence and beam time at a chosen
+LANSCE flux — are needed to reach a target event count for *both*
+outcome classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.beam.experiment import BeamExperiment
+from repro.beam.flux import LanceBeam
+from repro.beam.sensitivity import DEFAULT_SENSITIVITY, DeviceSensitivity
+from repro.faults.outcome import Outcome
+from repro.util.stats import required_events_for_relative_ci
+from repro.util.tables import format_table
+from repro.util.units import natural_hours_covered
+
+__all__ = ["BeamPlan", "PlanEntry", "plan_campaign"]
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """Campaign sizing for one benchmark."""
+
+    benchmark: str
+    pilot_trials: int
+    p_sdc: float
+    p_due: float
+    target_events: int
+    required_trials: int
+    beam_hours: float
+    natural_years: float
+
+
+@dataclass
+class BeamPlan:
+    """The full schedule across benchmarks."""
+
+    entries: list[PlanEntry]
+    beam: LanceBeam
+
+    @property
+    def total_beam_hours(self) -> float:
+        return sum(e.beam_hours for e in self.entries)
+
+    def render(self) -> str:
+        rows = [
+            [
+                e.benchmark,
+                e.p_sdc,
+                e.p_due,
+                e.target_events,
+                e.required_trials,
+                e.beam_hours,
+                e.natural_years,
+            ]
+            for e in self.entries
+        ]
+        table = format_table(
+            [
+                "benchmark",
+                "P(SDC|strike)",
+                "P(DUE|strike)",
+                "target events",
+                "trials",
+                "beam hours",
+                "natural years",
+            ],
+            rows,
+            title=f"beam campaign plan at {self.beam.flux_n_cm2_s:.1e} n/cm2/s",
+            floatfmt=".3f",
+        )
+        return (
+            table
+            + f"\ntotal beam time: {self.total_beam_hours:.1f} hours "
+            "(paper: >500 hours for its physical campaign)"
+        )
+
+
+def plan_campaign(
+    benchmarks: tuple[str, ...],
+    seed: int = 2017,
+    pilot_trials: int = 200,
+    relative_ci: float = 0.10,
+    beam: LanceBeam | None = None,
+    sensitivity: DeviceSensitivity = DEFAULT_SENSITIVITY,
+    max_trials: int = 10_000_000,
+) -> BeamPlan:
+    """Size the campaign each benchmark needs for the paper's CI target.
+
+    The trial count is driven by the *rarer* of the two outcome classes
+    (both SDC and DUE intervals must meet the target); benchmarks whose
+    pilot shows no events of a class are capped at ``max_trials``.
+    """
+    if pilot_trials < 10:
+        raise ValueError("pilot needs at least 10 trials")
+    beam = beam or LanceBeam()
+    target = required_events_for_relative_ci(relative_ci)
+    sigma = sensitivity.total_cross_section_cm2
+
+    entries = []
+    for name in benchmarks:
+        pilot = BeamExperiment(name, seed=seed, sensitivity=sensitivity).run_campaign(
+            pilot_trials
+        )
+        p_sdc = pilot.probability(Outcome.SDC)
+        p_due = pilot.probability(Outcome.DUE)
+        rarest = min(p for p in (p_sdc, p_due) if p > 0) if (p_sdc or p_due) else 0.0
+        if rarest <= 0:
+            required = max_trials
+        else:
+            required = min(max_trials, int(round(target / rarest)))
+        fluence = required / sigma
+        entries.append(
+            PlanEntry(
+                benchmark=name,
+                pilot_trials=pilot_trials,
+                p_sdc=p_sdc,
+                p_due=p_due,
+                target_events=target,
+                required_trials=required,
+                beam_hours=beam.beam_seconds_for_fluence(fluence) / 3600.0,
+                natural_years=natural_hours_covered(fluence) / 8766.0,
+            )
+        )
+    return BeamPlan(entries=entries, beam=beam)

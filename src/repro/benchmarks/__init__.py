@@ -1,0 +1,52 @@
+"""The six HPC benchmarks of the paper (Section 3.2), as injectable
+stepped state machines.
+
+* :class:`~repro.benchmarks.clamr.Clamr` — DOE AMR hydrodynamics mini-app
+* :class:`~repro.benchmarks.dgemm.Dgemm` — blocked matrix multiplication
+* :class:`~repro.benchmarks.hotspot.HotSpot` — thermal stencil
+* :class:`~repro.benchmarks.lavamd.LavaMD` — cutoff N-body in 3-D boxes
+* :class:`~repro.benchmarks.lud.Lud` — blocked LU decomposition
+* :class:`~repro.benchmarks.nw.NeedlemanWunsch` — integer sequence alignment
+"""
+
+from repro.benchmarks.base import (
+    Benchmark,
+    BenchmarkError,
+    BenchmarkHang,
+    SimulationAborted,
+    Variable,
+)
+from repro.benchmarks.clamr import Clamr
+from repro.benchmarks.dgemm import Dgemm
+from repro.benchmarks.hotspot import HotSpot
+from repro.benchmarks.lavamd import LavaMD
+from repro.benchmarks.lud import Lud
+from repro.benchmarks.nw import NeedlemanWunsch
+from repro.benchmarks.registry import (
+    BEAM_BENCHMARKS,
+    BENCHMARKS,
+    INJECTION_BENCHMARKS,
+    TIME_WINDOW_BENCHMARKS,
+    create,
+    names,
+)
+
+__all__ = [
+    "BEAM_BENCHMARKS",
+    "BENCHMARKS",
+    "Benchmark",
+    "BenchmarkError",
+    "BenchmarkHang",
+    "Clamr",
+    "Dgemm",
+    "HotSpot",
+    "INJECTION_BENCHMARKS",
+    "LavaMD",
+    "Lud",
+    "NeedlemanWunsch",
+    "SimulationAborted",
+    "TIME_WINDOW_BENCHMARKS",
+    "Variable",
+    "create",
+    "names",
+]

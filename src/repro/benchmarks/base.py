@@ -1,0 +1,286 @@
+"""Benchmark protocol for injectable stepped execution.
+
+Every benchmark in the suite (paper Section 3.2) is implemented as a
+*stepped state machine*:
+
+* :meth:`Benchmark.make_state` allocates all inputs and working arrays
+  for a given RNG (inputs are dynamically generated once per campaign,
+  like the paper's datasets);
+* :meth:`Benchmark.num_steps` / :meth:`Benchmark.step` advance the
+  computation one scheduling quantum at a time, so an injector can
+  interrupt *between* steps exactly like CAROL-FI interrupts a process
+  with a signal;
+* :meth:`Benchmark.variables` exposes the live source-level variables
+  (as :class:`Variable` records wrapping the actual NumPy backing
+  stores) so the Flip-script can corrupt real state and execution then
+  resumes on the corrupted store — propagation is computed, never
+  simulated from a table;
+* :meth:`Benchmark.output` extracts the final output for golden
+  comparison.
+
+Scalars that matter (loop bounds, sizes, counters) are stored in small
+integer arrays that the step functions genuinely read, so corrupting
+them produces wrong regions, crashes, or hangs organically.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkError",
+    "BenchmarkHang",
+    "PointerTable",
+    "SegmentationFault",
+    "SimulationAborted",
+    "Variable",
+    "bounded_range",
+    "checked_index",
+]
+
+#: Hard iteration cap used by every internal data-dependent loop.  Real
+#: code would spin forever on a corrupted loop variable; we convert that
+#: into a deterministic :class:`BenchmarkHang` the Supervisor's watchdog
+#: classifies as a DUE (timeout).
+MAX_LOOP_ITERATIONS = 100_000
+
+
+class BenchmarkError(RuntimeError):
+    """Base class for in-benchmark failures (classified as DUE-crash)."""
+
+
+class BenchmarkHang(BenchmarkError):
+    """A data-dependent loop exceeded its iteration budget (hang)."""
+
+
+class SimulationAborted(BenchmarkError):
+    """The benchmark's own sanity checks aborted the run (e.g. CFL)."""
+
+
+class SegmentationFault(BenchmarkError):
+    """A corrupted pointer was dereferenced outside its allocation."""
+
+
+class PointerTable:
+    """Pointer variables for a benchmark's major heap allocations.
+
+    In the paper's C benchmarks, the arrays are reached through pointer
+    variables that live on the stack and are fully visible to GDB's
+    frame walk — and a corrupted pointer is one of the main ways a
+    high-level fault becomes a DUE.  This table models them: each named
+    array gets a fake 64-bit base address in :attr:`addresses` (the
+    injectable backing store).  :meth:`resolve` re-derives the array
+    through its pointer every step:
+
+    * untouched pointer — the array itself, zero cost;
+    * corrupted to an address outside the allocation (high-bit flips,
+      Random, the Zero/null pointer) — :class:`SegmentationFault`;
+    * corrupted but still inside the allocation (low-bit flips) — a
+      misaligned read: the byte stream shifted by the offset, i.e.
+      garbage values, which propagate as SDCs.
+    """
+
+    _PAGE = 1 << 12
+    _HEAP_BASE = 0x7F32_0000_0000
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        if not arrays:
+            raise ValueError("pointer table needs at least one array")
+        self.names = list(arrays)
+        self._sizes = {name: int(arr.nbytes) for name, arr in arrays.items()}
+        addresses = []
+        cursor = self._HEAP_BASE
+        for name in self.names:
+            addresses.append(cursor)
+            span = self._sizes[name] + self._PAGE
+            cursor += span + (-span) % self._PAGE
+        self.addresses = np.array(addresses, dtype=np.int64)
+        self._orig = self.addresses.copy()
+
+    def resolve(self, name: str, arr: np.ndarray) -> np.ndarray:
+        """Dereference ``name``'s pointer against its backing array."""
+        slot = self.names.index(name)
+        addr = int(self.addresses[slot])
+        orig = int(self._orig[slot])
+        if addr == orig:
+            return arr
+        offset = addr - orig
+        if not 0 <= offset < self._sizes[name]:
+            raise SegmentationFault(
+                f"dereference of {name} at {addr:#x} outside its allocation"
+            )
+        flat = arr.reshape(-1).view(np.uint8)
+        shifted = np.roll(flat, -offset)
+        return shifted.view(arr.dtype).reshape(arr.shape)
+
+
+def bounded_range(start: int, stop: int, step: int = 1) -> range:
+    """A ``range`` with a hang guard.
+
+    Mirrors a ``for`` loop whose bounds live in (corruptible) memory: a
+    corrupted ``step`` of zero or an absurd trip count raises
+    :class:`BenchmarkHang` instead of spinning.
+    """
+    start, stop, step = int(start), int(stop), int(step)
+    if step == 0:
+        raise BenchmarkHang("loop step corrupted to zero")
+    trip = max(0, (stop - start + (step - (1 if step > 0 else -1))) // step)
+    if trip > MAX_LOOP_ITERATIONS:
+        raise BenchmarkHang(f"loop trip count {trip} exceeds budget")
+    return range(start, stop, step)
+
+
+def checked_index(index: int, size: int, what: str = "index") -> int:
+    """Validate an index exactly like hardware bounds checking would.
+
+    Negative wrap-around is *not* allowed: corrupted indices must fail
+    the way a segfaulting C program fails rather than silently aliasing
+    Python's negative indexing.
+    """
+    index = int(index)
+    if not 0 <= index < size:
+        raise IndexError(f"{what} {index} out of bounds for size {size}")
+    return index
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One live, injectable source-level variable.
+
+    ``array`` is the *actual backing store* of the benchmark state; any
+    in-place mutation is visible to subsequent steps.
+    """
+
+    name: str
+    array: np.ndarray
+    frame: str
+    var_class: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    @property
+    def size(self) -> int:
+        return int(self.array.size)
+
+
+class Benchmark(abc.ABC):
+    """Abstract stepped benchmark."""
+
+    #: Registry key and display name ("dgemm", "hotspot", ...).
+    name: str = ""
+
+    #: Dimensionality of the output for spatial-pattern classification
+    #: (1, 2 or 3); LavaMD is the only 3-D benchmark in the paper.
+    output_dims: int = 2
+
+    #: Number of execution-time windows the paper divides this
+    #: benchmark into for Figure 6 (CLAMR 9, DGEMM/HotSpot 5, LUD/NW 4).
+    num_windows: int = 5
+
+    #: Whether the output is floating point (enables relative-error
+    #: tolerance sweeps; NW is integer-valued).
+    float_output: bool = True
+
+    #: Decimal places kept when the output file is written (Rodinia's
+    #: printf-style output) — golden comparison happens at this
+    #: precision, so perturbations below it are masked.  ``None``
+    #: compares exactly (integer outputs).
+    output_decimals: int | None = 4
+
+    #: Fraction of the injectable memory image occupied by stack-side
+    #: state (control variables, constants, pointers) once per-thread
+    #: replication is accounted for — the paper's "each of the 228
+    #: threads allocates those nine integers" argument.  Used by the
+    #: Flip-script's WEIGHTED site policy.
+    stack_share: float = 0.25
+
+    def __init__(self, **params: Any):
+        defaults = dict(self.default_params())
+        unknown = set(params) - set(defaults)
+        if unknown:
+            raise TypeError(f"{type(self).__name__} got unknown params: {sorted(unknown)}")
+        defaults.update(params)
+        self.params: dict[str, Any] = defaults
+
+    # -- required interface -------------------------------------------------
+
+    @classmethod
+    @abc.abstractmethod
+    def default_params(cls) -> dict[str, Any]:
+        """Default (scaled-down) problem parameters."""
+
+    @classmethod
+    def paper_scale_params(cls) -> dict[str, Any]:
+        """Parameters in the size class of the irradiated runs.
+
+        For reference and scaling studies only: a single golden run at
+        this size takes seconds to minutes in Python, so campaigns use
+        :meth:`default_params`.  FIT bookkeeping is size-independent
+        (cross-section x exposure), which is why the scaled-down
+        campaigns remain meaningful.
+        """
+        return cls.default_params()
+
+    @abc.abstractmethod
+    def make_state(self, rng: np.random.Generator) -> Any:
+        """Allocate inputs and working state for one execution."""
+
+    @abc.abstractmethod
+    def num_steps(self, state: Any) -> int:
+        """Number of scheduling quanta in one execution of ``state``."""
+
+    @abc.abstractmethod
+    def step(self, state: Any, index: int) -> None:
+        """Advance the computation by one quantum (may raise on corrupt state)."""
+
+    @abc.abstractmethod
+    def output(self, state: Any) -> np.ndarray:
+        """Final output array (a copy, shaped with ``output_dims`` axes)."""
+
+    @abc.abstractmethod
+    def variables(self, state: Any, step: int) -> list[Variable]:
+        """Live injectable variables just before ``step`` executes."""
+
+    # -- shared behaviour ---------------------------------------------------
+
+    def run(self, state: Any) -> np.ndarray:
+        """Run ``state`` to completion and return the output."""
+        for index in range(self.num_steps(state)):
+            self.step(state, index)
+        return self.output(state)
+
+    def golden(self, rng: np.random.Generator) -> np.ndarray:
+        """Fault-free reference output for the inputs drawn from ``rng``."""
+        return self.run(self.make_state(rng))
+
+    def frames(self, state: Any, step: int) -> list[str]:
+        """Distinct frame names alive at ``step`` (the GDB call stack)."""
+        seen: list[str] = []
+        for var in self.variables(state, step):
+            if var.frame not in seen:
+                seen.append(var.frame)
+        return seen
+
+    def window_of_step(self, step: int, total_steps: int) -> int:
+        """Execution-time window (0-based) a step falls into."""
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        step = min(max(step, 0), total_steps - 1)
+        return min(self.num_windows - 1, step * self.num_windows // total_steps)
+
+    def describe(self) -> dict[str, Any]:
+        """Static metadata used by campaign logs and reports."""
+        return {
+            "name": self.name,
+            "output_dims": self.output_dims,
+            "num_windows": self.num_windows,
+            "float_output": self.float_output,
+            "params": dict(self.params),
+        }

@@ -1,0 +1,23 @@
+"""CLAMR — DOE cell-based adaptive mesh refinement hydrodynamics mini-app.
+
+CLAMR simulates shallow-water wave propagation on an adaptive mesh
+(paper Section 3.2).  This subpackage reimplements the pieces the
+paper's criticality analysis names:
+
+* :mod:`repro.benchmarks.clamr.mesh` — the AMR cell mesh (the "mesh"
+  structure CAROL-FI identifies as the most critical portion);
+* :mod:`repro.benchmarks.clamr.sort` — space-filling-curve cell
+  ordering (the "Sort" portion);
+* :mod:`repro.benchmarks.clamr.kdtree` — the K-D tree used for
+  neighbour finding (the "Tree" portion);
+* :mod:`repro.benchmarks.clamr.shallow` — the shallow-water finite
+  volume step;
+* :mod:`repro.benchmarks.clamr.driver` — the stepped benchmark wrapper
+  exposing each phase to the injector.
+"""
+
+from repro.benchmarks.clamr.driver import Clamr, ClamrState
+from repro.benchmarks.clamr.kdtree import KdTree
+from repro.benchmarks.clamr.mesh import AmrMesh
+
+__all__ = ["AmrMesh", "Clamr", "ClamrState", "KdTree"]

@@ -1,0 +1,205 @@
+"""Adaptive cell mesh for CLAMR.
+
+Cells tile the unit square.  A base ``base x base`` grid refines by
+quadrisection up to ``max_level``; each cell stores its centre, level,
+and conserved shallow-water state (height ``h`` and momenta ``hu``,
+``hv``).  Storage is capacity-bounded flat arrays with a live prefix of
+``ncells`` entries — the layout a C mini-app would malloc once — so the
+injector corrupts real backing stores and out-of-capacity refinement is
+a hard error, not a silent realloc.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchmarks.base import SimulationAborted, checked_index
+
+__all__ = ["AmrMesh"]
+
+
+class AmrMesh:
+    """Capacity-bounded adaptive quad mesh on the unit square."""
+
+    def __init__(self, base: int, max_level: int, capacity: int):
+        if base < 2:
+            raise ValueError("base grid must be at least 2x2")
+        if max_level < 0:
+            raise ValueError("max_level must be non-negative")
+        if capacity < base * base:
+            raise ValueError("capacity below base grid size")
+        self.base = base
+        self.max_level = max_level
+        self.capacity = capacity
+        self.x = np.zeros(capacity)
+        self.y = np.zeros(capacity)
+        self.lev = np.zeros(capacity, dtype=np.int32)
+        self.h = np.zeros(capacity)
+        self.hu = np.zeros(capacity)
+        self.hv = np.zeros(capacity)
+        self.parent = np.full(capacity, -1, dtype=np.int64)
+        self.slot = np.zeros(capacity, dtype=np.int8)
+        self.ncells = np.array(0, dtype=np.int64)
+        self.next_parent = np.array(0, dtype=np.int64)
+
+    # -- construction --------------------------------------------------------
+
+    def init_dam_break(self, h_inside: float = 10.0, h_outside: float = 2.0,
+                       radius: float = 0.22) -> None:
+        """Circular dam-break initial condition centred on the domain."""
+        base = self.base
+        idx = np.arange(base)
+        cx, cy = np.meshgrid((idx + 0.5) / base, (idx + 0.5) / base, indexing="ij")
+        n = base * base
+        self.x[:n] = cx.ravel()
+        self.y[:n] = cy.ravel()
+        self.lev[:n] = 0
+        r = np.hypot(self.x[:n] - 0.5, self.y[:n] - 0.5)
+        self.h[:n] = np.where(r < radius, h_inside, h_outside)
+        self.hu[:n] = 0.0
+        self.hv[:n] = 0.0
+        self.parent[:n] = -1
+        self.slot[:n] = 0
+        self.ncells[...] = n
+
+    # -- geometry ------------------------------------------------------------
+
+    def live(self) -> int:
+        """Validated live cell count (reads the corruptible counter)."""
+        n = int(self.ncells[()])
+        if not 0 < n <= self.capacity:
+            raise IndexError(f"corrupted cell count {n}")
+        return n
+
+    def cell_size(self, lev: np.ndarray | int) -> np.ndarray:
+        """Edge length of cells at refinement level ``lev``."""
+        lev_arr = np.asarray(lev)
+        if np.any(lev_arr < 0) or np.any(lev_arr > self.max_level):
+            raise IndexError(f"corrupted refinement level in {np.unique(lev_arr)}")
+        return 1.0 / (self.base * (2.0**lev_arr))
+
+    @property
+    def finest_size(self) -> float:
+        return 1.0 / (self.base * 2**self.max_level)
+
+    # -- adaptation ----------------------------------------------------------
+
+    def refine(self, cells: np.ndarray) -> int:
+        """Quadrisect ``cells`` (live indices); returns cells created.
+
+        Each victim cell is replaced in place by its first child; the
+        other three children are appended.  Refinement past capacity
+        aborts the simulation (the mini-app's malloc'd arrays are full).
+        """
+        n = self.live()
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.size == 0:
+            return 0
+        created = 0
+        for raw in cells:
+            i = checked_index(int(raw), n, "refine target")
+            lev = int(self.lev[i])
+            if lev >= self.max_level:
+                continue
+            if n + created + 3 > self.capacity:
+                raise SimulationAborted("mesh capacity exhausted during refine")
+            quarter = float(self.cell_size(lev)) / 4.0
+            pid = int(self.next_parent[()])
+            self.next_parent[...] = pid + 1
+            cx, cy = float(self.x[i]), float(self.y[i])
+            h, hu, hv = float(self.h[i]), float(self.hu[i]), float(self.hv[i])
+            offsets = ((-quarter, -quarter), (quarter, -quarter),
+                       (-quarter, quarter), (quarter, quarter))
+            targets = [i, n + created, n + created + 1, n + created + 2]
+            for slot, (tgt, (ox, oy)) in enumerate(zip(targets, offsets)):
+                self.x[tgt] = cx + ox
+                self.y[tgt] = cy + oy
+                self.lev[tgt] = lev + 1
+                self.h[tgt] = h
+                self.hu[tgt] = hu
+                self.hv[tgt] = hv
+                self.parent[tgt] = pid
+                self.slot[tgt] = slot
+            created += 3
+        self.ncells[...] = n + created
+        return created
+
+    def coarsen(self, quiet: np.ndarray) -> int:
+        """Merge sibling quartets whose members are all in ``quiet``.
+
+        ``quiet`` is a boolean mask over live cells.  A quartet merges
+        only when all four siblings are live, at the same level, and
+        quiet; the merged parent gets the conservative mean state.
+        Returns the number of cells removed.
+        """
+        n = self.live()
+        quiet = np.asarray(quiet, dtype=bool)
+        if quiet.shape != (n,):
+            raise ValueError("quiet mask must cover live cells")
+        parents = self.parent[:n]
+        if not np.any(parents >= 0):
+            return 0
+        order = np.argsort(parents, kind="stable")
+        keep = np.ones(n, dtype=bool)
+        removed = 0
+        pos = 0
+        sorted_parents = parents[order]
+        while pos < n:
+            pid = sorted_parents[pos]
+            end = pos
+            while end < n and sorted_parents[end] == pid:
+                end += 1
+            if pid >= 0 and end - pos == 4:
+                members = order[pos:end]
+                levs = self.lev[members]
+                if np.all(levs == levs[0]) and levs[0] > 0 and bool(np.all(quiet[members])):
+                    keep_idx = int(members[np.argmin(self.slot[members])])
+                    self.x[keep_idx] = float(self.x[members].mean())
+                    self.y[keep_idx] = float(self.y[members].mean())
+                    self.h[keep_idx] = float(self.h[members].mean())
+                    self.hu[keep_idx] = float(self.hu[members].mean())
+                    self.hv[keep_idx] = float(self.hv[members].mean())
+                    self.lev[keep_idx] = levs[0] - 1
+                    self.parent[keep_idx] = -1
+                    self.slot[keep_idx] = 0
+                    drop = members[members != keep_idx]
+                    keep[drop] = False
+                    removed += drop.size
+            pos = end
+        if removed:
+            self._compact(keep, n)
+        return removed
+
+    def _compact(self, keep: np.ndarray, n: int) -> None:
+        """Densify live arrays after coarsening removed cells."""
+        idx = np.flatnonzero(keep)
+        m = idx.size
+        for arr in (self.x, self.y, self.h, self.hu, self.hv):
+            arr[:m] = arr[idx]
+        for arr in (self.lev, self.parent, self.slot):
+            arr[:m] = arr[idx]
+        self.ncells[...] = m
+
+    # -- output --------------------------------------------------------------
+
+    def sample_grid(self) -> np.ndarray:
+        """Paint the water height onto the finest uniform grid.
+
+        Coarse cells cover a block of pixels; the paint order (coarse
+        first) makes the finest data win, so outputs from runs with
+        different refinement histories stay comparable.
+        """
+        n = self.live()
+        res = self.base * 2**self.max_level
+        out = np.zeros((res, res))
+        sizes = self.cell_size(self.lev[:n])
+        order = np.argsort(self.lev[:n], kind="stable")
+        for i in order:
+            s = float(sizes[i])
+            px0 = int(round((float(self.x[i]) - s / 2.0) * res))
+            py0 = int(round((float(self.y[i]) - s / 2.0) * res))
+            extent = max(1, int(round(s * res)))
+            px0 = min(max(px0, 0), res - 1)
+            py0 = min(max(py0, 0), res - 1)
+            out[px0 : px0 + extent, py0 : py0 + extent] = self.h[i]
+        return out

@@ -1,0 +1,104 @@
+"""Space-filling-curve cell ordering — CLAMR's "Sort" portion.
+
+CLAMR keeps its cells sorted along a space-filling curve so that
+spatially adjacent cells are adjacent in memory (sibling quartets in
+particular become contiguous, which the coarsening pass relies on).
+Each timestep recomputes Morton keys from the cell centres and levels,
+argsorts them, and physically reorders every per-cell array through the
+resulting permutation.
+
+The permutation is the Sort portion's injectable artifact: it is
+produced by the sort phase and consumed by the reorder at the start of
+the tree phase, so a fault landing in it between the two phases
+scrambles, duplicates, or (for out-of-range values) crashes the mesh —
+matching the paper's finding that Sort faults are the most SDC-prone
+portion of CLAMR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchmarks.clamr.mesh import AmrMesh
+
+__all__ = [
+    "apply_permutation",
+    "commit_reorder",
+    "compute_sort_permutation",
+    "gather_reorder_buffers",
+    "morton_keys",
+]
+
+#: Per-cell arrays that get physically reordered, in a fixed order.
+_CELL_FIELDS = ("x", "y", "h", "hu", "hv", "lev", "parent", "slot")
+
+
+def _spread_bits(v: np.ndarray) -> np.ndarray:
+    """Interleave zeros between the low 16 bits of each value."""
+    v = v.astype(np.uint64) & np.uint64(0xFFFF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0x00FF00FF)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x0F0F0F0F)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x33333333)
+    v = (v | (v << np.uint64(1))) & np.uint64(0x55555555)
+    return v
+
+
+def morton_keys(x: np.ndarray, y: np.ndarray, resolution: int) -> np.ndarray:
+    """Morton (Z-order) keys of points quantised to ``resolution``."""
+    if resolution < 1 or resolution > 1 << 16:
+        raise ValueError("resolution out of supported range")
+    with np.errstate(invalid="ignore", over="ignore"):
+        fx = np.nan_to_num(x * float(resolution), nan=0.0, posinf=resolution - 1, neginf=0.0)
+        fy = np.nan_to_num(y * float(resolution), nan=0.0, posinf=resolution - 1, neginf=0.0)
+    qx = np.clip(fx, 0, resolution - 1).astype(np.int64)
+    qy = np.clip(fy, 0, resolution - 1).astype(np.int64)
+    return (_spread_bits(qx) | (_spread_bits(qy) << np.uint64(1))).astype(np.int64)
+
+
+def compute_sort_permutation(mesh: AmrMesh) -> np.ndarray:
+    """Morton-order permutation of the live cells (the sort phase)."""
+    n = mesh.live()
+    resolution = mesh.base * 2**mesh.max_level
+    keys = morton_keys(mesh.x[:n], mesh.y[:n], resolution)
+    # Finer cells after their coarse neighbours at equal quantised
+    # position, for a deterministic total order.
+    return np.lexsort((mesh.lev[:n], keys)).astype(np.int64)
+
+
+def gather_reorder_buffers(mesh: AmrMesh, perm: np.ndarray) -> dict[str, np.ndarray]:
+    """Gather every per-cell array through ``perm`` into fresh buffers.
+
+    This is the first half of the physical reorder: real CLAMR
+    allocates destination arrays, gathers, then swaps them in.  The
+    buffers are live "Sort" allocations between the gather and the
+    commit — exactly where the injector can reach them.
+
+    Gather uses checked indices: a corrupted permutation entry outside
+    the live range faults (DUE), while an in-range corruption silently
+    duplicates one cell and drops another (SDC).
+    """
+    n = mesh.live()
+    perm = np.asarray(perm)
+    if perm.shape != (n,):
+        raise IndexError(f"permutation length {perm.shape} does not match {n} cells")
+    return {
+        field: getattr(mesh, field)[:n].take(perm, mode="raise")
+        for field in _CELL_FIELDS
+    }
+
+
+def commit_reorder(mesh: AmrMesh, buffers: dict[str, np.ndarray]) -> None:
+    """Swap the gathered buffers into the mesh (second half of reorder)."""
+    n = mesh.live()
+    for field in _CELL_FIELDS:
+        buf = buffers[field]
+        if buf.shape != (n,):
+            raise IndexError(
+                f"reorder buffer {field} has {buf.shape}, expected ({n},)"
+            )
+        getattr(mesh, field)[:n] = buf
+
+
+def apply_permutation(mesh: AmrMesh, perm: np.ndarray) -> None:
+    """Gather + commit in one call (used by tests and simple drivers)."""
+    commit_reorder(mesh, gather_reorder_buffers(mesh, perm))

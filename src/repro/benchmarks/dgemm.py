@@ -1,0 +1,243 @@
+"""DGEMM — blocked dense matrix multiplication (paper Section 3.2).
+
+An optimised C = A @ B where the row space is partitioned over virtual
+hardware threads, each owning its private copy of the loop-control
+integers (the paper highlights that the 228 concurrent Xeon Phi threads
+each replicate nine loop-control variables, making control state a
+significant injection target).  Each scheduling step executes one
+thread's tile: an initialisation prologue copies the source operands
+into the compute buffers, then each compute step runs a k-blocked
+accumulation loop whose bounds and stride are read from corruptible
+control memory.
+
+Structure that matters for reproduction:
+
+* corrupted thread row bounds compute the wrong tile (line/square SDC)
+  or index out of bounds (DUE-crash);
+* a corrupted k-stride of zero hangs the inner loop (DUE-timeout);
+* the per-tile accumulator models the "intermediate values ... kept in
+  local temporary memory" the paper blames for DGEMM's square error
+  patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.benchmarks.base import (
+    Benchmark,
+    BenchmarkHang,
+    PointerTable,
+    Variable,
+)
+
+__all__ = ["Dgemm", "DgemmState"]
+
+#: Number of loop-control integers each virtual thread replicates
+#: (start row, end row, k begin, k end, k stride, column count, row
+#: cursor, column cursor, accumulator cursor) — nine, as in the paper.
+CONTROLS_PER_THREAD = 9
+
+
+@dataclass
+class DgemmState:
+    """Live state of one DGEMM execution."""
+
+    a_src: np.ndarray
+    b_src: np.ndarray
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    acc: np.ndarray
+    thread_ctl: np.ndarray  # (n_threads, CONTROLS_PER_THREAD) int64
+    dims: np.ndarray  # [n, k, m] int64 — shared problem dimensions
+    init_cursor: np.ndarray  # 0-d int64 — rows initialised so far
+    ptrs: PointerTable  # pointers to the operand arrays
+
+
+class Dgemm(Benchmark):
+    """Blocked double-precision matrix multiplication."""
+
+    name = "dgemm"
+    output_dims = 2
+    num_windows = 5
+    float_output = True
+    output_decimals = 4
+    # 228 threads x 9 replicated loop controls plus per-thread operand
+    # pointers: a large effective stack image (paper Section 6, DGEMM).
+    stack_share = 0.45
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {"n": 60, "n_threads": 20, "k_block": 16, "col_block": 3, "init_steps": 2}
+
+    @classmethod
+    def paper_scale_params(cls) -> dict[str, Any]:
+        # One row slab per hardware thread of the 3120A (228 x 10 rows).
+        return {"n": 2280, "n_threads": 228, "k_block": 64, "col_block": 8, "init_steps": 4}
+
+    def __init__(self, **params: Any):
+        super().__init__(**params)
+        n = self.params["n"]
+        n_threads = self.params["n_threads"]
+        if n % n_threads != 0:
+            raise ValueError("n must be divisible by n_threads")
+        if self.params["k_block"] <= 0:
+            raise ValueError("k_block must be positive")
+        if n % self.params["col_block"] != 0:
+            raise ValueError("n must be divisible by col_block")
+        if self.params["init_steps"] <= 0:
+            raise ValueError("init_steps must be positive")
+
+    # -- state --------------------------------------------------------------
+
+    def make_state(self, rng: np.random.Generator) -> DgemmState:
+        n = self.params["n"]
+        n_threads = self.params["n_threads"]
+        rows_per_thread = n // n_threads
+        a_src = rng.standard_normal((n, n))
+        b_src = rng.standard_normal((n, n))
+        ctl = np.zeros((n_threads, CONTROLS_PER_THREAD), dtype=np.int64)
+        for t in range(n_threads):
+            ctl[t, 0] = t * rows_per_thread  # start row
+            ctl[t, 1] = (t + 1) * rows_per_thread  # end row
+            ctl[t, 2] = 0  # k begin
+            ctl[t, 3] = n  # k end
+            ctl[t, 4] = self.params["k_block"]  # k stride
+            ctl[t, 5] = n  # column count
+            ctl[t, 6] = 0  # column cursor
+            ctl[t, 7] = self.params["col_block"]  # columns per pass
+            ctl[t, 8] = 0  # scratch cursor
+        a = np.zeros((n, n))
+        b = np.zeros((n, n))
+        return DgemmState(
+            a_src=a_src,
+            b_src=b_src,
+            a=a,
+            b=b,
+            c=np.zeros((n, n)),
+            acc=np.zeros((rows_per_thread, n)),
+            thread_ctl=ctl,
+            dims=np.array([n, n, n], dtype=np.int64),
+            init_cursor=np.array(0, dtype=np.int64),
+            ptrs=PointerTable({"a": a, "b": b}),
+        )
+
+    def num_steps(self, state: DgemmState) -> int:
+        return self.params["init_steps"] + self.params["n"] // self.params["col_block"]
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self, state: DgemmState, index: int) -> None:
+        init_steps = self.params["init_steps"]
+        if index < init_steps:
+            self._init_step(state, index)
+        else:
+            self._compute_step(state, index - init_steps)
+
+    def _init_step(self, state: DgemmState, index: int) -> None:
+        """Copy a stripe of the source operands into the compute buffers."""
+        n = state.a.shape[0]
+        init_steps = self.params["init_steps"]
+        lo = index * n // init_steps
+        hi = (index + 1) * n // init_steps
+        cursor = int(state.init_cursor[()])
+        # Real initialisation code walks a cursor; a corrupted cursor
+        # re-copies or skips stripes, leaving stale zeros behind.
+        lo = max(min(lo, cursor), 0)
+        state.a[lo:hi] = state.a_src[lo:hi]
+        state.b[lo:hi] = state.b_src[lo:hi]
+        state.init_cursor[...] = hi
+
+    def _compute_step(self, state: DgemmState, pass_index: int) -> None:
+        """One column pass: every thread advances its column cursor.
+
+        The per-thread loop controls are re-read on *every* pass (like
+        an OpenMP worker re-reading its bounds each chunk), so a
+        corrupted control is consumed no matter when it is injected —
+        the paper's finding that DGEMM's replicated loop controls are a
+        high-severity target depends on exactly this liveness.
+        """
+        n_threads = state.thread_ctl.shape[0]
+        n, kdim, _m = (int(v) for v in state.dims)
+        if not (0 < n <= state.c.shape[0] and 0 < kdim <= state.b.shape[0]):
+            raise IndexError(f"corrupted problem dimensions {state.dims.tolist()}")
+        a_mat = state.ptrs.resolve("a", state.a)
+        b_mat = state.ptrs.resolve("b", state.b)
+
+        for thread in range(n_threads):
+            ctl = state.thread_ctl[thread]
+            start, end = int(ctl[0]), int(ctl[1])
+            k_begin, k_end, k_step = int(ctl[2]), int(ctl[3]), int(ctl[4])
+            ncols = int(ctl[5])
+            col_lo, col_width = int(ctl[6]), int(ctl[7])
+            if end <= start or col_width <= 0:
+                continue  # corrupted empty tile: computes nothing (SDC)
+            # Validate the tile span before materialising it: a bound
+            # implying a massive tile would store past the accumulator
+            # within a page (segfault), never allocate terabytes.
+            if end - start > state.acc.shape[0]:
+                raise IndexError(f"tile [{start}, {end}) overflows accumulator")
+            if not 0 < ncols <= state.c.shape[1]:
+                raise IndexError(f"column count {ncols} out of bounds")
+            if not (0 <= k_begin and k_end <= kdim):
+                raise IndexError(f"k range [{k_begin}, {k_end}) out of bounds")
+            col_hi = min(col_lo + col_width, ncols)
+            if col_lo < 0 or col_lo > ncols:
+                raise IndexError(f"column cursor {col_lo} out of bounds")
+            if col_hi <= col_lo:
+                continue  # this thread already finished its columns
+
+            rows = np.arange(start, end)
+            cols = np.arange(col_lo, col_hi)
+            with np.errstate(invalid="ignore", over="ignore"):
+                a_rows = a_mat.take(rows, axis=0, mode="raise")
+            acc = state.acc[: rows.size, : cols.size]
+            acc[...] = 0.0
+            kb = k_begin
+            guard = 0
+            with np.errstate(invalid="ignore", over="ignore"):
+                while kb < k_end:
+                    if k_step <= 0:
+                        raise BenchmarkHang("k stride corrupted to non-positive value")
+                    guard += 1
+                    if guard > state.b.shape[0] + 2:
+                        raise BenchmarkHang("k loop exceeded iteration budget")
+                    hi = min(kb + k_step, k_end)
+                    acc += a_rows[:, kb:hi] @ b_mat[kb:hi, col_lo:col_hi]
+                    kb = hi
+            # Scatter the tile back through checked fancy indexing:
+            # corrupted row ids fault like a store to an unmapped page.
+            state.c[rows[:, None], cols[None, :]] = acc
+            ctl[6] = col_hi
+
+    def output(self, state: DgemmState) -> np.ndarray:
+        return state.c.copy()
+
+    # -- injection surface --------------------------------------------------
+
+    def variables(self, state: DgemmState, step: int) -> list[Variable]:
+        init_steps = self.params["init_steps"]
+        variables = [
+            Variable("a_src", state.a_src, frame="main", var_class="matrix"),
+            Variable("b_src", state.b_src, frame="main", var_class="matrix"),
+            Variable("a", state.a, frame="global", var_class="matrix"),
+            Variable("b", state.b, frame="global", var_class="matrix"),
+            Variable("c", state.c, frame="global", var_class="matrix"),
+            Variable("dims", state.dims, frame="global", var_class="control"),
+            Variable("init_cursor", state.init_cursor, frame="main", var_class="control"),
+        ]
+        if step >= init_steps:
+            # The kernel frame (per-thread loop controls and the tile
+            # accumulator) only exists once compute threads are running.
+            variables.extend(
+                [
+                    Variable("thread_ctl", state.thread_ctl, frame="kernel", var_class="control"),
+                    Variable("acc", state.acc, frame="kernel", var_class="matrix"),
+                    Variable("operand_ptrs", state.ptrs.addresses, frame="kernel", var_class="pointer"),
+                ]
+            )
+        return variables

@@ -1,0 +1,183 @@
+"""HotSpot — iterative thermal simulation of a chip floorplan.
+
+The Rodinia HotSpot kernel: given a power map, iterate the temperature
+grid with a five-point stencil coupling to the ambient through the
+package resistance.  Memory-bound, low arithmetic intensity, heavy on
+control-flow — the paper's highest-DUE benchmark under beam.
+
+Reproduction-relevant structure:
+
+* the stencil plus ambient coupling *attenuates* perturbations, so
+  injected errors reach the output strongly damped — this is what makes
+  HotSpot's SDC FIT collapse under a small relative-error tolerance
+  (Figure 3) and gives the Single model the lowest SDC PVF (Figure 5a);
+* physical constants (capacitance, thermal resistances, time step) live
+  in a shared constant block; corrupting them scales the whole update;
+* grid bounds are read from control memory each iteration, so a
+  corrupted dimension walks off the grid (DUE) or shrinks the computed
+  region (line/square SDC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark, PointerTable, Variable
+
+__all__ = ["HotSpot", "HotSpotState"]
+
+# Physical parameters from the Rodinia hotspot data set (scaled chip).
+_T_AMBIENT = 80.0
+_T_CHIP = 0.0005  # m
+_CHIP_HEIGHT = 0.016  # m
+_CHIP_WIDTH = 0.016  # m
+_K_SI = 100.0  # W/(m K)
+_CAP_FACTOR = 0.5
+_MAX_PD = 3.0e6  # W/m^2
+_PRECISION = 0.001
+
+
+@dataclass
+class HotSpotState:
+    """Live state of one HotSpot execution."""
+
+    temp_init: np.ndarray  # (rows, cols) float32 — file image of temp_64
+    power_init: np.ndarray  # (rows, cols) float32 — file image of power_64
+    temp: np.ndarray  # (rows, cols) float32 — current temperature
+    power: np.ndarray  # (rows, cols) float32 — dissipated power
+    temp_next: np.ndarray  # (rows, cols) float32 — scratch buffer
+    consts: np.ndarray  # float64 [cap, rx, ry, rz, dt, amb]
+    grid_ctl: np.ndarray  # int64 [rows, cols, iter_cursor]
+    ptrs: PointerTable  # pointers to the grids
+
+
+class HotSpot(Benchmark):
+    """Iterative five-point thermal stencil (single precision)."""
+
+    name = "hotspot"
+    output_dims = 2
+    num_windows = 5
+    float_output = True
+    output_decimals = 4
+    # Control-flow heavy stencil driver: constants + per-thread row
+    # bounds + grid pointers dominate the paper's harmful faults.
+    stack_share = 0.30
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {"rows": 64, "cols": 64, "iterations": 120}
+
+    @classmethod
+    def paper_scale_params(cls) -> dict[str, Any]:
+        # The Rodinia 1024x1024 floorplan class.
+        return {"rows": 1024, "cols": 1024, "iterations": 1000}
+
+    def __init__(self, **params: Any):
+        super().__init__(**params)
+        if self.params["rows"] < 3 or self.params["cols"] < 3:
+            raise ValueError("grid must be at least 3x3")
+        if self.params["iterations"] < 1:
+            raise ValueError("iterations must be positive")
+
+    def make_state(self, rng: np.random.Generator) -> HotSpotState:
+        rows, cols = self.params["rows"], self.params["cols"]
+        # Block-structured power map: a few hot functional units on a
+        # cool substrate, like the Rodinia floorplans.
+        power = np.zeros((rows, cols), dtype=np.float32)
+        for _ in range(6):
+            r0 = int(rng.integers(0, rows - rows // 4))
+            c0 = int(rng.integers(0, cols - cols // 4))
+            density = float(rng.uniform(0.2, 1.0))
+            power[r0 : r0 + rows // 4, c0 : c0 + cols // 4] += density
+        power *= _MAX_PD / max(float(power.max()), 1e-9)
+        temp = np.full((rows, cols), _T_AMBIENT, dtype=np.float32)
+        temp += rng.uniform(0.0, 1.0, size=(rows, cols)).astype(np.float32)
+
+        grid_height = _CHIP_HEIGHT / rows
+        grid_width = _CHIP_WIDTH / cols
+        cap = _CAP_FACTOR * 1.75e6 * _T_CHIP * grid_width * grid_height
+        rx = grid_width / (2.0 * _K_SI * _T_CHIP * grid_height)
+        ry = grid_height / (2.0 * _K_SI * _T_CHIP * grid_width)
+        rz = _T_CHIP / (_K_SI * grid_height * grid_width)
+        # Time step at 40% of the explicit-scheme stability limit: the
+        # solver advances in far fewer, larger steps than Rodinia's
+        # PRECISION-derived dt, which is what gives the grid its strong
+        # perturbation damping (the paper's "errors ... are also
+        # significantly attenuated").
+        dt = 0.4 * cap / (2.0 / rx + 2.0 / ry + 1.0 / rz)
+        consts = np.array([cap, rx, ry, rz, dt, _T_AMBIENT], dtype=np.float64)
+        # Power is in W/m^2 in the floorplan; convert to W per cell once.
+        power *= np.float32(grid_width * grid_height)
+        return HotSpotState(
+            temp_init=temp,
+            power_init=power,
+            temp=np.zeros_like(temp),
+            power=np.zeros_like(power),
+            temp_next=np.zeros_like(temp),
+            consts=consts,
+            grid_ctl=np.array([rows, cols, 0], dtype=np.int64),
+            ptrs=PointerTable({"temp": temp, "power": power}),
+        )
+
+    def num_steps(self, state: HotSpotState) -> int:
+        return self.params["iterations"]
+
+    def step(self, state: HotSpotState, index: int) -> None:
+        if index == 0:
+            # Load the predefined data set (HotSpot is the one benchmark
+            # with file inputs): the file images stay allocated for the
+            # rest of the run, as in the real process, so later faults
+            # landing in them are harmless.
+            state.temp[...] = state.temp_init
+            state.power[...] = state.power_init
+        rows, cols = int(state.grid_ctl[0]), int(state.grid_ctl[1])
+        if not (3 <= rows <= state.temp.shape[0] and 3 <= cols <= state.temp.shape[1]):
+            raise IndexError(f"corrupted grid dimensions ({rows}, {cols})")
+        cap, rx, ry, rz, dt, amb = (np.float64(v) for v in state.consts)
+
+        t = state.ptrs.resolve("temp", state.temp)[:rows, :cols]
+        p = state.ptrs.resolve("power", state.power)[:rows, :cols]
+        out = state.temp_next[:rows, :cols]
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            # Interior five-point stencil.
+            out[...] = t
+            inner = (
+                p[1:-1, 1:-1]
+                + (t[2:, 1:-1] + t[:-2, 1:-1] - 2.0 * t[1:-1, 1:-1]) / ry
+                + (t[1:-1, 2:] + t[1:-1, :-2] - 2.0 * t[1:-1, 1:-1]) / rx
+                + (amb - t[1:-1, 1:-1]) / rz
+            )
+            out[1:-1, 1:-1] = t[1:-1, 1:-1] + (dt / cap) * inner
+            # Edges: one-sided conduction (Rodinia's boundary handling).
+            for sl_out, sl_in in (
+                ((0, slice(1, -1)), (1, slice(1, -1))),
+                ((-1, slice(1, -1)), (-2, slice(1, -1))),
+                ((slice(1, -1), 0), (slice(1, -1), 1)),
+                ((slice(1, -1), -1), (slice(1, -1), -2)),
+            ):
+                out[sl_out] = t[sl_out] + (dt / cap) * (
+                    p[sl_out]
+                    + (t[sl_in] - t[sl_out]) / (rx + ry)
+                    + (amb - t[sl_out]) / rz
+                )
+        state.temp[:rows, :cols] = out
+        state.grid_ctl[2] = index + 1
+
+    def output(self, state: HotSpotState) -> np.ndarray:
+        with np.errstate(invalid="ignore", over="ignore"):
+            return state.temp.astype(np.float64)
+
+    def variables(self, state: HotSpotState, step: int) -> list[Variable]:
+        return [
+            Variable("temp_init", state.temp_init, frame="main", var_class="grid"),
+            Variable("power_init", state.power_init, frame="main", var_class="grid"),
+            Variable("temp", state.temp, frame="global", var_class="grid"),
+            Variable("power", state.power, frame="global", var_class="grid"),
+            Variable("temp_next", state.temp_next, frame="kernel", var_class="grid"),
+            Variable("consts", state.consts, frame="main", var_class="constant"),
+            Variable("grid_ctl", state.grid_ctl, frame="main", var_class="control"),
+            Variable("grid_ptrs", state.ptrs.addresses, frame="kernel", var_class="pointer"),
+        ]

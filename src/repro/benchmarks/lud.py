@@ -1,0 +1,140 @@
+"""LUD — blocked in-place LU decomposition (Rodinia).
+
+A right-looking blocked LU factorisation without pivoting: at block
+step k the diagonal block is factorised, the row and column panels are
+triangular-solved, and the trailing submatrix receives a rank-``bs``
+update.  Dense linear algebra like DGEMM but with far more row/column
+interdependencies and an in-place working set, which is what gives LUD
+its mid-execution criticality peak in the paper (Figure 6).
+
+Reproduction-relevant structure:
+
+* the matrix is both input and output, so an early fault propagates
+  into *everything* the trailing updates touch (square patterns, large
+  relative errors), while a late fault stays local;
+* block cursors and panel bounds live in control memory; corrupting
+  them mis-factorises a wrong window (SDC) or indexes out of bounds
+  (DUE);
+* no pivoting means a corrupted zero pivot divides to inf/NaN — an SDC
+  with huge magnitude, exactly the paper's "errors tend to compound"
+  observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark, PointerTable, Variable, bounded_range
+
+__all__ = ["Lud", "LudState"]
+
+
+@dataclass
+class LudState:
+    """Live state of one LUD execution."""
+
+    matrix: np.ndarray  # (n, n) float32 — factorised in place
+    input_copy: np.ndarray  # (n, n) float32 — kept for -v verification
+    panel: np.ndarray  # (bs, n) float32 — row-panel scratch
+    block_ctl: np.ndarray  # (nblocks, 3) int64 — [b0, b1, n] per block step
+    ptrs: PointerTable  # pointer to the working matrix
+
+
+class Lud(Benchmark):
+    """Blocked in-place LU decomposition (single precision)."""
+
+    name = "lud"
+    output_dims = 2
+    num_windows = 4
+    float_output = True
+    output_decimals = 4
+    stack_share = 0.35
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {"n": 48, "block": 4}
+
+    @classmethod
+    def paper_scale_params(cls) -> dict[str, Any]:
+        return {"n": 2048, "block": 16}
+
+    def __init__(self, **params: Any):
+        super().__init__(**params)
+        n, bs = self.params["n"], self.params["block"]
+        if bs < 1:
+            raise ValueError("block must be positive")
+        if n % bs != 0:
+            raise ValueError("n must be divisible by block")
+
+    def make_state(self, rng: np.random.Generator) -> LudState:
+        n, bs = self.params["n"], self.params["block"]
+        # Diagonally dominant input so the pivot-free factorisation is
+        # well conditioned (Rodinia generates inputs the same way).
+        matrix = rng.standard_normal((n, n)).astype(np.float32)
+        matrix += n * np.eye(n, dtype=np.float32)
+        nblocks = n // bs
+        ctl = np.zeros((nblocks, 3), dtype=np.int64)
+        for k in range(nblocks):
+            ctl[k] = (k * bs, (k + 1) * bs, n)
+        return LudState(
+            matrix=matrix,
+            input_copy=matrix.copy(),
+            panel=np.zeros((bs, n), dtype=np.float32),
+            block_ctl=ctl,
+            ptrs=PointerTable({"matrix": matrix}),
+        )
+
+    def num_steps(self, state: LudState) -> int:
+        return state.block_ctl.shape[0]
+
+    def step(self, state: LudState, index: int) -> None:
+        nblocks = state.block_ctl.shape[0]
+        if not 0 <= index < nblocks:
+            raise IndexError(f"block step {index} out of range")
+        b0, b1, n = (int(v) for v in state.block_ctl[index])
+        # A shifted (corrupted but in-allocation) pointer reads garbage
+        # and factorises a detached copy: the real matrix goes stale.
+        a = state.ptrs.resolve("matrix", state.matrix)
+        if not (0 <= b0 < b1 <= n <= a.shape[0]):
+            raise IndexError(f"corrupted block bounds ({b0}, {b1}, {n})")
+        bs = b1 - b0
+        if bs > state.panel.shape[0]:
+            raise IndexError(f"block height {bs} overflows panel scratch")
+
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            # 1. Unblocked LU of the diagonal block.
+            for j in bounded_range(b0, b1):
+                pivot = a[j, j]
+                a[j + 1 : b1, j] /= pivot
+                a[j + 1 : b1, j + 1 : b1] -= np.outer(a[j + 1 : b1, j], a[j, j + 1 : b1])
+            if b1 < n:
+                # 2. Row panel: U_kj = L_kk^-1 A_kj (forward substitution).
+                panel = state.panel[:bs, : n - b1]
+                panel[...] = a[b0:b1, b1:n]
+                for i in bounded_range(1, bs):
+                    panel[i] -= a[b0 + i, b0 : b0 + i] @ panel[:i]
+                a[b0:b1, b1:n] = panel
+                # 3. Column panel: L_ik = A_ik U_kk^-1 (back substitution).
+                col = a[b1:n, b0:b1]
+                for j in bounded_range(0, bs):
+                    col[:, j] = (
+                        col[:, j] - col[:, :j] @ a[b0 : b0 + j, b0 + j]
+                    ) / a[b0 + j, b0 + j]
+                # 4. Trailing update.
+                a[b1:n, b1:n] -= col @ a[b0:b1, b1:n]
+
+    def output(self, state: LudState) -> np.ndarray:
+        with np.errstate(invalid="ignore", over="ignore"):
+            return state.matrix.astype(np.float64)
+
+    def variables(self, state: LudState, step: int) -> list[Variable]:
+        return [
+            Variable("matrix", state.matrix, frame="global", var_class="matrix"),
+            Variable("input_copy", state.input_copy, frame="main", var_class="matrix"),
+            Variable("panel", state.panel, frame="kernel", var_class="matrix"),
+            Variable("block_ctl", state.block_ctl, frame="kernel", var_class="control"),
+            Variable("matrix_ptr", state.ptrs.addresses, frame="kernel", var_class="pointer"),
+        ]

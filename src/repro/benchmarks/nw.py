@@ -1,0 +1,135 @@
+"""NW — Needleman-Wunsch global sequence alignment (Rodinia).
+
+Dynamic programming over an integer score matrix: each cell is the
+maximum of the diagonal neighbour plus a substitution score and the
+left/top neighbours minus a gap penalty.  The only integer benchmark in
+the suite, which drives its distinctive fault-model profile (Figure 5):
+zeros are everywhere in the yet-unfilled matrix and among the small DP
+values, so the Zero model is almost entirely masked, while Random and
+Double produce values so far from the expected range that they tend to
+crash downstream rather than silently corrupt.
+
+Rows are filled in blocks; the row recurrence ``F[i,j] = max(D[j],
+F[i,j-1] - p)`` is evaluated with a running-maximum transform so each
+row is one vectorised scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark, PointerTable, Variable, bounded_range, checked_index
+
+__all__ = ["NeedlemanWunsch", "NwState"]
+
+_ALPHABET = 20  # amino-acid alphabet, BLOSUM-style substitution table
+
+
+@dataclass
+class NwState:
+    """Live state of one NW execution."""
+
+    seq1: np.ndarray  # (n,) int32 — query sequence (row labels)
+    seq2: np.ndarray  # (n,) int32 — database sequence (column labels)
+    blosum: np.ndarray  # (ALPHABET, ALPHABET) int32 — substitution scores
+    score: np.ndarray  # (n + 1, n + 1) int32 — DP matrix (input & output)
+    dp_ctl: np.ndarray  # int64 [n, penalty, row_cursor]
+    ptrs: PointerTable  # pointers to the DP inputs
+
+
+class NeedlemanWunsch(Benchmark):
+    """Integer dynamic-programming sequence alignment."""
+
+    name = "nw"
+    output_dims = 2
+    num_windows = 4
+    float_output = False
+    output_decimals = None  # integer output compares exactly
+    stack_share = 0.25
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {"n": 64, "rows_per_step": 4, "penalty": 10}
+
+    @classmethod
+    def paper_scale_params(cls) -> dict[str, Any]:
+        return {"n": 2048, "rows_per_step": 64, "penalty": 10}
+
+    def __init__(self, **params: Any):
+        super().__init__(**params)
+        n, rps = self.params["n"], self.params["rows_per_step"]
+        if n % rps != 0:
+            raise ValueError("n must be divisible by rows_per_step")
+        if self.params["penalty"] <= 0:
+            raise ValueError("penalty must be positive")
+
+    def make_state(self, rng: np.random.Generator) -> NwState:
+        n = self.params["n"]
+        penalty = self.params["penalty"]
+        seq1 = rng.integers(0, _ALPHABET, size=n, dtype=np.int32)
+        seq2 = rng.integers(0, _ALPHABET, size=n, dtype=np.int32)
+        # Symmetric BLOSUM-like table: mostly small negatives, positive
+        # diagonal; many zero entries (relevant for the Zero model).
+        raw = rng.integers(-4, 5, size=(_ALPHABET, _ALPHABET), dtype=np.int32)
+        blosum = ((raw + raw.T) // 2).astype(np.int32)
+        np.fill_diagonal(blosum, rng.integers(4, 10, size=_ALPHABET, dtype=np.int32))
+        score = np.zeros((n + 1, n + 1), dtype=np.int32)
+        score[0, :] = -penalty * np.arange(n + 1, dtype=np.int32)
+        score[:, 0] = -penalty * np.arange(n + 1, dtype=np.int32)
+        return NwState(
+            seq1=seq1,
+            seq2=seq2,
+            blosum=blosum,
+            score=score,
+            dp_ctl=np.array([n, penalty, 1], dtype=np.int64),
+            ptrs=PointerTable({"blosum": blosum, "score": score}),
+        )
+
+    def num_steps(self, state: NwState) -> int:
+        return self.params["n"] // self.params["rows_per_step"]
+
+    def step(self, state: NwState, index: int) -> None:
+        n, penalty, cursor = (int(v) for v in state.dp_ctl)
+        if not 0 < n <= state.score.shape[0] - 1:
+            raise IndexError(f"corrupted problem size {n}")
+        if penalty <= 0 or penalty > 2**16:
+            raise IndexError(f"corrupted gap penalty {penalty}")
+        rps = self.params["rows_per_step"]
+        row_lo = index * rps + 1
+        # Real code resumes from its cursor; a corrupted cursor recomputes
+        # or skips rows (skipped rows keep their zero initialisation).
+        row_lo = max(row_lo, min(cursor, n + 1))
+        row_hi = min((index + 1) * rps + 1, n + 1)
+        blosum = state.ptrs.resolve("blosum", state.blosum)
+        score = state.ptrs.resolve("score", state.score)
+        cols = np.arange(1, n + 1)
+        jp = penalty * cols.astype(np.int64)
+        for i in bounded_range(row_lo, row_hi):
+            a = checked_index(int(state.seq1[i - 1]), _ALPHABET, "residue")
+            sub = blosum[a].take(state.seq2[:n], mode="raise")
+            diag = score[i - 1, :n].astype(np.int64) + sub
+            up = score[i - 1, 1 : n + 1].astype(np.int64) - penalty
+            d = np.maximum(diag, up)
+            # F[i, j] = max_{k <= j} (D[k] - (j - k) * penalty), computed
+            # as a running maximum of G[k] = D[k] + k * penalty.
+            g = d + jp
+            left0 = int(score[i, 0])  # boundary candidate G[0] = F[i,0] + 0*p
+            running = np.maximum.accumulate(np.maximum(g, np.int64(left0)))
+            score[i, 1 : n + 1] = (running - jp).astype(np.int32)
+        state.dp_ctl[2] = row_hi
+
+    def output(self, state: NwState) -> np.ndarray:
+        return state.score.copy()
+
+    def variables(self, state: NwState, step: int) -> list[Variable]:
+        return [
+            Variable("seq1", state.seq1, frame="main", var_class="input"),
+            Variable("seq2", state.seq2, frame="main", var_class="input"),
+            Variable("blosum", state.blosum, frame="main", var_class="reference"),
+            Variable("score", state.score, frame="global", var_class="matrix"),
+            Variable("dp_ctl", state.dp_ctl, frame="kernel", var_class="control"),
+            Variable("dp_ptrs", state.ptrs.addresses, frame="kernel", var_class="pointer"),
+        ]

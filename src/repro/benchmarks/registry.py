@@ -1,0 +1,64 @@
+"""Benchmark registry.
+
+Maps the paper's benchmark names to their implementations and records
+which subsets each experiment uses: the beam campaign covers five
+benchmarks (NW "was only tested with our fault injection"), the
+injection campaign covers all six, and Figure 6's time-window analysis
+omits LavaMD.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.benchmarks.base import Benchmark
+from repro.benchmarks.clamr import Clamr
+from repro.benchmarks.dgemm import Dgemm
+from repro.benchmarks.hotspot import HotSpot
+from repro.benchmarks.lavamd import LavaMD
+from repro.benchmarks.lud import Lud
+from repro.benchmarks.nw import NeedlemanWunsch
+
+__all__ = [
+    "BEAM_BENCHMARKS",
+    "BENCHMARKS",
+    "INJECTION_BENCHMARKS",
+    "TIME_WINDOW_BENCHMARKS",
+    "create",
+    "names",
+]
+
+BENCHMARKS: dict[str, type[Benchmark]] = {
+    cls.name: cls
+    for cls in (Clamr, Dgemm, HotSpot, LavaMD, Lud, NeedlemanWunsch)
+}
+
+#: Benchmarks irradiated at LANSCE (Figure 2 / Figure 3).
+BEAM_BENCHMARKS: tuple[str, ...] = ("clamr", "dgemm", "hotspot", "lavamd", "lud")
+
+#: Benchmarks in the CAROL-FI campaign (Figures 4-6).
+INJECTION_BENCHMARKS: tuple[str, ...] = (
+    "clamr",
+    "dgemm",
+    "hotspot",
+    "lavamd",
+    "lud",
+    "nw",
+)
+
+#: Benchmarks shown in the time-window PVF plots (Figure 6).
+TIME_WINDOW_BENCHMARKS: tuple[str, ...] = ("clamr", "dgemm", "hotspot", "lud", "nw")
+
+
+def names() -> tuple[str, ...]:
+    """All registered benchmark names, sorted."""
+    return tuple(sorted(BENCHMARKS))
+
+
+def create(name: str, **params: Any) -> Benchmark:
+    """Instantiate a benchmark by its paper name."""
+    try:
+        cls = BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}") from None
+    return cls(**params)

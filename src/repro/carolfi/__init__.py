@@ -1,0 +1,32 @@
+"""CAROL-FI — the paper's high-level, GDB-based fault injector (Section 5).
+
+The reproduction mirrors CAROL-FI's two-script architecture:
+
+* the **Supervisor** (:mod:`repro.carolfi.supervisor`) launches the
+  benchmark, delivers the interrupt at a random execution point, runs a
+  watchdog, checks the output against the golden copy, and logs the
+  test data;
+* the **Flip-script** (:mod:`repro.carolfi.flipscript`) walks the live
+  frames at the interrupt point, selects a variable and element, and
+  applies one of the four fault models to its backing store.
+
+:mod:`repro.carolfi.campaign` drives whole campaigns (the paper injects
+>=10,000 faults per benchmark) and :mod:`repro.carolfi.logparse`
+re-reads persisted JSONL logs, mirroring the paper's parser scripts.
+"""
+
+from repro.carolfi.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.carolfi.configfile import load_config, run_from_config
+from repro.carolfi.flipscript import FlipScript, SitePolicy
+from repro.carolfi.supervisor import Supervisor
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "FlipScript",
+    "load_config",
+    "run_from_config",
+    "SitePolicy",
+    "Supervisor",
+    "run_campaign",
+]

@@ -1,0 +1,110 @@
+"""Campaign driver: thousands of injections per benchmark.
+
+The paper injects at least 10,000 faults per benchmark, spread
+uniformly over the four fault models and the whole execution time.
+:func:`run_campaign` reproduces that sampling plan deterministically
+under a single seed, optionally persisting every record to JSONL (the
+public-log analogue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.benchmarks.registry import create
+from repro.carolfi.flipscript import SitePolicy
+from repro.carolfi.supervisor import Supervisor
+from repro.faults.models import FaultModel
+from repro.faults.outcome import InjectionRecord, Outcome
+from repro.util.jsonlog import JsonlLog
+
+__all__ = ["CampaignConfig", "CampaignResult", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One benchmark's injection campaign plan."""
+
+    benchmark: str
+    injections: int = 1000
+    seed: int = 2017
+    fault_models: tuple[FaultModel, ...] = FaultModel.all()
+    policy: SitePolicy = SitePolicy.WEIGHTED
+    watchdog_factor: float = 10.0
+    benchmark_params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.injections < 1:
+            raise ValueError("injections must be positive")
+        if not self.fault_models:
+            raise ValueError("at least one fault model is required")
+
+
+@dataclass
+class CampaignResult:
+    """All records of one campaign plus cheap aggregations."""
+
+    config: CampaignConfig
+    records: list[InjectionRecord]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def count(self, outcome: Outcome) -> int:
+        return sum(1 for r in self.records if r.outcome is outcome)
+
+    def outcome_fractions(self) -> dict[str, float]:
+        """Masked/SDC/DUE shares of all injections (Figure 4's bars)."""
+        total = len(self.records)
+        if total == 0:
+            raise ValueError("empty campaign")
+        return {o.value: self.count(o) / total for o in Outcome.all()}
+
+    def by_fault_model(self) -> dict[str, list[InjectionRecord]]:
+        out: dict[str, list[InjectionRecord]] = {}
+        for record in self.records:
+            out.setdefault(record.fault_model, []).append(record)
+        return out
+
+    def by_time_window(self) -> dict[int, list[InjectionRecord]]:
+        out: dict[int, list[InjectionRecord]] = {}
+        for record in self.records:
+            out.setdefault(record.time_window, []).append(record)
+        return out
+
+    def by_var_class(self) -> dict[str, list[InjectionRecord]]:
+        out: dict[str, list[InjectionRecord]] = {}
+        for record in self.records:
+            out.setdefault(record.site.var_class, []).append(record)
+        return out
+
+
+def run_campaign(
+    config: CampaignConfig,
+    log_path: str | Path | None = None,
+) -> CampaignResult:
+    """Run a full injection campaign.
+
+    Fault models rotate round-robin so every model receives an equal
+    share; interrupt times are drawn uniformly per run by the
+    Supervisor.  Deterministic for a given config.
+    """
+    benchmark = create(config.benchmark, **config.benchmark_params)
+    supervisor = Supervisor(
+        benchmark,
+        seed=config.seed,
+        policy=config.policy,
+        watchdog_factor=config.watchdog_factor,
+    )
+    log = JsonlLog(log_path) if log_path is not None else None
+    records: list[InjectionRecord] = []
+    models = config.fault_models
+    for run_index in range(config.injections):
+        model = models[run_index % len(models)]
+        record = supervisor.run_one(run_index, model)
+        records.append(record)
+        if log is not None:
+            log.append(record.to_dict())
+    return CampaignResult(config=config, records=records)

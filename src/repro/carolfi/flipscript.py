@@ -1,0 +1,117 @@
+"""The Flip-script: frame walk, variable selection, and the flip.
+
+When GDB stops the program, CAROL-FI's Flip-script "first selects one
+of the available threads and frames ... then one of the variables of
+the selected frame will have its bits flipped".  Here the benchmark's
+:meth:`~repro.benchmarks.base.Benchmark.variables` listing plays the
+role of the frame table, and two selection policies are provided:
+
+* ``FOOTPRINT`` (default) — the victim *element* is uniform over all
+  allocated bytes, so large arrays absorb proportionally more faults.
+  This matches how the paper reasons about where faults land (e.g.
+  LavaMD's charge/distance arrays being "up to five orders of magnitude
+  larger" and therefore the most frequent victims).
+* ``FRAME_UNIFORM`` — pick a frame uniformly, then a variable uniformly
+  within it, then an element uniformly within the variable; this is the
+  literal frame walk and over-samples small control variables.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark, Variable
+from repro.faults.models import FaultModel, apply_fault_model
+from repro.faults.site import FaultSite
+
+__all__ = ["FlipScript", "SitePolicy"]
+
+
+#: Variable classes held in (replicated, per-thread) stack memory as
+#: opposed to the big heap allocations.
+STACK_CLASSES = frozenset({"control", "constant", "pointer"})
+
+
+class SitePolicy(str, enum.Enum):
+    """How the Flip-script picks its victim element."""
+
+    WEIGHTED = "weighted"
+    FOOTPRINT = "footprint"
+    FRAME_UNIFORM = "frame_uniform"
+
+
+class FlipScript:
+    """Selects and corrupts one element of the live benchmark state."""
+
+    def __init__(self, policy: SitePolicy = SitePolicy.WEIGHTED):
+        self.policy = SitePolicy(policy)
+
+    def select(
+        self,
+        variables: list[Variable],
+        rng: np.random.Generator,
+        stack_share: float = 0.25,
+    ) -> tuple[Variable, int]:
+        """Pick a victim variable and flat element index.
+
+        ``WEIGHTED`` (default) splits the injectable image into the heap
+        side (big data arrays, element uniform over bytes) and the stack
+        side (control/constant/pointer variables, uniform over
+        variables), giving the stack side ``stack_share`` of all picks.
+        The share models the paper's per-thread replication argument:
+        228 hardware threads each hold private copies of the loop
+        controls and pointers, inflating that memory class well beyond
+        its single-thread footprint.
+        """
+        candidates = [v for v in variables if v.size > 0]
+        if not candidates:
+            raise ValueError("no injectable variables are live")
+        if self.policy is SitePolicy.FOOTPRINT:
+            var = self._by_footprint(candidates, rng)
+        elif self.policy is SitePolicy.FRAME_UNIFORM:
+            frames = sorted({v.frame for v in candidates})
+            frame = frames[int(rng.integers(0, len(frames)))]
+            in_frame = [v for v in candidates if v.frame == frame]
+            var = in_frame[int(rng.integers(0, len(in_frame)))]
+        else:
+            if not 0.0 <= stack_share <= 1.0:
+                raise ValueError("stack_share must be in [0, 1]")
+            stack = [v for v in candidates if v.var_class in STACK_CLASSES]
+            heap = [v for v in candidates if v.var_class not in STACK_CLASSES]
+            if stack and (not heap or rng.random() < stack_share):
+                var = stack[int(rng.integers(0, len(stack)))]
+            else:
+                var = self._by_footprint(heap, rng)
+        element = int(rng.integers(0, var.size))
+        return var, element
+
+    @staticmethod
+    def _by_footprint(candidates: list[Variable], rng: np.random.Generator) -> Variable:
+        weights = np.array([v.nbytes for v in candidates], dtype=np.float64)
+        return candidates[int(rng.choice(len(candidates), p=weights / weights.sum()))]
+
+    def inject(
+        self,
+        benchmark: Benchmark,
+        state: object,
+        step: int,
+        model: FaultModel,
+        rng: np.random.Generator,
+    ) -> tuple[FaultSite, tuple[int, ...] | None]:
+        """Corrupt one live element under ``model``; returns the site."""
+        var, element = self.select(
+            benchmark.variables(state, step), rng, stack_share=benchmark.stack_share
+        )
+        detail = apply_fault_model(var.array, element, model, rng)
+        bits = tuple(detail["bits"]) if detail["bits"] is not None else None
+        site = FaultSite(
+            frame=var.frame,
+            variable=var.name,
+            flat_index=element,
+            dtype=str(var.array.dtype),
+            var_class=var.var_class,
+            shape=tuple(var.array.shape),
+        )
+        return site, bits

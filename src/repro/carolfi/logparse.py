@@ -1,0 +1,30 @@
+"""Parser scripts for persisted campaign logs.
+
+The paper ships parser scripts that turn the raw public logs into the
+figures; this module re-reads the JSONL campaign logs written by
+:func:`repro.carolfi.campaign.run_campaign` (and by the beam driver)
+back into typed records, so all downstream analysis can run from logs
+alone.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.faults.outcome import InjectionRecord
+from repro.util.jsonlog import load_records
+
+__all__ = ["load_injection_log", "merge_logs"]
+
+
+def load_injection_log(path: str | Path) -> list[InjectionRecord]:
+    """Read one campaign's JSONL log back into records."""
+    return [InjectionRecord.from_dict(raw) for raw in load_records(path)]
+
+
+def merge_logs(*paths: str | Path) -> list[InjectionRecord]:
+    """Concatenate several campaign logs (e.g. per-model shards)."""
+    records: list[InjectionRecord] = []
+    for path in paths:
+        records.extend(load_injection_log(path))
+    return records

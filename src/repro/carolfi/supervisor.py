@@ -1,0 +1,157 @@
+"""The Supervisor: launch, interrupt, watchdog, check, log.
+
+One :meth:`Supervisor.run_one` is one CAROL-FI test: start the
+benchmark, deliver the interrupt at a random step, let the Flip-script
+corrupt a live variable, resume at full speed, and classify the result
+against the golden output.  DUEs are *observed*, never simulated:
+unhandled exceptions out of the resumed execution are crashes, loop
+guards and the wall-clock watchdog are hangs.
+
+The campaign generates its input data set once (the paper: datasets
+"will be generated once and used during the whole fault injection
+campaign"), so the golden output is computed a single time and every
+run replays identical inputs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.spatial import classify_mask, max_relative_error, wrong_mask
+from repro.benchmarks.base import Benchmark, BenchmarkHang
+from repro.carolfi.flipscript import FlipScript, SitePolicy
+from repro.faults.models import FaultModel
+from repro.faults.outcome import DueKind, InjectionRecord, Outcome
+from repro.faults.site import FaultSite
+from repro.util.rng import derive_rng
+
+__all__ = ["Supervisor"]
+
+#: Exceptions out of a resumed, corrupted execution that correspond to a
+#: crashed process (the segfault/abort analogues of our Python substrate).
+_CRASH_EXCEPTIONS = (
+    IndexError,
+    ValueError,
+    KeyError,
+    OverflowError,
+    ZeroDivisionError,
+    FloatingPointError,
+    RuntimeError,
+)
+
+
+class Supervisor:
+    """Runs individual fault-injection tests for one benchmark."""
+
+    def __init__(
+        self,
+        benchmark: Benchmark,
+        seed: int,
+        policy: SitePolicy = SitePolicy.WEIGHTED,
+        watchdog_factor: float = 10.0,
+    ):
+        self.benchmark = benchmark
+        self.seed = int(seed)
+        self.flip = FlipScript(policy)
+        self.watchdog_factor = float(watchdog_factor)
+        self._input_path = ("carolfi", benchmark.name, "input")
+        # Generate the campaign dataset once and compute the golden copy.
+        state = self._fresh_state()
+        self.total_steps = benchmark.num_steps(state)
+        start = time.perf_counter()
+        self.golden = self._quantize(benchmark.run(state))
+        self.golden_runtime = max(time.perf_counter() - start, 1e-4)
+
+    def _quantize(self, output: np.ndarray) -> np.ndarray:
+        """Round to the precision the benchmark's output file carries.
+
+        The paper's campaigns diff *printed* output files, so an error
+        below the printf precision never counts as a mismatch.
+        """
+        decimals = self.benchmark.output_decimals
+        if decimals is None:
+            return output
+        with np.errstate(invalid="ignore", over="ignore"):
+            return np.round(output, decimals)
+
+    def _fresh_state(self) -> Any:
+        """Replay the campaign's fixed input data set."""
+        return self.benchmark.make_state(derive_rng(self.seed, *self._input_path))
+
+    # -- one test -------------------------------------------------------------
+
+    def run_one(
+        self,
+        run_index: int,
+        model: FaultModel,
+        interrupt_step: int | None = None,
+    ) -> InjectionRecord:
+        """Execute one injection test and classify its outcome."""
+        bench = self.benchmark
+        rng = derive_rng(self.seed, "carolfi", bench.name, "run", str(run_index))
+        total = self.total_steps
+        if interrupt_step is None:
+            interrupt_step = int(rng.integers(0, total))
+        if not 0 <= interrupt_step < total:
+            raise ValueError(f"interrupt step {interrupt_step} out of range")
+
+        state = self._fresh_state()
+        deadline = time.perf_counter() + self.watchdog_factor * self.golden_runtime + 1.0
+        site: FaultSite | None = None
+        bits: tuple[int, ...] | None = None
+        outcome = Outcome.MASKED
+        due_kind: DueKind | None = None
+        due_detail = ""
+        sdc_metrics: dict[str, Any] = {}
+
+        try:
+            for index in range(total):
+                if index == interrupt_step:
+                    site, bits = self.flip.inject(bench, state, index, model, rng)
+                bench.step(state, index)
+                if time.perf_counter() > deadline:
+                    raise BenchmarkHang("supervisor watchdog expired")
+            observed = self._quantize(bench.output(state))
+        except BenchmarkHang as exc:
+            outcome = Outcome.DUE
+            due_kind = DueKind.TIMEOUT
+            due_detail = str(exc)
+        except _CRASH_EXCEPTIONS as exc:
+            outcome = Outcome.DUE
+            due_kind = DueKind.CRASH
+            due_detail = f"{type(exc).__name__}: {exc}"
+        else:
+            mask = wrong_mask(self.golden, observed)
+            if mask.any():
+                outcome = Outcome.SDC
+                pattern = classify_mask(mask, bench.output_dims)
+                sdc_metrics = {
+                    "wrong_elements": int(mask.sum()),
+                    "wrong_fraction": float(mask.mean()),
+                    "max_rel_err": max_relative_error(self.golden, observed),
+                    "pattern": pattern.value,
+                }
+
+        if site is None:
+            # The flip itself crashed before the site was recorded (it
+            # cannot: selection precedes corruption) — defensive default.
+            site = FaultSite("unknown", "unknown", 0, "unknown")
+
+        return InjectionRecord(
+            benchmark=bench.name,
+            run_index=run_index,
+            site=site,
+            fault_model=FaultModel(model).value,
+            bits=bits,
+            interrupt_step=interrupt_step,
+            total_steps=total,
+            time_window=bench.window_of_step(interrupt_step, total),
+            num_windows=bench.num_windows,
+            outcome=outcome,
+            due_kind=due_kind,
+            due_detail=due_detail,
+            sdc_metrics=sdc_metrics,
+        )

@@ -1,0 +1,28 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each module reproduces one artifact of the evaluation:
+
+========================== ==================================================
+module                      paper artifact
+========================== ==================================================
+:mod:`~repro.experiments.figure2`       Figure 2 — FIT rates + spatial partition (beam)
+:mod:`~repro.experiments.figure3`       Figure 3 — FIT reduction vs error tolerance
+:mod:`~repro.experiments.figure4`       Figure 4 — injection outcome shares
+:mod:`~repro.experiments.figure5`       Figure 5a/5b — PVF per fault model
+:mod:`~repro.experiments.figure6`       Figure 6a/6b — PVF per time window
+:mod:`~repro.experiments.criticality`   Section 6 per-portion criticality tables
+:mod:`~repro.experiments.extrapolation` Section 4.2 Trinity/exascale projections
+:mod:`~repro.experiments.mitigation`    Sections 4.3/6.1 ABFT + hardening coverage
+:mod:`~repro.experiments.futurework`    Section 7 hardened-benchmark campaigns
+========================== ==================================================
+
+:mod:`~repro.experiments.data` caches the underlying campaigns so the
+beam figures (2, 3) share one campaign per benchmark and the injection
+figures (4, 5, 6, criticality, mitigation) share another.
+:mod:`~repro.experiments.paper` holds the paper-reported reference
+values each experiment prints next to its measurements.
+"""
+
+from repro.experiments.data import ExperimentData
+
+__all__ = ["ExperimentData"]

@@ -1,0 +1,72 @@
+"""Section 6 — per-benchmark criticality tables.
+
+For each benchmark, group the injection campaign by code portion (the
+paper's aggregation: operand pointers count with the data they point
+at, CLAMR's mesh splits into Sort / Tree / others) and report the SDC
+and DUE rates of faults landing in each portion, next to the numbers
+quoted in the paper's per-benchmark discussions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.criticality import PortionReport, criticality_by_portion
+from repro.benchmarks.registry import INJECTION_BENCHMARKS
+from repro.experiments.data import ExperimentData
+from repro.experiments.paper import SECTION6_CRITICALITY
+from repro.util.tables import format_table
+
+__all__ = ["CriticalityResult", "render", "run"]
+
+
+@dataclass
+class CriticalityResult:
+    """Portion reports per benchmark, most critical first."""
+
+    portions: dict[str, list[PortionReport]]
+
+    def most_critical(self, benchmark: str) -> str:
+        return self.portions[benchmark][0].portion
+
+
+def run(data: ExperimentData) -> CriticalityResult:
+    portions = {
+        name: criticality_by_portion(data.injection(name).records)
+        for name in INJECTION_BENCHMARKS
+    }
+    return CriticalityResult(portions=portions)
+
+
+def render(result: CriticalityResult) -> str:
+    headers = [
+        "benchmark",
+        "portion",
+        "faults",
+        "sdc %",
+        "due %",
+        "paper sdc %",
+        "paper due %",
+    ]
+    rows = []
+    for name in sorted(result.portions):
+        paper = SECTION6_CRITICALITY.get(name, {})
+        for report in result.portions[name]:
+            ref = paper.get(report.portion)
+            rows.append(
+                [
+                    name,
+                    report.portion,
+                    report.injections,
+                    100.0 * report.sdc.value,
+                    100.0 * report.due.value,
+                    ref[0] if ref else "-",
+                    ref[1] if ref else "-",
+                ]
+            )
+    return format_table(
+        headers,
+        rows,
+        title="Section 6 — criticality of code portions (rates of faults in portion)",
+        floatfmt=".1f",
+    )

@@ -1,0 +1,75 @@
+"""Shared, memoised campaign data for the experiment harness.
+
+Figures 2 and 3 consume the same beam campaigns; Figures 4-6, the
+criticality tables and the mitigation analysis consume the same
+injection campaigns.  ``ExperimentData`` runs each campaign at most
+once per (benchmark, size, seed) and hands the cached result to every
+experiment, so regenerating the whole paper costs one campaign per
+benchmark per injector.
+
+Campaign sizes scale with the ``scale`` parameter: 1.0 reproduces
+statistically solid counts; 0.1 is a quick smoke configuration used by
+the test-suite and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.beam.experiment import BeamCampaignResult, BeamExperiment
+from repro.benchmarks.registry import BEAM_BENCHMARKS, INJECTION_BENCHMARKS
+from repro.carolfi.campaign import CampaignConfig, CampaignResult, run_campaign
+
+__all__ = ["ExperimentData"]
+
+#: Full-scale trial counts (scale = 1.0).
+_BEAM_TRIALS = 1500
+_INJECTIONS = 1600
+
+
+@dataclass
+class ExperimentData:
+    """Lazily-run, memoised campaigns behind all experiments."""
+
+    seed: int = 2017
+    scale: float = 1.0
+    _beam: dict[str, BeamCampaignResult] = field(default_factory=dict, repr=False)
+    _injection: dict[str, CampaignResult] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    @property
+    def beam_trials(self) -> int:
+        return max(50, int(_BEAM_TRIALS * self.scale))
+
+    @property
+    def injections(self) -> int:
+        return max(50, int(_INJECTIONS * self.scale))
+
+    def beam(self, benchmark: str) -> BeamCampaignResult:
+        """The (cached) beam campaign of one benchmark."""
+        if benchmark not in BEAM_BENCHMARKS:
+            raise KeyError(f"{benchmark!r} was not irradiated in the paper")
+        if benchmark not in self._beam:
+            experiment = BeamExperiment(benchmark, seed=self.seed)
+            self._beam[benchmark] = experiment.run_campaign(self.beam_trials)
+        return self._beam[benchmark]
+
+    def injection(self, benchmark: str) -> CampaignResult:
+        """The (cached) CAROL-FI campaign of one benchmark."""
+        if benchmark not in INJECTION_BENCHMARKS:
+            raise KeyError(f"{benchmark!r} is not in the injection study")
+        if benchmark not in self._injection:
+            config = CampaignConfig(
+                benchmark=benchmark, injections=self.injections, seed=self.seed
+            )
+            self._injection[benchmark] = run_campaign(config)
+        return self._injection[benchmark]
+
+    def all_beam(self) -> dict[str, BeamCampaignResult]:
+        return {name: self.beam(name) for name in BEAM_BENCHMARKS}
+
+    def all_injection(self) -> dict[str, CampaignResult]:
+        return {name: self.injection(name) for name in INJECTION_BENCHMARKS}

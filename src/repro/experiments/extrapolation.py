@@ -1,0 +1,91 @@
+"""Section 4.2 — machine-scale extrapolation.
+
+"If we extrapolate the FIT rates to a Trinity-size machine with 19,000
+Xeon Phis ... one should expect to see a SDC for LUD or DUE for HotSpot
+every eleven or twelve days", and an exascale machine (10x the boards)
+sees almost daily events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.extrapolate import (
+    EXASCALE_BOARDS,
+    TRINITY_BOARDS,
+    MachineProjection,
+    project_machine,
+)
+from repro.beam.flux import LANL_ALTITUDE_M, natural_flux_at_altitude
+from repro.util.units import SEA_LEVEL_FLUX_N_CM2_H
+from repro.experiments.data import ExperimentData
+from repro.experiments.figure2 import run as run_figure2
+from repro.util.tables import format_table
+
+__all__ = ["ExtrapolationResult", "render", "run"]
+
+
+@dataclass
+class ExtrapolationResult:
+    """Trinity and exascale projections per benchmark and outcome."""
+
+    trinity: dict[str, dict[str, MachineProjection]]
+    exascale: dict[str, dict[str, MachineProjection]]
+
+
+def run(data: ExperimentData) -> ExtrapolationResult:
+    figure2 = run_figure2(data)
+    trinity: dict[str, dict[str, MachineProjection]] = {}
+    exascale: dict[str, dict[str, MachineProjection]] = {}
+    for name, report in figure2.reports.items():
+        per_outcome_t = {}
+        per_outcome_e = {}
+        for outcome, estimate in (("sdc", report.sdc), ("due", report.due)):
+            if estimate.fit > 0:
+                per_outcome_t[outcome] = project_machine(estimate.fit, TRINITY_BOARDS)
+                per_outcome_e[outcome] = project_machine(estimate.fit, EXASCALE_BOARDS)
+        trinity[name] = per_outcome_t
+        exascale[name] = per_outcome_e
+    return ExtrapolationResult(trinity=trinity, exascale=exascale)
+
+
+def render(result: ExtrapolationResult) -> str:
+    headers = [
+        "benchmark",
+        "outcome",
+        "FIT/board",
+        "Trinity MTBF (days)",
+        "exascale MTBF (days)",
+    ]
+    rows = []
+    for name in sorted(result.trinity):
+        for outcome in ("sdc", "due"):
+            trin = result.trinity[name].get(outcome)
+            exa = result.exascale[name].get(outcome)
+            if trin is None or exa is None:
+                continue
+            rows.append(
+                [name, outcome.upper(), trin.fit_per_board, trin.mtbf_days, exa.mtbf_days]
+            )
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            f"Section 4.2 — extrapolation to Trinity ({TRINITY_BOARDS} boards) "
+            f"and exascale ({EXASCALE_BOARDS} boards)"
+        ),
+        floatfmt=".1f",
+    )
+    altitude_factor = natural_flux_at_altitude(LANL_ALTITUDE_M) / SEA_LEVEL_FLUX_N_CM2_H
+    return (
+        table
+        + "\npaper: SDC for LUD / DUE for HotSpot every 11-12 days at Trinity "
+        "scale; almost daily events at exascale"
+        + (
+            f"\nextension: Trinity actually operates at Los Alamos "
+            f"({LANL_ALTITUDE_M:.0f} m), where the atmospheric flux is "
+            f"~{altitude_factor:.1f}x sea level — divide every MTBF above "
+            f"accordingly (the paper's extrapolation deliberately assumes "
+            f"sea level)"
+        )
+    )

@@ -1,0 +1,102 @@
+"""Figure 2 — benchmark FIT rates and spatial error distribution.
+
+Beam campaign per benchmark; SDC FIT partitioned into the five output
+patterns, plus the DUE FIT, all at sea level.  Also checks the
+Section 4.3 claim that fewer than 10% of corrupted executions contain a
+single wrong element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.spatial import ErrorPattern
+from repro.beam.fit import FitReport, estimate_fit
+from repro.benchmarks.registry import BEAM_BENCHMARKS
+from repro.experiments.data import ExperimentData
+from repro.experiments.paper import FIGURE2_FIT
+from repro.util.tables import format_table
+
+__all__ = ["Figure2Result", "render", "run"]
+
+
+@dataclass
+class Figure2Result:
+    """Measured FIT reports plus the paper's read-off values."""
+
+    reports: dict[str, FitReport]
+    single_element_fraction: dict[str, float]
+
+    def max_total_fit(self) -> float:
+        """Largest SDC+DUE FIT across benchmarks (paper: 193)."""
+        return max(r.total_fit for r in self.reports.values())
+
+
+def run(data: ExperimentData) -> Figure2Result:
+    """Run (or reuse) the beam campaigns and estimate FIT rates."""
+    reports: dict[str, FitReport] = {}
+    single_fraction: dict[str, float] = {}
+    for name in BEAM_BENCHMARKS:
+        campaign = data.beam(name)
+        reports[name] = estimate_fit(campaign)
+        sdcs = campaign.sdc_records()
+        singles = sum(
+            1 for r in sdcs if r.sdc_metrics.get("pattern") == ErrorPattern.SINGLE.value
+        )
+        single_fraction[name] = singles / len(sdcs) if sdcs else 0.0
+    return Figure2Result(reports=reports, single_element_fraction=single_fraction)
+
+
+def render(result: Figure2Result) -> str:
+    """Paper-vs-measured table in the layout of Figure 2."""
+    headers = [
+        "benchmark",
+        "SDC FIT",
+        "(95% CI)",
+        "DUE FIT",
+        "cubic",
+        "square",
+        "line",
+        "single",
+        "random",
+        "paper SDC",
+        "paper DUE",
+        "single-elem %",
+    ]
+    rows = []
+    for name, report in sorted(result.reports.items()):
+        paper_sdc, paper_due = FIGURE2_FIT[name]
+        patterns = report.sdc_by_pattern
+        rows.append(
+            [
+                name,
+                report.sdc.fit,
+                f"[{report.sdc.lower:.0f}, {report.sdc.upper:.0f}]",
+                report.due.fit,
+                patterns["cubic"].fit,
+                patterns["square"].fit,
+                patterns["line"].fit,
+                patterns["single"].fit,
+                patterns["random"].fit,
+                paper_sdc,
+                paper_due,
+                100.0 * result.single_element_fraction[name],
+            ]
+        )
+    lines = [
+        format_table(
+            headers,
+            rows,
+            title="Figure 2 — FIT rates and spatial distribution (sea level)",
+            floatfmt=".1f",
+        )
+    ]
+    any_report = next(iter(result.reports.values()))
+    lines.append(
+        f"\nequivalent exposure per benchmark: "
+        f"{any_report.equivalent_beam_hours:.1f} beam hours at LANSCE, "
+        f"{any_report.equivalent_natural_hours / 8766.0:.0f} years natural"
+    )
+    lines.append(f"max total FIT observed: {result.max_total_fit():.0f} (paper: 193)")
+    return "\n".join(lines)
+

@@ -1,0 +1,63 @@
+"""Figure 4 — outcomes of fault injections (Masked / SDC / DUE)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.pvf import outcome_shares
+from repro.benchmarks.registry import INJECTION_BENCHMARKS
+from repro.experiments.data import ExperimentData
+from repro.experiments.paper import FIGURE4_SHARES
+from repro.util.tables import format_table
+
+__all__ = ["Figure4Result", "render", "run"]
+
+
+@dataclass
+class Figure4Result:
+    """Outcome shares per benchmark (fractions of all injections)."""
+
+    shares: dict[str, dict[str, float]]
+
+    def masked_majority(self) -> dict[str, bool]:
+        """Which benchmarks mask the majority of faults (all but DGEMM
+        in the paper)."""
+        return {name: s["masked"] > 0.5 for name, s in self.shares.items()}
+
+
+def run(data: ExperimentData) -> Figure4Result:
+    shares = {
+        name: outcome_shares(data.injection(name).records)
+        for name in INJECTION_BENCHMARKS
+    }
+    return Figure4Result(shares=shares)
+
+
+def render(result: Figure4Result) -> str:
+    headers = [
+        "benchmark",
+        "masked %",
+        "sdc %",
+        "due %",
+        "paper masked",
+        "paper sdc",
+        "paper due",
+    ]
+    rows = []
+    for name in sorted(result.shares):
+        s = result.shares[name]
+        paper = FIGURE4_SHARES[name]
+        rows.append(
+            [
+                name,
+                100.0 * s["masked"],
+                100.0 * s["sdc"],
+                100.0 * s["due"],
+                paper[0],
+                paper[1],
+                paper[2],
+            ]
+        )
+    return format_table(
+        headers, rows, title="Figure 4 — outcomes of fault injections", floatfmt=".1f"
+    )

@@ -1,0 +1,65 @@
+"""Figure 5 — PVF per fault model (5a: SDC, 5b: DUE)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.pvf import pvf_by_fault_model
+from repro.benchmarks.registry import INJECTION_BENCHMARKS
+from repro.experiments.data import ExperimentData
+from repro.experiments.paper import FIGURE5_EXPECTATIONS
+from repro.faults.models import FaultModel
+from repro.faults.outcome import Outcome
+from repro.util.tables import format_table
+
+__all__ = ["Figure5Result", "render", "run"]
+
+_MODEL_ORDER = tuple(m.value for m in FaultModel.all())
+
+
+@dataclass
+class Figure5Result:
+    """PVF (%) per benchmark, outcome and fault model."""
+
+    sdc: dict[str, dict[str, float]]
+    due: dict[str, dict[str, float]]
+
+    def model_pvf(self, benchmark: str, outcome: Outcome, model: str) -> float:
+        table = self.sdc if outcome is Outcome.SDC else self.due
+        return table[benchmark][model]
+
+
+def run(data: ExperimentData) -> Figure5Result:
+    sdc: dict[str, dict[str, float]] = {}
+    due: dict[str, dict[str, float]] = {}
+    for name in INJECTION_BENCHMARKS:
+        records = data.injection(name).records
+        sdc[name] = {
+            model: 100.0 * est.value
+            for model, est in pvf_by_fault_model(records, Outcome.SDC, _MODEL_ORDER).items()
+        }
+        due[name] = {
+            model: 100.0 * est.value
+            for model, est in pvf_by_fault_model(records, Outcome.DUE, _MODEL_ORDER).items()
+        }
+    return Figure5Result(sdc=sdc, due=due)
+
+
+def _table(title: str, data: dict[str, dict[str, float]]) -> str:
+    headers = ["benchmark", *(m for m in _MODEL_ORDER)]
+    rows = []
+    for name in sorted(data):
+        rows.append([name, *(data[name].get(m, 0.0) for m in _MODEL_ORDER)])
+    return format_table(headers, rows, title=title, floatfmt=".1f")
+
+
+def render(result: Figure5Result) -> str:
+    lines = [
+        _table("Figure 5a — SDC PVF (%) per fault model", result.sdc),
+        "",
+        _table("Figure 5b — DUE PVF (%) per fault model", result.due),
+        "",
+        "paper's qualitative signatures:",
+    ]
+    lines.extend(f"  - {claim}" for claim in FIGURE5_EXPECTATIONS)
+    return "\n".join(lines)

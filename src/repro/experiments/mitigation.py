@@ -1,0 +1,95 @@
+"""Sections 4.3 and 6.1 — mitigation analysis.
+
+Two parts:
+
+* **ABFT on the beam data** — the fraction of each benchmark's observed
+  SDCs whose spatial pattern (single / line / random) ABFT corrects in
+  O(1); the paper: "most of the observed SDCs in DGEMM could be
+  corrected by ABFT".
+* **Selective hardening on the injection data** — coverage of the
+  paper's per-benchmark recommended plans (residue for algebraic codes,
+  DWC for control variables, parity for NW, RMT for CLAMR's Sort/Tree
+  and LavaMD), evaluated analytically per fault model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchmarks.registry import BEAM_BENCHMARKS, INJECTION_BENCHMARKS
+from repro.experiments.data import ExperimentData
+from repro.hardening.evaluate import (
+    AbftBeamCoverage,
+    CoverageReport,
+    abft_beam_coverage,
+    evaluate_plan,
+)
+from repro.hardening.selective import RECOMMENDED_PLANS
+from repro.util.tables import format_table
+
+__all__ = ["MitigationResult", "render", "run"]
+
+
+@dataclass
+class MitigationResult:
+    """ABFT beam census plus plan coverage per benchmark."""
+
+    abft: dict[str, AbftBeamCoverage]
+    coverage: dict[str, CoverageReport]
+
+
+def run(data: ExperimentData) -> MitigationResult:
+    abft = {name: abft_beam_coverage(data.beam(name)) for name in BEAM_BENCHMARKS}
+    coverage = {}
+    for name in INJECTION_BENCHMARKS:
+        plan = RECOMMENDED_PLANS[name]
+        coverage[name] = evaluate_plan(data.injection(name).records, plan)
+    return MitigationResult(abft=abft, coverage=coverage)
+
+
+def render(result: MitigationResult) -> str:
+    abft_rows = []
+    for name in sorted(result.abft):
+        census = result.abft[name]
+        abft_rows.append(
+            [
+                name,
+                census.sdc_count,
+                census.correctable,
+                100.0 * census.correctable_fraction,
+            ]
+        )
+    lines = [
+        format_table(
+            ["benchmark", "beam SDCs", "ABFT-correctable", "correctable %"],
+            abft_rows,
+            title="Section 4.3 — ABFT correctability of observed beam SDCs",
+            floatfmt=".1f",
+        ),
+        "paper: most observed DGEMM SDCs are single/line/random, hence ABFT-correctable",
+        "",
+    ]
+    cov_rows = []
+    for name in sorted(result.coverage):
+        report = result.coverage[name]
+        protected = ", ".join(
+            f"{portion}:{tech.value}" for portion, tech in report.plan.assignments.items()
+        )
+        cov_rows.append(
+            [
+                name,
+                report.harmful_faults,
+                100.0 * report.coverage_fraction,
+                100.0 * report.expected_detection_fraction,
+                protected,
+            ]
+        )
+    lines.append(
+        format_table(
+            ["benchmark", "harmful faults", "covered %", "detected %", "plan"],
+            cov_rows,
+            title="Section 6.1 — recommended selective-hardening plans",
+            floatfmt=".1f",
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Extension — propagation study (Sections 2.2 / 4.4 context).
+
+Not a numbered figure of the paper, but the mechanism behind two of
+its claims: iterative codes spread and *compound* errors (CLAMR,
+LavaMD, LUD, DGEMM) while HotSpot's open-system stencil attenuates
+them.  For each benchmark we trace a batch of injected faults and
+report how the corrupted-element count evolves from injection to
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.propagation import PropagationProfile, propagation_profile
+from repro.benchmarks.registry import INJECTION_BENCHMARKS, create
+from repro.experiments.data import ExperimentData
+from repro.faults.models import FaultModel
+from repro.util.tables import format_table
+
+__all__ = ["PropagationResult", "render", "run"]
+
+_PROFILES_PER_BENCHMARK = 24
+
+
+@dataclass
+class PropagationResult:
+    """Aggregated propagation behaviour per benchmark."""
+
+    profiles: dict[str, list[PropagationProfile]]
+
+    def summary(self, benchmark: str) -> dict[str, float]:
+        profiles = [p for p in self.profiles[benchmark] if p.points]
+        if not profiles:
+            return {"grown": 0.0, "final_wrong": 0.0, "monotone": 0.0, "crashed": 0.0}
+        grown = [p for p in profiles if p.final_wrong > 1]
+        return {
+            "grown": len(grown) / len(profiles),
+            "final_wrong": float(np.mean([p.final_wrong for p in profiles])),
+            "monotone": float(np.mean([p.monotone_growth_fraction() for p in profiles])),
+            "crashed": sum(1 for p in self.profiles[benchmark] if p.crashed)
+            / len(self.profiles[benchmark]),
+        }
+
+
+def run(data: ExperimentData) -> PropagationResult:
+    profiles: dict[str, list[PropagationProfile]] = {}
+    count = max(6, int(_PROFILES_PER_BENCHMARK * min(data.scale * 4, 1.0)))
+    for name in INJECTION_BENCHMARKS:
+        bench = create(name)
+        batch = []
+        for index in range(count):
+            model = FaultModel.all()[index % 4]
+            batch.append(propagation_profile(bench, seed=data.seed + index, model=model))
+        profiles[name] = batch
+    return PropagationResult(profiles=profiles)
+
+
+def render(result: PropagationResult) -> str:
+    headers = [
+        "benchmark",
+        "profiles",
+        "multi-element %",
+        "mean final wrong",
+        "monotone growth",
+        "crashed %",
+    ]
+    rows = []
+    for name in sorted(result.profiles):
+        stats = result.summary(name)
+        rows.append(
+            [
+                name,
+                len(result.profiles[name]),
+                100.0 * stats["grown"],
+                stats["final_wrong"],
+                stats["monotone"],
+                100.0 * stats["crashed"],
+            ]
+        )
+    table = format_table(
+        headers,
+        rows,
+        title="Extension — fault propagation profiles (per-step corruption tracking)",
+        floatfmt=".2f",
+    )
+    return (
+        table
+        + "\npaper context: errors 'tend to propagate and compound' for the\n"
+        "iterative codes, while HotSpot attenuates (lower monotone-growth score)"
+    )

@@ -1,0 +1,108 @@
+"""CLI runner: regenerate any subset of the paper's artifacts.
+
+Usage (installed as ``repro-experiments``)::
+
+    repro-experiments                 # everything at full scale
+    repro-experiments --quick         # 10% campaigns, minutes not hours
+    repro-experiments figure2 figure3 --seed 7
+    repro-experiments --list
+
+Campaigns are shared across experiments within one invocation (Figures
+2/3 reuse one beam campaign per benchmark; Figures 4-6, criticality and
+mitigation reuse one injection campaign per benchmark).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Callable, Sequence
+
+from repro.experiments import (
+    criticality,
+    data as data_mod,
+    extrapolation,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    futurework,
+    mitigation,
+    propagation,
+)
+
+__all__ = ["EXPERIMENTS", "main", "run_experiments"]
+
+#: name -> (run, render) pairs, in paper order.
+EXPERIMENTS: dict[str, tuple[Callable, Callable]] = {
+    "figure2": (figure2.run, figure2.render),
+    "figure3": (figure3.run, figure3.render),
+    "figure4": (figure4.run, figure4.render),
+    "figure5": (figure5.run, figure5.render),
+    "figure6": (figure6.run, figure6.render),
+    "criticality": (criticality.run, criticality.render),
+    "extrapolation": (extrapolation.run, extrapolation.render),
+    "mitigation": (mitigation.run, mitigation.render),
+    "futurework": (futurework.run, futurework.render),
+    "propagation": (propagation.run, propagation.render),
+}
+
+
+def run_experiments(
+    names: Sequence[str],
+    seed: int = 2017,
+    scale: float = 1.0,
+    stream=None,
+) -> data_mod.ExperimentData:
+    """Run the named experiments, printing each rendered artifact."""
+    stream = stream or sys.stdout
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
+    shared = data_mod.ExperimentData(seed=seed, scale=scale)
+    for name in names:
+        run, render = EXPERIMENTS[name]
+        start = time.perf_counter()
+        result = run(shared)
+        elapsed = time.perf_counter() - start
+        print(f"\n### {name} ({elapsed:.1f}s)\n", file=stream)
+        print(render(result), file=stream)
+    return shared
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the Xeon Phi reliability paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(EXPERIMENTS),
+        help=f"subset to run (default: all of {list(EXPERIMENTS)})",
+    )
+    parser.add_argument("--seed", type=int, default=2017, help="campaign seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="campaign size multiplier (1.0 = full, 0.1 = quick)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shorthand for --scale 0.1"
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    scale = 0.1 if args.quick else args.scale
+    run_experiments(args.experiments, seed=args.seed, scale=scale)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Fault models, fault sites, and outcome taxonomy.
+
+This package defines the vocabulary shared by both injection paths of
+the reproduction: the CAROL-FI style source-level injector
+(:mod:`repro.carolfi`) and the beam-strike simulator (:mod:`repro.beam`).
+"""
+
+from repro.faults.models import FaultModel, apply_fault_model
+from repro.faults.outcome import DueKind, InjectionRecord, Outcome
+from repro.faults.site import FaultSite
+
+__all__ = [
+    "DueKind",
+    "FaultModel",
+    "FaultSite",
+    "InjectionRecord",
+    "Outcome",
+    "apply_fault_model",
+]

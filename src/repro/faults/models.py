@@ -1,0 +1,75 @@
+"""The four CAROL-FI fault models (paper Section 5.2).
+
+* ``SINGLE`` — flip one random bit of the victim element.
+* ``DOUBLE`` — flip two random bits *within the same byte* of the victim
+  element (the paper restricts the distance between the flipped bits to
+  one byte offset, modelling multi-cell upsets).
+* ``RANDOM`` — overwrite every bit of the element with random bits.
+* ``ZERO`` — set every bit of the element to zero.
+
+The models are applied to the raw little-endian byte representation of
+the element, so a Single flip of bit 62 of a float64 perturbs the
+exponent while bit 3 perturbs the low mantissa — exactly the spread of
+severities the paper's analysis relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.util.bits import (
+    bit_width,
+    flip_bit_inplace,
+    flip_bits_inplace,
+    randomize_element_inplace,
+    zero_element_inplace,
+)
+
+__all__ = ["FaultModel", "apply_fault_model"]
+
+
+class FaultModel(str, enum.Enum):
+    """High-level fault model applied to one memory element."""
+
+    SINGLE = "single"
+    DOUBLE = "double"
+    RANDOM = "random"
+    ZERO = "zero"
+
+    @classmethod
+    def all(cls) -> tuple["FaultModel", ...]:
+        return (cls.SINGLE, cls.DOUBLE, cls.RANDOM, cls.ZERO)
+
+
+def apply_fault_model(
+    arr: np.ndarray,
+    flat_index: int,
+    model: FaultModel,
+    rng: np.random.Generator,
+) -> dict:
+    """Corrupt one element of ``arr`` in place under ``model``.
+
+    Returns a description of what was done (bit positions for the flip
+    models) for the injection log.
+    """
+    model = FaultModel(model)
+    nbits = bit_width(arr.dtype)
+    if model is FaultModel.SINGLE:
+        bit = int(rng.integers(0, nbits))
+        flip_bit_inplace(arr, flat_index, bit)
+        return {"model": model.value, "bits": [bit]}
+    if model is FaultModel.DOUBLE:
+        byte = int(rng.integers(0, nbits // 8))
+        lo, hi = rng.choice(8, size=2, replace=False)
+        bits = sorted(int(b) + 8 * byte for b in (lo, hi))
+        flip_bits_inplace(arr, flat_index, bits)
+        return {"model": model.value, "bits": bits}
+    if model is FaultModel.RANDOM:
+        randomize_element_inplace(arr, flat_index, rng)
+        return {"model": model.value, "bits": None}
+    if model is FaultModel.ZERO:
+        zero_element_inplace(arr, flat_index)
+        return {"model": model.value, "bits": None}
+    raise ValueError(f"unknown fault model: {model!r}")  # pragma: no cover

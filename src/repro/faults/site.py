@@ -1,0 +1,58 @@
+"""Fault site addressing.
+
+A :class:`FaultSite` names the exact memory element an injection
+corrupted: the frame (scope) and variable name CAROL-FI resolved, the
+flat element index within the variable's backing array, and the dtype.
+This is the source-level counterpart of GDB's "variable name, file name
+and line number" log fields from the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FaultSite"]
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """The location of one injected fault."""
+
+    frame: str
+    """Scope the variable lives in (e.g. ``global``, ``main``, ``kernel``)."""
+
+    variable: str
+    """Source-level variable name."""
+
+    flat_index: int
+    """Flat element index inside the variable's backing array."""
+
+    dtype: str
+    """NumPy dtype string of the victim element."""
+
+    var_class: str = "data"
+    """Criticality class of the variable (``data``, ``control``, ``constant``...)."""
+
+    shape: tuple[int, ...] = field(default=())
+    """Shape of the variable at injection time."""
+
+    def to_dict(self) -> dict:
+        return {
+            "frame": self.frame,
+            "variable": self.variable,
+            "flat_index": self.flat_index,
+            "dtype": self.dtype,
+            "var_class": self.var_class,
+            "shape": list(self.shape),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSite":
+        return cls(
+            frame=data["frame"],
+            variable=data["variable"],
+            flat_index=int(data["flat_index"]),
+            dtype=data["dtype"],
+            var_class=data.get("var_class", "data"),
+            shape=tuple(data.get("shape", ())),
+        )

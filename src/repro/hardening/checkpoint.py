@@ -1,0 +1,144 @@
+"""Checkpoint/restart for DUE recovery.
+
+The paper's system-level mitigation for DUEs is checkpointing: "by
+reducing the DUE rate caused by fault in Sort and Tree, HPC systems can
+allow lowering the frequency of checkpointing techniques."  This module
+provides the substrate to quantify that trade-off: run a (possibly
+fault-injected) benchmark under periodic state snapshots; on a crash or
+hang, roll back to the most recent snapshot and re-execute.  A snapshot
+taken *after* the corruption may itself be poisoned — a retry that
+fails again falls back to the previous snapshot, ultimately to a clean
+restart — so recovery cost depends on both checkpoint interval and
+fault timing, exactly the trade the paper gestures at.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark, BenchmarkError
+
+__all__ = ["CheckpointRun", "run_with_checkpoints"]
+
+_CRASH_EXCEPTIONS = (BenchmarkError, IndexError, ValueError, KeyError, OverflowError)
+
+
+@dataclass(frozen=True)
+class CheckpointRun:
+    """Outcome of one checkpointed (and possibly injected) execution."""
+
+    completed: bool
+    output: np.ndarray | None
+    failures: int
+    """How many times execution crashed before completing."""
+
+    executed_steps: int
+    """Total scheduling quanta executed, including re-execution."""
+
+    useful_steps: int
+    """Quanta a failure-free run needs."""
+
+    checkpoints_taken: int
+    checkpoint_bytes: int
+
+    @property
+    def recovered(self) -> bool:
+        return self.completed and self.failures > 0
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Re-executed work as a fraction of the useful work."""
+        if self.useful_steps == 0:
+            return 0.0
+        return (self.executed_steps - self.useful_steps) / self.useful_steps
+
+
+def _snapshot_size(state: Any) -> int:
+    total = 0
+    for value in vars(state).values():
+        if isinstance(value, np.ndarray):
+            total += int(value.nbytes)
+    return total
+
+
+def run_with_checkpoints(
+    benchmark: Benchmark,
+    state: Any,
+    interval: int,
+    inject: Callable[[Any], None] | None = None,
+    inject_step: int = 0,
+    max_failures: int = 8,
+) -> CheckpointRun:
+    """Execute with periodic snapshots and crash rollback.
+
+    ``inject(state)`` is called once, before ``inject_step``, on the
+    *first* attempt only (a transient fault does not recur on
+    re-execution — the defining property checkpointing exploits).
+    """
+    if interval < 1:
+        raise ValueError("checkpoint interval must be positive")
+    if max_failures < 0:
+        raise ValueError("max_failures must be non-negative")
+    if inject_step < 0:
+        raise ValueError("inject_step must be non-negative")
+
+    total = benchmark.num_steps(state)
+    snapshots: list[tuple[int, Any]] = [(0, copy.deepcopy(state))]
+    checkpoints_taken = 1
+    checkpoint_bytes = _snapshot_size(state)
+    injected = False
+    failures = 0
+    executed = 0
+    index = 0
+
+    while index < total:
+        try:
+            if inject is not None and not injected and index == inject_step:
+                inject(state)
+                injected = True
+            benchmark.step(state, index)
+            executed += 1
+            index += 1
+            # No new snapshots while recovering: a post-rollback state
+            # may still carry the corruption, and re-snapshotting it
+            # would let a poisoned image re-enter the stack.
+            if failures == 0 and index < total and index % interval == 0:
+                snapshots.append((index, copy.deepcopy(state)))
+                checkpoints_taken += 1
+        except _CRASH_EXCEPTIONS:
+            failures += 1
+            if failures > max_failures:
+                return CheckpointRun(
+                    completed=False,
+                    output=None,
+                    failures=failures,
+                    executed_steps=executed,
+                    useful_steps=total,
+                    checkpoints_taken=checkpoints_taken,
+                    checkpoint_bytes=checkpoint_bytes,
+                )
+            # First failure: the live state is corrupt but the newest
+            # snapshot may be clean — retry from it.  A repeated
+            # failure means that snapshot is poisoned too: discard it
+            # and fall back one level.  Snapshot 0 holds the pristine
+            # inputs, and the transient fault is not re-injected, so
+            # the cascade always terminates.
+            if failures > 1 and len(snapshots) > 1:
+                snapshots.pop()
+            index, base = snapshots[-1]
+            state = copy.deepcopy(base)
+
+    return CheckpointRun(
+        completed=True,
+        output=benchmark.output(state),
+        failures=failures,
+        executed_steps=executed,
+        useful_steps=total,
+        checkpoints_taken=checkpoints_taken,
+        checkpoint_bytes=checkpoint_bytes,
+    )

@@ -1,0 +1,44 @@
+"""Redundant execution (redundant multithreading, paper Section 6.1).
+
+"General techniques like redundant multithreading applied only to those
+critical functions and operations may also yield an improved resilience
+with a fair overhead."  The software analogue here runs a benchmark (or
+a step range of it) twice on independent state and compares outputs:
+any divergence is a detection.  Time overhead is the duplicated span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark
+
+__all__ = ["RedundantRunResult", "redundant_run"]
+
+
+@dataclass(frozen=True)
+class RedundantRunResult:
+    """Outcome of a dual-modular-redundant execution."""
+
+    agree: bool
+    output: np.ndarray
+    time_overhead_factor: float = 2.0
+
+
+def redundant_run(benchmark: Benchmark, make_state) -> RedundantRunResult:
+    """Run the benchmark twice from identical inputs and compare.
+
+    ``make_state`` is a zero-argument callable producing a fresh state
+    with identical inputs each call (e.g. a Supervisor's replay).  Any
+    divergence — from a fault injected into *one* of the copies —
+    is detected; with fault-free copies the result is bitwise equal
+    because every benchmark is deterministic.
+    """
+    first = benchmark.run(make_state())
+    second = benchmark.run(make_state())
+    agree = first.shape == second.shape and bool(
+        np.array_equal(first, second, equal_nan=True)
+    )
+    return RedundantRunResult(agree=agree, output=first)

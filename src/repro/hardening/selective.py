@@ -1,0 +1,206 @@
+"""Selective hardening policies (paper Section 6.1).
+
+The whole point of CAROL-FI's criticality grading is to protect *only*
+what matters: "we can evaluate the most critical code portions, fault
+models, and time windows for each class of application and apply the
+most appropriate level of protection to provide the desired level of
+resilience."  This module encodes the paper's per-benchmark
+recommendations and a generic recommender that derives a plan from a
+criticality report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.criticality import PortionReport
+from repro.faults.models import FaultModel
+from repro.hardening.parity import detection_probability as parity_detection
+from repro.hardening.residue import detection_probability as residue_detection
+
+__all__ = [
+    "HardeningPlan",
+    "RECOMMENDED_PLANS",
+    "Technique",
+    "detection_probability",
+    "recommend_plan",
+]
+
+
+class Technique(str, enum.Enum):
+    """Software/hardware mitigation techniques discussed by the paper."""
+
+    ABFT = "abft"
+    RESIDUE_MOD3 = "residue_mod3"
+    RESIDUE_MOD15 = "residue_mod15"
+    DWC = "duplication_with_comparison"
+    PARITY = "parity"
+    RMT = "redundant_multithreading"
+
+
+#: Rough cost models used for plan comparison: (memory overhead as a
+#: fraction of protected bytes, time overhead factor on protected code).
+TECHNIQUE_COSTS: dict[Technique, tuple[float, float]] = {
+    Technique.ABFT: (2.0 / 64.0, 1.10),  # one checksum row+col on an n x n tile
+    Technique.RESIDUE_MOD3: (2.0 / 64.0, 1.08),
+    Technique.RESIDUE_MOD15: (4.0 / 64.0, 1.08),
+    Technique.DWC: (1.0, 1.05),
+    Technique.PARITY: (1.0 / 64.0, 1.03),
+    Technique.RMT: (1.0, 2.00),
+}
+
+
+def detection_probability(technique: Technique, model: FaultModel | str) -> float:
+    """P(detect | fault of ``model`` lands in state protected by ``technique``).
+
+    Single-bit flips are always caught by residues mod 3/15 (powers of
+    two are never multiples of 3 or 15) and by parity; Double escapes
+    parity entirely; Random/Zero are what residue catches and ECC
+    cannot — the paper's argument for residue over ECC on algebraic
+    codes.
+    """
+    model = FaultModel(model)
+    if technique in (Technique.DWC, Technique.RMT):
+        return 1.0
+    if technique is Technique.PARITY:
+        if model is FaultModel.SINGLE:
+            return parity_detection(1)
+        if model is FaultModel.DOUBLE:
+            return parity_detection(2)
+        return 0.5  # random/zero: final parity matches half the time
+    if technique in (Technique.RESIDUE_MOD3, Technique.RESIDUE_MOD15):
+        modulus = 3 if technique is Technique.RESIDUE_MOD3 else 15
+        if model is FaultModel.SINGLE:
+            return residue_detection(modulus, 1)
+        if model is FaultModel.DOUBLE:
+            return residue_detection(modulus, 2)
+        return 1.0 - 1.0 / modulus
+    if technique is Technique.ABFT:
+        # Output-checksum verification catches any value change; the
+        # correction capability depends on the spatial pattern and is
+        # handled by the evaluator.
+        return 1.0
+    raise ValueError(f"unknown technique {technique!r}")  # pragma: no cover
+
+
+@dataclass
+class HardeningPlan:
+    """Technique assignment per code portion of one benchmark."""
+
+    benchmark: str
+    assignments: dict[str, Technique] = field(default_factory=dict)
+    rationale: str = ""
+
+    def technique_for(self, portion: str) -> Technique | None:
+        return self.assignments.get(portion)
+
+    def memory_overhead_fraction(self, portion_bytes: dict[str, float]) -> float:
+        """Weighted extra-memory fraction over the whole image."""
+        total = sum(portion_bytes.values())
+        if total <= 0:
+            raise ValueError("portion byte map is empty")
+        extra = 0.0
+        for portion, technique in self.assignments.items():
+            mem, _time = TECHNIQUE_COSTS[technique]
+            extra += portion_bytes.get(portion, 0.0) * mem
+        return extra / total
+
+
+#: The paper's Section 6 / 6.1 recommendations, verbatim in structure.
+RECOMMENDED_PLANS: dict[str, HardeningPlan] = {
+    "dgemm": HardeningPlan(
+        "dgemm",
+        {
+            "matrices": Technique.RESIDUE_MOD15,
+            "control": Technique.DWC,
+        },
+        rationale=(
+            "Residue module check catches logic errors that update the "
+            "matrices; selective duplication protects the replicated "
+            "loop-control integers."
+        ),
+    ),
+    "lud": HardeningPlan(
+        "lud",
+        {
+            "matrices": Technique.RESIDUE_MOD15,
+            "control": Technique.DWC,
+        },
+        rationale=(
+            "Residue check for matrix operations plus redundant "
+            "multithreading or duplication-with-comparison on control "
+            "variables; a heavier technique mid-run where the time-window "
+            "PVF peaks."
+        ),
+    ),
+    "hotspot": HardeningPlan(
+        "hotspot",
+        {
+            "constant+control": Technique.DWC,
+        },
+        rationale=(
+            "The algorithm attenuates data errors intrinsically, so simple "
+            "replication of the sensitive constants/control variables gives "
+            "the best performance/reliability ratio."
+        ),
+    ),
+    "clamr": HardeningPlan(
+        "clamr",
+        {
+            "sort": Technique.RMT,
+            "tree": Technique.RMT,
+        },
+        rationale=(
+            "Sort and Tree operations cause the majority of harmful "
+            "outcomes; redundant multithreading on just those functions "
+            "improves resilience at fair overhead and lets checkpoint "
+            "frequency drop."
+        ),
+    ),
+    "nw": HardeningPlan(
+        "nw",
+        {
+            "matrices": Technique.PARITY,
+        },
+        rationale=(
+            "Single faults are the critical ones for NW's integer "
+            "matrices, so one parity bit per word detects most SDCs."
+        ),
+    ),
+    "lavamd": HardeningPlan(
+        "lavamd",
+        {
+            "charge+distance": Technique.RMT,
+            "force": Technique.RMT,
+        },
+        rationale=(
+            "Most of the exposed memory is likely to generate an SDC or "
+            "DUE; without an algorithm-specific technique, generic modular "
+            "replication (approximately 2x time/energy) is required."
+        ),
+    ),
+}
+
+
+def recommend_plan(
+    benchmark: str,
+    reports: list[PortionReport],
+    harmful_threshold: float = 0.3,
+    default_technique: Technique = Technique.DWC,
+) -> HardeningPlan:
+    """Derive a plan from measured criticality: protect hot portions."""
+    if not 0.0 <= harmful_threshold <= 1.0:
+        raise ValueError("threshold must be in [0, 1]")
+    assignments: dict[str, Technique] = {}
+    for report in reports:
+        if report.harmful_fraction >= harmful_threshold:
+            assignments[report.portion] = default_technique
+    return HardeningPlan(
+        benchmark,
+        assignments,
+        rationale=(
+            f"portions with >= {harmful_threshold:.0%} harmful faults, "
+            f"protected with {default_technique.value}"
+        ),
+    )

@@ -1,0 +1,144 @@
+"""Log parser CLI — the artifact's "parser scripts".
+
+The paper publishes its raw beam and injection logs and ships parser
+scripts that turn them into the reported tables.  Our campaigns write
+the same kind of JSONL logs (``run_campaign(..., log_path=...)`` and
+``BeamExperiment.run_campaign(..., log_path=...)``); this CLI re-parses
+them into the same summaries, so analysis can run from logs alone:
+
+    repro-parse-logs injection runs/dgemm.jsonl runs/lud.jsonl
+    repro-parse-logs beam runs/beam_dgemm.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.criticality import criticality_by_portion
+from repro.analysis.severity import severity_census
+from repro.analysis.pvf import outcome_shares, pvf_by_fault_model, pvf_by_window
+from repro.beam.experiment import BeamCampaignResult, BeamRecord
+from repro.beam.fit import estimate_fit, fit_by_resource
+from repro.beam.sensitivity import DEFAULT_SENSITIVITY
+from repro.carolfi.logparse import merge_logs
+from repro.faults.outcome import Outcome
+from repro.util.jsonlog import load_records
+from repro.util.tables import format_table
+
+__all__ = ["main", "summarize_beam_log", "summarize_injection_log"]
+
+
+def summarize_injection_log(paths: Sequence[str], stream) -> None:
+    """Outcome shares, PVF slices and criticality from injection logs."""
+    records = merge_logs(*paths)
+    if not records:
+        raise SystemExit("no records in the given logs")
+    benchmarks = sorted({r.benchmark for r in records})
+    for name in benchmarks:
+        subset = [r for r in records if r.benchmark == name]
+        shares = outcome_shares(subset)
+        print(f"\n== {name}: {len(subset)} injections", file=stream)
+        print(
+            "   outcomes: "
+            + "  ".join(f"{k} {100 * v:.1f}%" for k, v in shares.items()),
+            file=stream,
+        )
+        rows = []
+        for outcome in (Outcome.SDC, Outcome.DUE):
+            by_model = pvf_by_fault_model(subset, outcome)
+            rows.append(
+                [outcome.value, *(f"{100 * est.value:.1f}" for est in by_model.values())]
+            )
+        models = list(pvf_by_fault_model(subset, Outcome.SDC))
+        print(format_table(["PVF %", *models], rows), file=stream)
+        windows = pvf_by_window(subset, Outcome.SDC)
+        series = " ".join(f"w{w + 1}:{100 * est.value:.0f}%" for w, est in windows.items())
+        print(f"   SDC by window: {series}", file=stream)
+        census = severity_census(
+            r.sdc_metrics for r in subset if r.outcome is Outcome.SDC
+        )
+        if sum(census.values()):
+            print(
+                "   SDC severity (tol 2%): "
+                + "  ".join(f"{k} {v}" for k, v in census.items() if v),
+                file=stream,
+            )
+        portion_rows = [
+            [r.portion, r.injections, 100 * r.sdc.value, 100 * r.due.value]
+            for r in criticality_by_portion(subset)
+        ]
+        print(
+            format_table(
+                ["portion", "faults", "sdc %", "due %"], portion_rows, floatfmt=".1f"
+            ),
+            file=stream,
+        )
+
+
+def summarize_beam_log(paths: Sequence[str], stream) -> None:
+    """FIT rates (overall, per pattern, per resource) from beam logs."""
+    records: list[BeamRecord] = []
+    for path in paths:
+        records.extend(BeamRecord.from_dict(raw) for raw in load_records(path))
+    if not records:
+        raise SystemExit("no records in the given logs")
+    benchmarks = sorted({r.benchmark for r in records})
+    for name in benchmarks:
+        subset = [r for r in records if r.benchmark == name]
+        campaign = BeamCampaignResult(name, subset, DEFAULT_SENSITIVITY)
+        report = estimate_fit(campaign)
+        print(
+            f"\n== {name}: {len(subset)} strike trials -> "
+            f"SDC {report.sdc.fit:.1f} FIT "
+            f"[{report.sdc.lower:.1f}, {report.sdc.upper:.1f}], "
+            f"DUE {report.due.fit:.1f} FIT",
+            file=stream,
+        )
+        pattern_rows = [
+            [pattern, est.fit, est.events]
+            for pattern, est in report.sdc_by_pattern.items()
+            if est.events
+        ]
+        if pattern_rows:
+            print(
+                format_table(["pattern", "FIT", "events"], pattern_rows, floatfmt=".1f"),
+                file=stream,
+            )
+        census = severity_census(r.sdc_metrics for r in campaign.sdc_records())
+        print(
+            "   SDC severity (tol 2%): "
+            + "  ".join(f"{k} {v}" for k, v in census.items() if v),
+            file=stream,
+        )
+        resource_rows = [
+            [resource, est.fit, est.events]
+            for resource, est in fit_by_resource(campaign, Outcome.SDC).items()
+        ]
+        if resource_rows:
+            print(
+                format_table(
+                    ["SDCs by resource", "FIT", "events"], resource_rows, floatfmt=".1f"
+                ),
+                file=stream,
+            )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-parse-logs",
+        description="Summarise persisted campaign logs (the artifact's parser scripts).",
+    )
+    parser.add_argument("kind", choices=["injection", "beam"], help="log type")
+    parser.add_argument("logs", nargs="+", help="JSONL log files")
+    args = parser.parse_args(argv)
+    if args.kind == "injection":
+        summarize_injection_log(args.logs, sys.stdout)
+    else:
+        summarize_beam_log(args.logs, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Machine model of the Intel Xeon Phi 3120A (Knights Corner).
+
+The beam experiments of the paper irradiate the *device*, not the
+program: a neutron strike lands in a physical resource (a vector
+register, a cache line, the dispatch logic...) and its effect on the
+program depends on what that resource held.  This package models the
+3120A's resource inventory (:mod:`repro.phi.resources`), its MCA/ECC
+protection (:mod:`repro.phi.ecc`), the static work scheduler that maps
+benchmark tiles onto the 228 hardware threads
+(:mod:`repro.phi.scheduler`), and the machine itself
+(:mod:`repro.phi.machine`), which executes a stepped benchmark while
+translating strikes into state corruption whose propagation is then
+*computed* by really running the benchmark to completion.
+"""
+
+from repro.phi.config import PhiConfig
+from repro.phi.ecc import EccOutcome, classify_upset
+from repro.phi.machine import StrikeResult, XeonPhiMachine
+from repro.phi.resources import RESOURCE_INVENTORY, ResourceClass
+from repro.phi.scheduler import ThreadScheduler
+
+__all__ = [
+    "EccOutcome",
+    "PhiConfig",
+    "RESOURCE_INVENTORY",
+    "ResourceClass",
+    "StrikeResult",
+    "ThreadScheduler",
+    "XeonPhiMachine",
+    "classify_upset",
+]

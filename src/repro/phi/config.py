@@ -1,0 +1,58 @@
+"""Xeon Phi 3120A (Knights Corner) device parameters.
+
+Numbers from the paper's Section 3.1 and Intel's KNC system software
+developer's guide: 57 in-order cores, 4 hardware threads each, 32
+512-bit vector registers per thread, 6 GB GDDR5, 64 KB L1 and 512 KB L2
+per core, 22 nm Tri-gate process, MCA with SECDED ECC on the major
+memory structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PhiConfig", "KNC_3120A"]
+
+
+@dataclass(frozen=True)
+class PhiConfig:
+    """Static description of one coprocessor board."""
+
+    name: str = "Xeon Phi 3120A (Knights Corner)"
+    cores: int = 57
+    threads_per_core: int = 4
+    vector_registers_per_thread: int = 32
+    vector_register_bits: int = 512
+    scalar_registers_per_thread: int = 16
+    scalar_register_bits: int = 64
+    l1_kb_per_core: int = 64
+    l2_kb_per_core: int = 512
+    gddr_gb: int = 6
+    process_nm: int = 22
+    clock_ghz: float = 1.1
+    ecc_enabled: bool = True
+
+    @property
+    def hardware_threads(self) -> int:
+        """Total concurrent hardware threads (57 x 4 = 228)."""
+        return self.cores * self.threads_per_core
+
+    @property
+    def vector_register_bits_total(self) -> int:
+        return (
+            self.hardware_threads
+            * self.vector_registers_per_thread
+            * self.vector_register_bits
+        )
+
+    @property
+    def l2_bits_total(self) -> int:
+        return self.cores * self.l2_kb_per_core * 1024 * 8
+
+    @property
+    def l1_bits_total(self) -> int:
+        return self.cores * self.l1_kb_per_core * 1024 * 8
+
+
+#: The board irradiated in the paper.
+KNC_3120A = PhiConfig()

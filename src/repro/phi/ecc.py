@@ -1,0 +1,62 @@
+"""SECDED ECC model (MCA reliability solution of the 3120A).
+
+Single Error Correction, Double Error Detection over 64-bit words: a
+single-bit upset is corrected transparently, a double-bit upset in the
+same word raises a machine-check abort (the paper notes "SECDED ECC
+normally triggers application crash when a double bit error is
+detected"), and a rare multi-bit upset that evades the code's detection
+guarantees escapes as silent data corruption.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["EccOutcome", "classify_upset", "sample_upset_size"]
+
+
+class EccOutcome(str, enum.Enum):
+    """What SECDED does with an upset."""
+
+    CORRECTED = "corrected"
+    DETECTED = "detected"  # machine-check abort (DUE)
+    ESCAPED = "escaped"  # silent corruption reaches the program
+
+
+#: Multi-cell upset size distribution for a 22 nm SRAM under neutrons
+#: (single-bit events dominate; adjacent double-cell events are a few
+#: percent; larger clusters are rare).  Interleaving maps most
+#: multi-cell events to distinct ECC words, so the *same-word*
+#: multiplicities below are already post-interleaving.
+UPSET_SIZE_PROBS: tuple[tuple[int, float], ...] = (
+    (1, 0.92),
+    (2, 0.06),
+    (3, 0.015),
+    (4, 0.005),
+)
+
+
+def sample_upset_size(rng: np.random.Generator) -> int:
+    """Draw the number of upset bits landing in one ECC word."""
+    sizes = np.array([s for s, _ in UPSET_SIZE_PROBS])
+    probs = np.array([p for _, p in UPSET_SIZE_PROBS])
+    return int(rng.choice(sizes, p=probs / probs.sum()))
+
+
+def classify_upset(bits_in_word: int, ecc_enabled: bool = True) -> EccOutcome:
+    """SECDED's response to ``bits_in_word`` flipped bits in one word."""
+    if bits_in_word < 1:
+        raise ValueError("an upset flips at least one bit")
+    if not ecc_enabled:
+        return EccOutcome.ESCAPED
+    if bits_in_word == 1:
+        return EccOutcome.CORRECTED
+    if bits_in_word == 2:
+        return EccOutcome.DETECTED
+    # Three or more flipped bits alias SECDED's syndrome space: the code
+    # may miscorrect (silent) or detect, roughly evenly; we model the
+    # pessimistic silent escape, which is what produces the paper's
+    # "errors in these parts will propagate to memory" observation.
+    return EccOutcome.ESCAPED

@@ -1,0 +1,280 @@
+"""The machine: translates neutron strikes into architectural effects.
+
+A strike lands in one :class:`~repro.phi.resources.ResourceClass` at a
+random point of the execution.  The machine translates it into a
+corruption of the live benchmark state scoped the way the hardware
+scopes it — one vector lane's worth of contiguous elements for a
+register strike, a 64-byte line for a cache/interconnect strike, a
+whole thread slab for a dispatch strike, a control/pointer word for a
+scalar-register strike — or into an immediate machine-check abort
+(SECDED double-bit detection).  Everything downstream of the corruption
+is *computed* by letting the benchmark run to completion on the
+corrupted state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark, BenchmarkError, Variable
+from repro.phi.config import KNC_3120A, PhiConfig
+from repro.phi.ecc import EccOutcome, classify_upset, sample_upset_size
+from repro.phi.resources import ResourceClass
+from repro.phi.scheduler import ThreadScheduler
+from repro.util.bits import bit_width, flip_bit_inplace, randomize_element_inplace
+
+__all__ = ["MachineCheckError", "SchedulerWedge", "StrikeResult", "XeonPhiMachine"]
+
+#: Variable classes treated as stack-side state (indices, bounds,
+#: pointers) for scalar-register and pipeline strikes.
+_STACK_CLASSES = frozenset({"control", "constant", "pointer"})
+
+#: Bytes per cache line / interconnect flit.
+_LINE_BYTES = 64
+
+
+class MachineCheckError(BenchmarkError):
+    """MCA abort: SECDED detected an uncorrectable error (DUE)."""
+
+
+class SchedulerWedge(BenchmarkError):
+    """Dispatch logic corrupted into a non-progressing state (hang DUE)."""
+
+
+@dataclass(frozen=True)
+class StrikeResult:
+    """What a strike did to the architectural state."""
+
+    resource: ResourceClass
+    effect: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class XeonPhiMachine:
+    """Applies resource-scoped strike effects to live benchmark state."""
+
+    def __init__(self, config: PhiConfig = KNC_3120A):
+        self.config = config
+        self.scheduler = ThreadScheduler(config)
+
+    # -- variable selection ---------------------------------------------------
+
+    @staticmethod
+    def _heap_vars(variables: list[Variable]) -> list[Variable]:
+        return [v for v in variables if v.var_class not in _STACK_CLASSES and v.size > 0]
+
+    @staticmethod
+    def _stack_vars(variables: list[Variable]) -> list[Variable]:
+        return [v for v in variables if v.var_class in _STACK_CLASSES and v.size > 0]
+
+    @staticmethod
+    def _pick_by_footprint(
+        candidates: list[Variable], rng: np.random.Generator
+    ) -> Variable:
+        if not candidates:
+            raise ValueError("no candidate variables")
+        weights = np.array([v.nbytes for v in candidates], dtype=np.float64)
+        return candidates[int(rng.choice(len(candidates), p=weights / weights.sum()))]
+
+    # -- strike application -----------------------------------------------------
+
+    def apply_strike(
+        self,
+        benchmark: Benchmark,
+        state: Any,
+        step: int,
+        resource: ResourceClass,
+        rng: np.random.Generator,
+    ) -> StrikeResult:
+        """Corrupt live state according to ``resource``'s semantics.
+
+        Raises :class:`MachineCheckError` (detected uncorrectable) or
+        :class:`SchedulerWedge` (hang) for immediately-fatal strikes.
+        """
+        resource = ResourceClass(resource)
+        variables = benchmark.variables(state, step)
+        heap = self._heap_vars(variables)
+        stack = self._stack_vars(variables)
+        if not heap:
+            raise ValueError("benchmark exposes no heap variables")
+
+        if resource is ResourceClass.VECTOR_REGISTER:
+            return self._vector_register(heap, rng)
+        if resource is ResourceClass.SCALAR_REGISTER:
+            return self._scalar_register(stack, heap, rng)
+        if resource in (ResourceClass.L1_CACHE, ResourceClass.L2_CACHE):
+            return self._cache(resource, heap, rng)
+        if resource is ResourceClass.FPU_LOGIC:
+            return self._fpu(heap, rng)
+        if resource is ResourceClass.PIPELINE_QUEUE:
+            return self._pipeline(stack, heap, rng)
+        if resource is ResourceClass.DISPATCH_SCHEDULER:
+            return self._dispatch(heap, rng)
+        if resource is ResourceClass.INTERCONNECT:
+            return self._interconnect(heap, rng)
+        raise ValueError(f"unknown resource {resource!r}")  # pragma: no cover
+
+    # -- per-resource effects -----------------------------------------------------
+
+    def _vector_register(
+        self, heap: list[Variable], rng: np.random.Generator
+    ) -> StrikeResult:
+        """A VPU register held a tile of some array: flip lanes of it."""
+        var = self._pick_by_footprint(heap, rng)
+        lanes = max(1, self.config.vector_register_bits // bit_width(var.array.dtype))
+        count = int(rng.integers(1, lanes + 1))
+        thread = self.scheduler.random_thread(rng)
+        slab = self.scheduler.slab_of_thread(var.size, thread)
+        if slab.size == 0:
+            return StrikeResult(ResourceClass.VECTOR_REGISTER, "idle_thread")
+        start = slab.start + int(rng.integers(0, slab.size))
+        hit = list(range(start, min(start + count, slab.stop)))
+        for idx in hit:
+            flip_bit_inplace(var.array, idx, int(rng.integers(0, bit_width(var.array.dtype))))
+        return StrikeResult(
+            ResourceClass.VECTOR_REGISTER,
+            "lane_flips",
+            {"variable": var.name, "elements": hit, "thread": thread},
+        )
+
+    def _scalar_register(
+        self,
+        stack: list[Variable],
+        heap: list[Variable],
+        rng: np.random.Generator,
+    ) -> StrikeResult:
+        """Scalar registers hold bounds, indices and pointers."""
+        if stack:
+            var = stack[int(rng.integers(0, len(stack)))]
+        else:
+            var = self._pick_by_footprint(heap, rng)
+        idx = int(rng.integers(0, var.size))
+        flip_bit_inplace(var.array, idx, int(rng.integers(0, bit_width(var.array.dtype))))
+        return StrikeResult(
+            ResourceClass.SCALAR_REGISTER,
+            "register_flip",
+            {"variable": var.name, "element": idx},
+        )
+
+    def _cache(
+        self,
+        resource: ResourceClass,
+        heap: list[Variable],
+        rng: np.random.Generator,
+    ) -> StrikeResult:
+        """SECDED-protected SRAM, with unprotected tag/status arrays."""
+        # A minority of the cache area is tag/LRU/status logic outside
+        # the SECDED footprint; an upset there yields a wrong-line
+        # access (stale or aliased data for a whole line).
+        if rng.random() < 0.15:
+            return self._wrong_line(resource, heap, rng)
+        upset = sample_upset_size(rng)
+        outcome = classify_upset(upset, self.config.ecc_enabled)
+        if outcome is EccOutcome.CORRECTED:
+            return StrikeResult(resource, "ecc_corrected", {"bits": upset})
+        if outcome is EccOutcome.DETECTED:
+            raise MachineCheckError(
+                f"{resource.value}: SECDED detected a {upset}-bit upset"
+            )
+        var = self._pick_by_footprint(heap, rng)
+        idx = int(rng.integers(0, var.size))
+        width = bit_width(var.array.dtype)
+        for bit in rng.choice(width, size=min(upset, width), replace=False):
+            flip_bit_inplace(var.array, idx, int(bit))
+        return StrikeResult(
+            resource,
+            "ecc_escape",
+            {"variable": var.name, "element": idx, "bits": upset},
+        )
+
+    def _wrong_line(
+        self,
+        resource: ResourceClass,
+        heap: list[Variable],
+        rng: np.random.Generator,
+    ) -> StrikeResult:
+        """Tag upset: a whole line is served from the wrong address."""
+        var = self._pick_by_footprint(heap, rng)
+        elems = max(1, _LINE_BYTES // var.array.dtype.itemsize)
+        if var.size <= elems:
+            start, src = 0, 0
+            elems = var.size
+        else:
+            start = int(rng.integers(0, var.size - elems))
+            src = int(rng.integers(0, var.size - elems))
+        flat = var.array.reshape(-1)
+        flat[start : start + elems] = flat[src : src + elems]
+        return StrikeResult(
+            resource,
+            "wrong_line",
+            {"variable": var.name, "start": start, "source": src, "elements": elems},
+        )
+
+    def _fpu(self, heap: list[Variable], rng: np.random.Generator) -> StrikeResult:
+        """Combinational datapath upset: one latched result is garbage."""
+        var = self._pick_by_footprint(heap, rng)
+        idx = int(rng.integers(0, var.size))
+        randomize_element_inplace(var.array, idx, rng)
+        return StrikeResult(
+            ResourceClass.FPU_LOGIC, "garbage_result", {"variable": var.name, "element": idx}
+        )
+
+    def _pipeline(
+        self,
+        stack: list[Variable],
+        heap: list[Variable],
+        rng: np.random.Generator,
+    ) -> StrikeResult:
+        """Latch/queue upset: in-flight data or in-flight control."""
+        if stack and rng.random() < 0.4:
+            var = stack[int(rng.integers(0, len(stack)))]
+            idx = int(rng.integers(0, var.size))
+            flip_bit_inplace(
+                var.array, idx, int(rng.integers(0, bit_width(var.array.dtype)))
+            )
+            return StrikeResult(
+                ResourceClass.PIPELINE_QUEUE,
+                "control_flip",
+                {"variable": var.name, "element": idx},
+            )
+        var = self._pick_by_footprint(heap, rng)
+        idx = int(rng.integers(0, var.size))
+        randomize_element_inplace(var.array, idx, rng)
+        return StrikeResult(
+            ResourceClass.PIPELINE_QUEUE,
+            "data_garble",
+            {"variable": var.name, "element": idx},
+        )
+
+    def _dispatch(self, heap: list[Variable], rng: np.random.Generator) -> StrikeResult:
+        """Shared dispatch upset: a core's worth of work goes wrong."""
+        if rng.random() < 0.3:
+            raise SchedulerWedge("thread picker corrupted: core stops dispatching")
+        var = self._pick_by_footprint(heap, rng)
+        thread = self.scheduler.random_thread(rng)
+        lo, hi = self.scheduler.core_slab(var.size, thread)
+        if hi <= lo:
+            return StrikeResult(ResourceClass.DISPATCH_SCHEDULER, "idle_core")
+        flat = var.array.reshape(-1)
+        # The core re-executes with a skewed tile base: its slab is
+        # overwritten by a misaligned copy of itself (work done on the
+        # wrong tile), producing the multi-row square signature.
+        span = hi - lo
+        shift = int(rng.integers(1, max(2, span)))
+        flat[lo:hi] = np.roll(flat[lo:hi], shift)
+        return StrikeResult(
+            ResourceClass.DISPATCH_SCHEDULER,
+            "tile_skew",
+            {"variable": var.name, "lo": lo, "hi": hi, "shift": shift, "thread": thread},
+        )
+
+    def _interconnect(
+        self, heap: list[Variable], rng: np.random.Generator
+    ) -> StrikeResult:
+        """Ring flit upset: a line in flight is corrupted or dropped."""
+        if rng.random() < 0.2:
+            raise MachineCheckError("interconnect: protocol error detected")
+        return self._wrong_line(ResourceClass.INTERCONNECT, heap, rng)

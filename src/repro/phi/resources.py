@@ -1,0 +1,93 @@
+"""Strike-able resource classes of the Knights Corner die.
+
+The paper's discussion (Sections 2.1 and 6.1) divides the die into
+ECC-protected storage (caches, memory) and unprotected resources
+(flip-flops in pipeline queues, logic gates, instruction dispatch,
+interconnect).  Each :class:`ResourceClass` entry records whether MCA's
+SECDED covers it and what kind of architectural effect an upset there
+has; the per-class cross sections live in the beam package
+(:mod:`repro.beam.sensitivity`) because they are calibration, not
+architecture.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["RESOURCE_INVENTORY", "ResourceClass", "ResourceSpec"]
+
+
+class ResourceClass(str, enum.Enum):
+    """Physical resource a neutron strike can upset."""
+
+    VECTOR_REGISTER = "vector_register"
+    SCALAR_REGISTER = "scalar_register"
+    L1_CACHE = "l1_cache"
+    L2_CACHE = "l2_cache"
+    FPU_LOGIC = "fpu_logic"
+    PIPELINE_QUEUE = "pipeline_queue"
+    DISPATCH_SCHEDULER = "dispatch_scheduler"
+    INTERCONNECT = "interconnect"
+
+    @classmethod
+    def all(cls) -> tuple["ResourceClass", ...]:
+        return tuple(cls)
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """Architectural properties of one resource class."""
+
+    resource: ResourceClass
+    ecc_protected: bool
+    """Covered by MCA SECDED (caches); unprotected resources propagate."""
+
+    description: str
+
+
+RESOURCE_INVENTORY: dict[ResourceClass, ResourceSpec] = {
+    spec.resource: spec
+    for spec in (
+        ResourceSpec(
+            ResourceClass.VECTOR_REGISTER,
+            ecc_protected=False,
+            description="512-bit VPU registers streaming operand tiles",
+        ),
+        ResourceSpec(
+            ResourceClass.SCALAR_REGISTER,
+            ecc_protected=False,
+            description="x86 scalar registers holding indices, bounds, pointers",
+        ),
+        ResourceSpec(
+            ResourceClass.L1_CACHE,
+            ecc_protected=True,
+            description="per-core 64 KB L1 data/instruction SRAM (SECDED)",
+        ),
+        ResourceSpec(
+            ResourceClass.L2_CACHE,
+            ecc_protected=True,
+            description="per-core 512 KB unified L2 SRAM (SECDED)",
+        ),
+        ResourceSpec(
+            ResourceClass.FPU_LOGIC,
+            ecc_protected=False,
+            description="combinational FPU/VPU datapath logic",
+        ),
+        ResourceSpec(
+            ResourceClass.PIPELINE_QUEUE,
+            ecc_protected=False,
+            description="pipeline latches and internal queues",
+        ),
+        ResourceSpec(
+            ResourceClass.DISPATCH_SCHEDULER,
+            ecc_protected=False,
+            description="instruction dispatch / thread picker shared per core",
+        ),
+        ResourceSpec(
+            ResourceClass.INTERCONNECT,
+            ecc_protected=False,
+            description="ring interconnect moving cache lines between cores",
+        ),
+    )
+}

@@ -1,0 +1,78 @@
+"""Static work scheduler: benchmark tiles onto hardware threads.
+
+The Xeon Phi runs 228 hardware threads; OpenMP's static schedule gives
+each thread a contiguous slab of the output space.  When a strike hits
+a thread-private resource (its registers) the corruption is confined to
+the slab that thread was streaming; when it hits a core-shared resource
+(dispatch, L1) it spans the slabs of the core's four threads.  This
+module computes those slabs for any array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phi.config import KNC_3120A, PhiConfig
+
+__all__ = ["Slab", "ThreadScheduler"]
+
+
+@dataclass(frozen=True)
+class Slab:
+    """A contiguous flat-index range of an array owned by one thread."""
+
+    thread: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+class ThreadScheduler:
+    """OpenMP-static assignment of array elements to hardware threads."""
+
+    def __init__(self, config: PhiConfig = KNC_3120A):
+        self.config = config
+
+    def slab_of_thread(self, total: int, thread: int) -> Slab:
+        """The flat range thread ``thread`` owns in an array of ``total``."""
+        nthreads = self.config.hardware_threads
+        if not 0 <= thread < nthreads:
+            raise ValueError(f"thread {thread} out of range")
+        if total <= 0:
+            raise ValueError("total must be positive")
+        base = total // nthreads
+        extra = total % nthreads
+        start = thread * base + min(thread, extra)
+        stop = start + base + (1 if thread < extra else 0)
+        return Slab(thread=thread, start=start, stop=stop)
+
+    def thread_of_element(self, total: int, flat_index: int) -> int:
+        """Which thread owns flat element ``flat_index``."""
+        if not 0 <= flat_index < total:
+            raise IndexError(f"element {flat_index} out of range")
+        nthreads = self.config.hardware_threads
+        base = total // nthreads
+        extra = total % nthreads
+        # First `extra` threads own (base + 1) elements each.
+        boundary = extra * (base + 1)
+        if base == 0:
+            return min(flat_index, nthreads - 1)
+        if flat_index < boundary:
+            return flat_index // (base + 1)
+        return extra + (flat_index - boundary) // base
+
+    def core_slab(self, total: int, thread: int) -> tuple[int, int]:
+        """Flat range covered by all four threads of ``thread``'s core."""
+        tpc = self.config.threads_per_core
+        core = thread // tpc
+        first = self.slab_of_thread(total, core * tpc)
+        last = self.slab_of_thread(total, core * tpc + tpc - 1)
+        return first.start, last.stop
+
+    def random_thread(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.config.hardware_threads))

@@ -1,0 +1,103 @@
+"""Bit-level corruption primitives on NumPy backing stores.
+
+All injectable benchmark and machine state in this library is held in
+NumPy arrays (0-d arrays for scalars), so every fault model reduces to
+an in-place bit operation on one flat element of an array.  Bit indices
+are counted little-endian across the element's bytes: bit 0 is the
+least-significant bit of byte 0, bit ``8 * itemsize - 1`` the MSB of the
+last byte.  For little-endian machines (the only ones we support) this
+matches the numeric bit significance of integer dtypes, which is what
+the paper's fault models assume.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+__all__ = [
+    "bit_width",
+    "flip_bit_inplace",
+    "flip_bits_inplace",
+    "get_bit",
+    "randomize_element_inplace",
+    "zero_element_inplace",
+]
+
+if sys.byteorder != "little":  # pragma: no cover - exotic platforms
+    raise ImportError("repro.util.bits assumes a little-endian host")
+
+
+def bit_width(dtype: np.dtype | type) -> int:
+    """Number of bits in one element of ``dtype``."""
+    return 8 * np.dtype(dtype).itemsize
+
+
+def _byte_matrix(arr: np.ndarray) -> np.ndarray:
+    """A (n_elements, itemsize) uint8 view of ``arr``'s buffer.
+
+    Requires a C-contiguous array; callers that own non-contiguous state
+    must densify it first (injectable state is contiguous by library
+    convention, enforced here).
+    """
+    if not isinstance(arr, np.ndarray):
+        raise TypeError(f"expected ndarray, got {type(arr).__name__}")
+    if arr.dtype.hasobject:
+        raise TypeError("cannot corrupt object arrays")
+    if not arr.flags.c_contiguous:
+        raise ValueError("injectable arrays must be C-contiguous")
+    flat = arr.reshape(-1)
+    return flat.view(np.uint8).reshape(flat.size, arr.dtype.itemsize)
+
+
+def _check_index(arr: np.ndarray, flat_index: int) -> int:
+    size = arr.size
+    if size == 0:
+        raise IndexError("cannot corrupt an empty array")
+    index = int(flat_index)
+    if not 0 <= index < size:
+        raise IndexError(f"flat index {index} out of range for size {size}")
+    return index
+
+
+def get_bit(arr: np.ndarray, flat_index: int, bit: int) -> int:
+    """Read bit ``bit`` of element ``flat_index`` (0 or 1)."""
+    bytes_ = _byte_matrix(arr)
+    index = _check_index(arr, flat_index)
+    byte_idx, bit_off = divmod(int(bit), 8)
+    if not 0 <= byte_idx < bytes_.shape[1]:
+        raise IndexError(f"bit {bit} out of range for itemsize {arr.dtype.itemsize}")
+    return int(bytes_[index, byte_idx] >> bit_off) & 1
+
+
+def flip_bit_inplace(arr: np.ndarray, flat_index: int, bit: int) -> None:
+    """Flip a single bit of one element in place (the Single model)."""
+    bytes_ = _byte_matrix(arr)
+    index = _check_index(arr, flat_index)
+    byte_idx, bit_off = divmod(int(bit), 8)
+    if not 0 <= byte_idx < bytes_.shape[1]:
+        raise IndexError(f"bit {bit} out of range for itemsize {arr.dtype.itemsize}")
+    bytes_[index, byte_idx] ^= np.uint8(1 << bit_off)
+
+
+def flip_bits_inplace(arr: np.ndarray, flat_index: int, bits: list[int] | tuple[int, ...]) -> None:
+    """Flip several distinct bits of one element in place."""
+    if len(set(int(b) for b in bits)) != len(bits):
+        raise ValueError("bit positions must be distinct")
+    for bit in bits:
+        flip_bit_inplace(arr, flat_index, bit)
+
+
+def randomize_element_inplace(arr: np.ndarray, flat_index: int, rng: np.random.Generator) -> None:
+    """Overwrite every bit of one element with random bits (Random model)."""
+    bytes_ = _byte_matrix(arr)
+    index = _check_index(arr, flat_index)
+    bytes_[index, :] = rng.integers(0, 256, size=bytes_.shape[1], dtype=np.uint8)
+
+
+def zero_element_inplace(arr: np.ndarray, flat_index: int) -> None:
+    """Set every bit of one element to zero (Zero model)."""
+    bytes_ = _byte_matrix(arr)
+    index = _check_index(arr, flat_index)
+    bytes_[index, :] = 0

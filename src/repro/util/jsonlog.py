@@ -1,0 +1,77 @@
+"""Structured JSONL campaign logs.
+
+CAROL-FI's Supervisor logs one record per injection (variable name,
+frame, fault model, time window, outcome, ...); the beam driver logs one
+record per observed error.  Both use this append-only JSON-lines store
+so third-party analysis can re-parse raw campaign data, mirroring the
+paper's public log repository.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["JsonlLog", "dump_records", "load_records"]
+
+
+def _sanitize(value: Any) -> Any:
+    """Convert NumPy scalars/arrays to JSON-serialisable builtins."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    return value
+
+
+class JsonlLog:
+    """Append-only JSONL file of dict records."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, record: dict[str, Any]) -> None:
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(_sanitize(record), sort_keys=True) + "\n")
+
+    def extend(self, records: Iterable[dict[str, Any]]) -> None:
+        with self.path.open("a", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(_sanitize(record), sort_keys=True) + "\n")
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        if not self.path.exists():
+            return iter(())
+        return iter(load_records(self.path))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+
+def dump_records(path: str | Path, records: Iterable[dict[str, Any]]) -> None:
+    """Write (overwrite) ``records`` to ``path`` as JSONL."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(_sanitize(record), sort_keys=True) + "\n")
+
+
+def load_records(path: str | Path) -> list[dict[str, Any]]:
+    """Read all JSONL records from ``path``."""
+    out: list[dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

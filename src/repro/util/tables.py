@@ -1,0 +1,84 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark harness prints paper-vs-measured rows for every figure
+and table; this module renders them without any third-party formatting
+dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text.rstrip("%x"))
+    except ValueError:
+        return False
+    return True
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells that render as numbers are right-aligned, text cells
+    left-aligned; floats use ``floatfmt``.
+    """
+    str_rows = [[_cell(v, floatfmt) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    numeric_cols = []
+    for col in range(len(headers)):
+        cells = [row[col] for row in str_rows if row[col] not in ("", "-")]
+        numeric_cols.append(bool(cells) and all(_is_number(c) for c in cells))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric_cols[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], *, floatfmt: str = ".2f"
+) -> str:
+    """Render one figure series as ``name: (x, y) (x, y) ...``."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    pairs = " ".join(
+        f"({format(float(x), 'g')}, {format(float(y), floatfmt)})" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"

@@ -1,0 +1,95 @@
+"""Reliability unit conversions (FIT, MTBF, fluence, flux scaling).
+
+Conventions follow JEDEC JESD89A as used in the paper:
+
+* FIT — Failures In Time, failures per 1e9 device-hours.
+* Sea-level reference neutron flux (>10 MeV): 13 n/(cm^2 * h).
+* Accelerated beam results scale to natural rates by the ratio of the
+  beam flux to the natural flux.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FIT_HOURS",
+    "SEA_LEVEL_FLUX_N_CM2_H",
+    "acceleration_factor",
+    "cross_section_from_counts",
+    "fit_from_cross_section",
+    "fit_to_mtbf_hours",
+    "mtbf_hours_to_fit",
+    "natural_hours_covered",
+]
+
+FIT_HOURS = 1e9
+"""Device-hours in one FIT unit."""
+
+SEA_LEVEL_FLUX_N_CM2_H = 13.0
+"""JEDEC reference atmospheric neutron flux at sea level (n / cm^2 / h)."""
+
+
+def cross_section_from_counts(events: int | float, fluence_n_cm2: float) -> float:
+    """Cross section (cm^2) = observed events / particle fluence (n/cm^2)."""
+    if fluence_n_cm2 <= 0:
+        raise ValueError("fluence must be positive")
+    if events < 0:
+        raise ValueError("events must be non-negative")
+    return float(events) / float(fluence_n_cm2)
+
+
+def fit_from_cross_section(
+    cross_section_cm2: float, natural_flux_n_cm2_h: float = SEA_LEVEL_FLUX_N_CM2_H
+) -> float:
+    """FIT rate implied by a cross section under a natural flux.
+
+    failures/hour = sigma * flux; FIT = failures/hour * 1e9.
+    """
+    if cross_section_cm2 < 0:
+        raise ValueError("cross section must be non-negative")
+    if natural_flux_n_cm2_h <= 0:
+        raise ValueError("flux must be positive")
+    return cross_section_cm2 * natural_flux_n_cm2_h * FIT_HOURS
+
+
+def fit_to_mtbf_hours(fit: float, devices: int = 1) -> float:
+    """Mean time between failures (hours) of ``devices`` boards at ``fit`` each."""
+    if fit <= 0:
+        raise ValueError("FIT must be positive")
+    if devices <= 0:
+        raise ValueError("devices must be positive")
+    return FIT_HOURS / (fit * devices)
+
+
+def mtbf_hours_to_fit(mtbf_hours: float, devices: int = 1) -> float:
+    """Inverse of :func:`fit_to_mtbf_hours`."""
+    if mtbf_hours <= 0:
+        raise ValueError("MTBF must be positive")
+    if devices <= 0:
+        raise ValueError("devices must be positive")
+    return FIT_HOURS / (mtbf_hours * devices)
+
+
+def acceleration_factor(
+    beam_flux_n_cm2_s: float, natural_flux_n_cm2_h: float = SEA_LEVEL_FLUX_N_CM2_H
+) -> float:
+    """How many natural hours one beam second emulates.
+
+    LANSCE runs at 1e5 - 2.5e6 n/cm^2/s, i.e. 6-8 orders of magnitude
+    above the 13 n/cm^2/h natural flux, exactly the paper's framing.
+    """
+    if beam_flux_n_cm2_s <= 0:
+        raise ValueError("beam flux must be positive")
+    if natural_flux_n_cm2_h <= 0:
+        raise ValueError("natural flux must be positive")
+    return beam_flux_n_cm2_s / (natural_flux_n_cm2_h / 3600.0) / 3600.0
+
+
+def natural_hours_covered(
+    fluence_n_cm2: float, natural_flux_n_cm2_h: float = SEA_LEVEL_FLUX_N_CM2_H
+) -> float:
+    """Natural-exposure hours equivalent to a delivered beam fluence."""
+    if fluence_n_cm2 < 0:
+        raise ValueError("fluence must be non-negative")
+    if natural_flux_n_cm2_h <= 0:
+        raise ValueError("flux must be positive")
+    return fluence_n_cm2 / natural_flux_n_cm2_h

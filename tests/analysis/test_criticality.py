@@ -1,0 +1,71 @@
+"""Criticality grouping and the paper's portion aggregation."""
+
+import pytest
+
+from repro.analysis.criticality import (
+    PORTION_MAPS,
+    criticality_by_portion,
+    portion_of_record,
+)
+from repro.faults.outcome import InjectionRecord, Outcome
+from repro.faults.site import FaultSite
+
+
+def _record(benchmark, var_class, outcome):
+    return InjectionRecord(
+        benchmark=benchmark,
+        run_index=0,
+        site=FaultSite("f", "v", 0, "float64", var_class=var_class),
+        fault_model="single",
+        bits=(0,),
+        interrupt_step=0,
+        total_steps=10,
+        time_window=0,
+        num_windows=5,
+        outcome=outcome,
+    )
+
+
+def test_pointer_counts_with_matrices_for_dgemm():
+    record = _record("dgemm", "pointer", Outcome.DUE)
+    assert portion_of_record(record) == "matrices"
+
+
+def test_clamr_three_way_split():
+    assert portion_of_record(_record("clamr", "sort", Outcome.SDC)) == "sort"
+    assert portion_of_record(_record("clamr", "tree", Outcome.SDC)) == "tree"
+    assert portion_of_record(_record("clamr", "control", Outcome.SDC)) == "others"
+    assert portion_of_record(_record("clamr", "others", Outcome.SDC)) == "others"
+
+
+def test_unknown_benchmark_falls_back_to_class():
+    assert portion_of_record(_record("mystery", "weird", Outcome.SDC)) == "weird"
+
+
+def test_portion_maps_cover_all_benchmarks():
+    assert set(PORTION_MAPS) == {"dgemm", "lud", "nw", "hotspot", "lavamd", "clamr"}
+
+
+def test_reports_sorted_by_harmfulness():
+    records = (
+        [_record("dgemm", "control", Outcome.DUE)] * 8
+        + [_record("dgemm", "control", Outcome.MASKED)] * 2
+        + [_record("dgemm", "matrix", Outcome.MASKED)] * 9
+        + [_record("dgemm", "matrix", Outcome.SDC)] * 1
+    )
+    reports = criticality_by_portion(records)
+    assert [r.portion for r in reports] == ["control", "matrices"]
+    assert reports[0].harmful_fraction == pytest.approx(0.8)
+    assert reports[0].due.value == pytest.approx(0.8)
+    assert reports[1].sdc.value == pytest.approx(0.1)
+
+
+def test_report_counts(dgemm_campaign):
+    reports = criticality_by_portion(dgemm_campaign.records)
+    assert sum(r.injections for r in reports) == len(dgemm_campaign.records)
+    assert {r.portion for r in reports} <= {"matrices", "control"}
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        criticality_by_portion([])

@@ -1,0 +1,39 @@
+"""Machine-scale MTBF projections (Section 4.2)."""
+
+import pytest
+
+from repro.analysis.extrapolate import (
+    EXASCALE_BOARDS,
+    TRINITY_BOARDS,
+    project_machine,
+)
+
+
+def test_board_counts_match_paper():
+    assert TRINITY_BOARDS == 19_000
+    assert EXASCALE_BOARDS == 10 * TRINITY_BOARDS
+
+
+def test_paper_trinity_anchor():
+    # ~190 FIT at Trinity scale -> failures every ~11.5 days.
+    projection = project_machine(190.0, TRINITY_BOARDS)
+    assert 11.0 < projection.mtbf_days < 12.5
+
+
+def test_exascale_is_almost_daily():
+    projection = project_machine(190.0, EXASCALE_BOARDS)
+    assert projection.mtbf_days < 1.5
+    assert projection.events_per_day > 0.65
+
+
+def test_mtbf_scales_inverse_with_boards():
+    one = project_machine(100.0, 1)
+    many = project_machine(100.0, 1000)
+    assert one.mtbf_hours == pytest.approx(many.mtbf_hours * 1000)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        project_machine(0.0, 10)
+    with pytest.raises(ValueError):
+        project_machine(10.0, 0)

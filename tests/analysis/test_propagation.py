@@ -1,0 +1,74 @@
+"""Propagation profiling."""
+
+import pytest
+
+from repro.analysis.propagation import PropagationProfile, propagation_profile
+from repro.benchmarks.registry import create
+from repro.faults.models import FaultModel
+from repro.faults.site import FaultSite
+
+
+def test_profile_structure():
+    bench = create("lud", n=24, block=4)
+    profile = propagation_profile(bench, seed=1, model=FaultModel.RANDOM, interrupt_step=1)
+    assert profile.benchmark == "lud"
+    assert profile.interrupt_step == 1
+    assert profile.total_steps == 6
+    if not profile.crashed:
+        assert len(profile.points) == 5  # one sample per post-injection step
+        for point in profile.points:
+            assert point.steps_since_injection == point.step - 1
+            assert 0.0 <= point.wrong_fraction <= 1.0
+
+
+def test_profile_deterministic():
+    bench = create("nw", n=16, rows_per_step=4)
+    a = propagation_profile(bench, seed=5, model=FaultModel.SINGLE)
+    b = propagation_profile(bench, seed=5, model=FaultModel.SINGLE)
+    assert a.interrupt_step == b.interrupt_step
+    assert [p.wrong_elements for p in a.points] == [p.wrong_elements for p in b.points]
+
+
+def test_some_faults_propagate():
+    bench = create("lud", n=24, block=4)
+    spread = []
+    for seed in range(15):
+        profile = propagation_profile(bench, seed=seed, model=FaultModel.RANDOM)
+        if not profile.crashed and profile.final_wrong > 1:
+            spread.append(profile)
+    assert spread, "no propagating fault in 15 profiles"
+    # In-place LU compounds: corruption grows monotonically for at
+    # least one observed fault.
+    assert any(p.monotone_growth_fraction() == 1.0 for p in spread)
+
+
+def test_crash_terminates_profile():
+    bench = create("nw", n=16, rows_per_step=4)
+    crashed = None
+    for seed in range(40):
+        profile = propagation_profile(bench, seed=seed, model=FaultModel.RANDOM)
+        if profile.crashed:
+            crashed = profile
+            break
+    assert crashed is not None
+    assert crashed.crash_detail
+
+
+def test_interrupt_step_validated():
+    bench = create("nw", n=16, rows_per_step=4)
+    with pytest.raises(ValueError):
+        propagation_profile(bench, seed=1, interrupt_step=999)
+
+
+def test_empty_profile_properties():
+    profile = PropagationProfile(
+        benchmark="x",
+        site=FaultSite("f", "v", 0, "float64"),
+        fault_model="single",
+        interrupt_step=0,
+        total_steps=4,
+        points=[],
+    )
+    assert profile.final_wrong == 0
+    assert profile.peak_wrong == 0
+    assert profile.monotone_growth_fraction() == 1.0

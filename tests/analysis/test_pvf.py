@@ -1,0 +1,67 @@
+"""PVF aggregation over injection records."""
+
+import pytest
+
+from repro.analysis.pvf import (
+    outcome_shares,
+    pvf,
+    pvf_by_fault_model,
+    pvf_by_window,
+)
+from repro.faults.outcome import Outcome
+
+
+def test_outcome_shares_sum_to_one(dgemm_campaign):
+    shares = outcome_shares(dgemm_campaign.records)
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert all(0.0 <= v <= 1.0 for v in shares.values())
+
+
+def test_pvf_matches_manual_count(dgemm_campaign):
+    records = dgemm_campaign.records
+    manual = sum(1 for r in records if r.outcome is Outcome.SDC) / len(records)
+    estimate = pvf(records, Outcome.SDC)
+    assert estimate.value == pytest.approx(manual)
+    assert estimate.lower <= estimate.value <= estimate.upper
+
+
+def test_pvf_by_fault_model_covers_models(dgemm_campaign):
+    table = pvf_by_fault_model(dgemm_campaign.records, Outcome.SDC)
+    assert set(table) == {"single", "double", "random", "zero"}
+
+
+def test_pvf_by_fault_model_explicit_order(dgemm_campaign):
+    table = pvf_by_fault_model(
+        dgemm_campaign.records, Outcome.DUE, models=("zero", "single")
+    )
+    assert list(table) == ["zero", "single"]
+
+
+def test_pvf_by_window_covers_windows(dgemm_campaign):
+    table = pvf_by_window(dgemm_campaign.records, Outcome.SDC)
+    assert set(table) <= set(range(5))
+    for estimate in table.values():
+        assert 0.0 <= estimate.value <= 1.0
+
+
+def test_pvf_by_window_weights_are_per_window(dgemm_campaign):
+    # Each window's PVF is conditional on the window's own injections:
+    # the weighted average over windows equals the overall PVF.
+    records = dgemm_campaign.records
+    table = pvf_by_window(records, Outcome.SDC)
+    weighted = sum(
+        est.value * sum(1 for r in records if r.time_window == w)
+        for w, est in table.items()
+    )
+    assert weighted / len(records) == pytest.approx(pvf(records, Outcome.SDC).value)
+
+
+def test_empty_records_rejected():
+    with pytest.raises(ValueError):
+        outcome_shares([])
+    with pytest.raises(ValueError):
+        pvf([], Outcome.SDC)
+    with pytest.raises(ValueError):
+        pvf_by_fault_model([], Outcome.SDC)
+    with pytest.raises(ValueError):
+        pvf_by_window([], Outcome.SDC)

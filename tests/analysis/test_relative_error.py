@@ -1,0 +1,89 @@
+"""Relative-error tolerance sweeps (Figure 3 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.relative_error import (
+    PAPER_TOLERANCES,
+    fit_reduction_curve,
+    mantissa_bits_within,
+    surviving_fraction,
+)
+
+
+def test_paper_grid_spans_0p1_to_15_pct():
+    assert PAPER_TOLERANCES[0] == 0.001
+    assert PAPER_TOLERANCES[-1] == 0.15
+
+
+def test_surviving_fraction_basic():
+    errors = [0.0005, 0.05, 10.0]
+    assert surviving_fraction(errors, 0.001) == pytest.approx(2 / 3)
+    assert surviving_fraction(errors, 0.1) == pytest.approx(1 / 3)
+
+
+def test_surviving_fraction_inf_always_survives():
+    assert surviving_fraction([np.inf], 0.15) == 1.0
+
+
+def test_surviving_fraction_validates():
+    with pytest.raises(ValueError):
+        surviving_fraction([], 0.1)
+    with pytest.raises(ValueError):
+        surviving_fraction([1.0], -0.1)
+
+
+def test_reduction_curve_monotone_nondecreasing():
+    errors = [0.0005, 0.003, 0.01, 0.05, 0.2, np.inf]
+    curve = fit_reduction_curve(errors)
+    reductions = [red for _, red in curve]
+    assert reductions == sorted(reductions)
+    assert all(0.0 <= red <= 100.0 for red in reductions)
+
+
+def test_reduction_curve_at_zero_tolerance_is_zero():
+    curve = fit_reduction_curve([0.5, 1.0], tolerances=[0.0])
+    assert curve[0][1] == 0.0
+
+
+def test_reduction_hits_100_when_all_below():
+    curve = fit_reduction_curve([1e-6, 1e-5], tolerances=[0.001])
+    assert curve[0][1] == 100.0
+
+
+def test_mantissa_bits_paper_anchors():
+    # Principled bound; the paper quotes 41/49 with a slightly
+    # different rounding convention.
+    assert mantissa_bits_within(0.001) in (41, 42, 43)
+    assert mantissa_bits_within(0.15) in (49, 50)
+
+
+def test_mantissa_bits_monotone():
+    bits = [mantissa_bits_within(t) for t in PAPER_TOLERANCES]
+    assert bits == sorted(bits)
+
+
+def test_mantissa_bits_single_precision():
+    assert mantissa_bits_within(0.001, mantissa_bits=23) < 23
+
+
+def test_mantissa_bits_validates():
+    with pytest.raises(ValueError):
+        mantissa_bits_within(0.0)
+    with pytest.raises(ValueError):
+        mantissa_bits_within(1.5)
+    with pytest.raises(ValueError):
+        mantissa_bits_within(0.1, mantissa_bits=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    errors=st.lists(st.floats(1e-6, 1e3), min_size=1, max_size=30),
+    t1=st.floats(1e-4, 0.5),
+    t2=st.floats(1e-4, 0.5),
+)
+def test_surviving_fraction_monotone_in_tolerance(errors, t1, t2):
+    lo, hi = sorted((t1, t2))
+    assert surviving_fraction(errors, lo) >= surviving_fraction(errors, hi)

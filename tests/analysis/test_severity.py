@@ -1,0 +1,89 @@
+"""SDC severity qualification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.severity import (
+    SeverityClass,
+    SeverityThresholds,
+    classify_severity,
+    severity_census,
+)
+
+
+def test_negligible_below_tolerance():
+    assert classify_severity(0.01, 0.5) is SeverityClass.NEGLIGIBLE
+
+
+def test_tolerable_small_both():
+    assert classify_severity(0.05, 0.001) is SeverityClass.TOLERABLE
+
+
+def test_attenuated_wide_but_small():
+    # HotSpot's signature: many elements, tiny deviations.
+    assert classify_severity(0.05, 0.4) is SeverityClass.ATTENUATED
+
+
+def test_localized_large_but_narrow():
+    # ABFT territory: one badly wrong value.
+    assert classify_severity(10.0, 0.0005) is SeverityClass.LOCALIZED
+
+
+def test_critical_large_and_wide():
+    assert classify_severity(np.inf, 0.3) is SeverityClass.CRITICAL
+
+
+def test_thresholds_validated():
+    with pytest.raises(ValueError):
+        SeverityThresholds(tolerance=-0.1)
+    with pytest.raises(ValueError):
+        SeverityThresholds(tolerance=0.2, magnitude=0.1)
+    with pytest.raises(ValueError):
+        SeverityThresholds(spread=0.0)
+
+
+def test_inputs_validated():
+    with pytest.raises(ValueError):
+        classify_severity(-1.0, 0.5)
+    with pytest.raises(ValueError):
+        classify_severity(1.0, 1.5)
+
+
+def test_custom_thresholds_shift_boundaries():
+    strict = SeverityThresholds(tolerance=0.001, magnitude=0.01, spread=0.001)
+    assert classify_severity(0.05, 0.0005, strict) is SeverityClass.LOCALIZED
+    loose = SeverityThresholds(tolerance=0.001, magnitude=1.0, spread=0.5)
+    assert classify_severity(0.05, 0.0005, loose) is SeverityClass.TOLERABLE
+
+
+def test_census_counts_and_covers_all_classes():
+    metrics = [
+        {"max_rel_err": 0.001, "wrong_fraction": 0.5},
+        {"max_rel_err": 5.0, "wrong_fraction": 0.5},
+        {"max_rel_err": 5.0, "wrong_fraction": 0.0001},
+    ]
+    census = severity_census(metrics)
+    assert set(census) == {c.value for c in SeverityClass}
+    assert census["negligible"] == 1
+    assert census["critical"] == 1
+    assert census["localized"] == 1
+    assert sum(census.values()) == 3
+
+
+def test_census_on_real_campaign(dgemm_beam):
+    metrics = [r.sdc_metrics for r in dgemm_beam.sdc_records()]
+    census = severity_census(metrics)
+    assert sum(census.values()) == len(metrics)
+    # Beam corruption is rarely all-negligible at a 2% tolerance.
+    assert census["critical"] + census["localized"] + census["attenuated"] > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rel=st.floats(0.0, 1e6, allow_nan=False),
+    frac=st.floats(0.0, 1.0, allow_nan=False),
+)
+def test_classification_total(rel, frac):
+    assert classify_severity(rel, frac) in SeverityClass

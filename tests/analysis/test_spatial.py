@@ -1,0 +1,182 @@
+"""Spatial pattern classification of corrupted outputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.spatial import (
+    ErrorPattern,
+    classify_mask,
+    classify_outputs,
+    max_relative_error,
+    wrong_mask,
+)
+
+
+def _mask(shape, coords):
+    mask = np.zeros(shape, dtype=bool)
+    for coord in coords:
+        mask[coord] = True
+    return mask
+
+
+def test_none_pattern():
+    assert classify_mask(_mask((8, 8), [])) is ErrorPattern.NONE
+
+
+def test_single_pattern():
+    assert classify_mask(_mask((8, 8), [(3, 4)])) is ErrorPattern.SINGLE
+
+
+def test_row_line_pattern():
+    coords = [(2, j) for j in range(1, 7)]
+    assert classify_mask(_mask((8, 8), coords)) is ErrorPattern.LINE
+
+
+def test_column_line_pattern():
+    coords = [(i, 5) for i in range(8)]
+    assert classify_mask(_mask((8, 8), coords)) is ErrorPattern.LINE
+
+
+def test_sparse_row_still_line():
+    coords = [(2, 0), (2, 3), (2, 7)]  # scattered along one row
+    assert classify_mask(_mask((8, 8), coords)) is ErrorPattern.LINE
+
+
+def test_square_pattern():
+    coords = [(i, j) for i in range(2, 5) for j in range(3, 6)]
+    assert classify_mask(_mask((8, 8), coords)) is ErrorPattern.SQUARE
+
+
+def test_random_pattern():
+    coords = [(0, 0), (7, 7), (0, 7), (3, 2)]
+    assert classify_mask(_mask((8, 8), coords)) is ErrorPattern.RANDOM
+
+
+def test_cubic_pattern():
+    mask = np.zeros((4, 4, 4), dtype=bool)
+    mask[1:3, 1:3, 1:3] = True
+    assert classify_mask(mask, spatial_dims=3) is ErrorPattern.CUBIC
+
+
+def test_sparse_3d_is_random():
+    mask = np.zeros((4, 4, 4), dtype=bool)
+    mask[0, 0, 0] = mask[3, 3, 3] = mask[0, 3, 0] = True
+    assert classify_mask(mask, spatial_dims=3) is ErrorPattern.RANDOM
+
+
+def test_trailing_feature_axes_collapsed():
+    # LavaMD-style (x, y, z, features) output.
+    mask = np.zeros((4, 4, 4, 8), dtype=bool)
+    mask[2, 2, 2, 5] = True
+    assert classify_mask(mask, spatial_dims=3) is ErrorPattern.SINGLE
+    mask[2, 2, 2, 6] = True  # two features of the same box: still 1 box
+    # two wrong elements, one spatial site -> LINE degenerates? No:
+    # spanning == 0, total_wrong == 2 -> LINE by the <=1 spanning rule.
+    assert classify_mask(mask, spatial_dims=3) in (
+        ErrorPattern.LINE,
+        ErrorPattern.SINGLE,
+    )
+
+
+def test_spatial_dims_validated():
+    with pytest.raises(ValueError):
+        classify_mask(np.zeros((4, 4), dtype=bool), spatial_dims=0)
+    with pytest.raises(ValueError):
+        classify_mask(np.zeros(4, dtype=bool), spatial_dims=3)
+
+
+def test_wrong_mask_exact():
+    golden = np.array([1.0, 2.0, 3.0])
+    observed = np.array([1.0, 2.5, 3.0])
+    assert wrong_mask(golden, observed).tolist() == [False, True, False]
+
+
+def test_wrong_mask_nan_equal():
+    golden = np.array([np.nan, 1.0])
+    observed = np.array([np.nan, 1.0])
+    assert not wrong_mask(golden, observed).any()
+
+
+def test_wrong_mask_with_tolerance():
+    golden = np.array([100.0, 100.0])
+    observed = np.array([100.4, 120.0])
+    mask = wrong_mask(golden, observed, tolerance=0.01)
+    assert mask.tolist() == [False, True]
+
+
+def test_wrong_mask_zero_golden_never_tolerated():
+    golden = np.array([0.0])
+    observed = np.array([1e-9])
+    assert wrong_mask(golden, observed, tolerance=0.15).tolist() == [True]
+
+
+def test_wrong_mask_nonfinite_never_tolerated():
+    golden = np.array([5.0])
+    observed = np.array([np.inf])
+    assert wrong_mask(golden, observed, tolerance=0.5).tolist() == [True]
+
+
+def test_wrong_mask_validates():
+    with pytest.raises(ValueError):
+        wrong_mask(np.zeros(3), np.zeros(4))
+    with pytest.raises(ValueError):
+        wrong_mask(np.zeros(3), np.zeros(3), tolerance=-1.0)
+
+
+def test_classify_outputs_convenience():
+    golden = np.zeros((5, 5))
+    observed = golden.copy()
+    observed[2, 2] = 1.0
+    assert classify_outputs(golden, observed) is ErrorPattern.SINGLE
+
+
+def test_max_relative_error_simple():
+    golden = np.array([10.0, 20.0])
+    observed = np.array([11.0, 20.0])
+    assert max_relative_error(golden, observed) == pytest.approx(0.1)
+
+
+def test_max_relative_error_clean_is_zero():
+    golden = np.array([1.0, 2.0])
+    assert max_relative_error(golden, golden.copy()) == 0.0
+
+
+def test_max_relative_error_zero_golden_is_inf():
+    golden = np.array([0.0])
+    observed = np.array([0.5])
+    assert max_relative_error(golden, observed) == np.inf
+
+
+def test_max_relative_error_nan_observed_is_inf():
+    golden = np.array([3.0])
+    observed = np.array([np.nan])
+    assert max_relative_error(golden, observed) == np.inf
+
+
+def test_observable_patterns():
+    observable = ErrorPattern.observable()
+    assert ErrorPattern.NONE not in observable
+    assert len(observable) == 5
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    coords=st.sets(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=0, max_size=12
+    )
+)
+def test_classification_total_and_consistent(coords):
+    mask = _mask((8, 8), list(coords))
+    pattern = classify_mask(mask)
+    if len(coords) == 0:
+        assert pattern is ErrorPattern.NONE
+    elif len(coords) == 1:
+        assert pattern is ErrorPattern.SINGLE
+    else:
+        assert pattern in (
+            ErrorPattern.LINE,
+            ErrorPattern.SQUARE,
+            ErrorPattern.RANDOM,
+        )

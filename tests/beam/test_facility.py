@@ -1,0 +1,68 @@
+"""Poisson beam-session mode and the single-strike tuning check."""
+
+import pytest
+
+from repro.beam.facility import BeamSession
+from repro.beam.flux import LanceBeam
+from repro.util.rng import derive_rng
+
+
+def _session(flux=1e6, exec_seconds=1.0) -> BeamSession:
+    return BeamSession(LanceBeam(flux_n_cm2_s=flux), execution_seconds=exec_seconds)
+
+
+def test_strikes_per_execution_mean():
+    session = _session(flux=1e6)
+    sigma = session.sensitivity.total_cross_section_cm2
+    assert session.strikes_per_execution_mean == pytest.approx(sigma * 1e6)
+
+
+def test_simulate_counts_consistent():
+    session = _session()
+    stats = session.simulate(5000, derive_rng(3, "fac"))
+    assert stats.executions == 5000
+    assert stats.beam_seconds == pytest.approx(5000.0)
+    assert stats.fluence_n_cm2 == pytest.approx(5000.0 * 1e6)
+    assert stats.strikes >= 0
+    assert stats.multi_strike_executions <= stats.strikes
+
+
+def test_poisson_mean_matches_analytic():
+    session = _session(flux=2.5e6, exec_seconds=10.0)
+    stats = session.simulate(20000, derive_rng(4, "fac"))
+    assert stats.strikes_per_execution == pytest.approx(
+        session.strikes_per_execution_mean, rel=0.1
+    )
+
+
+def test_multi_strike_negligible_at_low_flux():
+    session = _session(flux=1e5)
+    stats = session.simulate(20000, derive_rng(5, "fac"))
+    # sigma*flux ~ 1e-2 strikes/exec: double events are rare.
+    assert stats.multi_strike_fraction < 1e-3
+
+
+def test_max_flux_for_error_rate_inverse():
+    session = _session()
+    flux = session.max_flux_for_error_rate(1e-4, visible_probability=0.1)
+    sigma = session.sensitivity.total_cross_section_cm2
+    # At that flux, errors/execution is exactly the target.
+    assert sigma * flux * 0.1 * 1.0 == pytest.approx(1e-4)
+
+
+def test_max_flux_validation():
+    session = _session()
+    with pytest.raises(ValueError):
+        session.max_flux_for_error_rate(0.0, 0.1)
+    with pytest.raises(ValueError):
+        session.max_flux_for_error_rate(1e-4, 0.0)
+
+
+def test_execution_time_validated():
+    with pytest.raises(ValueError):
+        BeamSession(LanceBeam(), execution_seconds=0.0)
+
+
+def test_simulate_validates_executions():
+    with pytest.raises(ValueError):
+        _session().simulate(0, derive_rng(1, "x"))

@@ -1,0 +1,104 @@
+"""FIT estimation and bookkeeping."""
+
+import pytest
+
+from repro.analysis.spatial import ErrorPattern
+from repro.beam.experiment import BeamCampaignResult, BeamRecord
+from repro.beam.fit import estimate_fit
+from repro.beam.flux import LanceBeam
+from repro.beam.sensitivity import DeviceSensitivity, ResourceSensitivity
+from repro.faults.outcome import Outcome
+from repro.phi.resources import ResourceClass
+
+
+def _synthetic_campaign(sdc=10, due=5, masked=85, sigma=1e-7):
+    sensitivity = DeviceSensitivity(
+        [ResourceSensitivity(ResourceClass.FPU_LOGIC, sigma, 1.0)]
+    )
+    trials = []
+    index = 0
+
+    def record(outcome, pattern=None):
+        nonlocal index
+        metrics = {"pattern": pattern, "max_rel_err": 1.0} if pattern else {}
+        rec = BeamRecord(
+            benchmark="synthetic",
+            trial=index,
+            resource="fpu_logic",
+            effect="garbage_result",
+            strike_step=0,
+            total_steps=10,
+            occupied=True,
+            outcome=outcome,
+            sdc_metrics=metrics,
+        )
+        index += 1
+        return rec
+
+    for _ in range(sdc):
+        trials.append(record(Outcome.SDC, "line"))
+    for _ in range(due):
+        trials.append(record(Outcome.DUE))
+    for _ in range(masked):
+        trials.append(record(Outcome.MASKED))
+    return BeamCampaignResult("synthetic", trials, sensitivity)
+
+
+def test_fit_hand_computed():
+    # sigma=1e-7 cm^2, flux 13 n/cm^2/h, P(SDC)=0.1:
+    # FIT = 1e-7 * 13 * 1e9 * 0.1 = 130.
+    report = estimate_fit(_synthetic_campaign())
+    assert report.sdc.fit == pytest.approx(130.0)
+    assert report.due.fit == pytest.approx(65.0)
+    assert report.total_fit == pytest.approx(195.0)
+
+
+def test_fit_ci_contains_point():
+    report = estimate_fit(_synthetic_campaign())
+    assert report.sdc.lower < report.sdc.fit < report.sdc.upper
+    assert report.sdc.events == 10
+
+
+def test_pattern_partition_sums_to_sdc():
+    report = estimate_fit(_synthetic_campaign())
+    partition_total = sum(e.fit for e in report.sdc_by_pattern.values())
+    assert partition_total == pytest.approx(report.sdc.fit)
+    assert report.sdc_by_pattern["line"].fit == pytest.approx(report.sdc.fit)
+
+
+def test_pattern_keys_are_the_paper_five():
+    report = estimate_fit(_synthetic_campaign())
+    assert set(report.sdc_by_pattern) == {
+        p.value for p in ErrorPattern.observable()
+    }
+
+
+def test_fluence_bookkeeping():
+    report = estimate_fit(_synthetic_campaign(), beam=LanceBeam(flux_n_cm2_s=1e6))
+    # 100 trials / 1e-7 cm^2 = 1e9 n/cm^2 fluence.
+    assert report.equivalent_fluence_n_cm2 == pytest.approx(1e9)
+    assert report.equivalent_beam_hours == pytest.approx(1e9 / 1e6 / 3600.0)
+    assert report.equivalent_natural_hours == pytest.approx(1e9 / 13.0)
+
+
+def test_mtbf_inverse_of_fit():
+    report = estimate_fit(_synthetic_campaign())
+    assert report.mtbf_hours() == pytest.approx(1e9 / 195.0)
+    assert report.mtbf_hours(devices=10) == pytest.approx(1e9 / 1950.0)
+
+
+def test_mtbf_infinite_when_no_failures():
+    report = estimate_fit(_synthetic_campaign(sdc=0, due=0, masked=50))
+    assert report.mtbf_hours() == float("inf")
+
+
+def test_empty_campaign_rejected():
+    campaign = _synthetic_campaign(sdc=0, due=0, masked=0)
+    with pytest.raises(ValueError):
+        estimate_fit(campaign)
+
+
+def test_real_campaign_fit_in_paper_ballpark(dgemm_beam):
+    report = estimate_fit(dgemm_beam)
+    assert 10.0 < report.sdc.fit < 600.0
+    assert 1.0 < report.due.fit < 300.0

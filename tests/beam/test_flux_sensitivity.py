@@ -1,0 +1,120 @@
+"""Beam flux configuration and the device sensitivity table."""
+
+import numpy as np
+import pytest
+
+from repro.beam.flux import LANSCE_FLUX_MAX, LANSCE_FLUX_MIN, LanceBeam
+from repro.beam.sensitivity import (
+    DEFAULT_SENSITIVITY,
+    DeviceSensitivity,
+    ResourceSensitivity,
+)
+from repro.phi.resources import ResourceClass
+from repro.util.rng import derive_rng
+
+
+def test_flux_range_enforced():
+    LanceBeam(flux_n_cm2_s=1e5)
+    LanceBeam(flux_n_cm2_s=2.5e6)
+    with pytest.raises(ValueError):
+        LanceBeam(flux_n_cm2_s=1e4)
+    with pytest.raises(ValueError):
+        LanceBeam(flux_n_cm2_s=1e7)
+
+
+def test_acceleration_6_to_8_orders():
+    assert 1e6 < LanceBeam(flux_n_cm2_s=1e5).acceleration < 1e8
+    assert 1e8 < LanceBeam(flux_n_cm2_s=2.5e6).acceleration < 1e10
+
+
+def test_fluence_accumulation():
+    beam = LanceBeam(flux_n_cm2_s=1e6)
+    assert beam.fluence(3600.0) == pytest.approx(3.6e9)
+    assert beam.beam_seconds_for_fluence(3.6e9) == pytest.approx(3600.0)
+
+
+def test_fluence_validation():
+    beam = LanceBeam()
+    with pytest.raises(ValueError):
+        beam.fluence(-1.0)
+    with pytest.raises(ValueError):
+        beam.beam_seconds_for_fluence(-1.0)
+
+
+def test_default_sensitivity_covers_all_resources():
+    assert set(DEFAULT_SENSITIVITY.entries) == set(ResourceClass.all())
+
+
+def test_default_total_cross_section_plausible():
+    sigma = DEFAULT_SENSITIVITY.total_cross_section_cm2
+    assert 5e-8 < sigma < 5e-7  # device-scale cross section
+
+
+def test_effective_below_total():
+    assert (
+        DEFAULT_SENSITIVITY.effective_cross_section_cm2
+        < DEFAULT_SENSITIVITY.total_cross_section_cm2
+    )
+
+
+def test_sampling_follows_cross_sections():
+    rng = derive_rng(6, "sense")
+    draws = [DEFAULT_SENSITIVITY.sample_resource(rng) for _ in range(4000)]
+    l2_share = draws.count(ResourceClass.L2_CACHE) / len(draws)
+    expected = (
+        DEFAULT_SENSITIVITY.entries[ResourceClass.L2_CACHE].cross_section_cm2
+        / DEFAULT_SENSITIVITY.total_cross_section_cm2
+    )
+    assert abs(l2_share - expected) < 0.05
+
+
+def test_entry_validation():
+    with pytest.raises(ValueError):
+        ResourceSensitivity(ResourceClass.L1_CACHE, -1.0, 0.5)
+    with pytest.raises(ValueError):
+        ResourceSensitivity(ResourceClass.L1_CACHE, 1e-8, 1.5)
+
+
+def test_duplicate_entries_rejected():
+    entry = ResourceSensitivity(ResourceClass.L1_CACHE, 1e-8, 0.5)
+    with pytest.raises(ValueError):
+        DeviceSensitivity([entry, entry])
+
+
+def test_empty_table_rejected():
+    with pytest.raises(ValueError):
+        DeviceSensitivity([])
+
+
+def test_occupancy_lookup():
+    occ = DEFAULT_SENSITIVITY.occupancy_of(ResourceClass.FPU_LOGIC)
+    assert 0.0 < occ < 1.0
+
+
+def test_altitude_flux_sea_level_identity():
+    from repro.beam.flux import natural_flux_at_altitude
+
+    assert natural_flux_at_altitude(0.0) == pytest.approx(13.0)
+
+
+def test_altitude_flux_reference_ratios():
+    from repro.beam.flux import natural_flux_at_altitude
+
+    denver = natural_flux_at_altitude(1609.0) / 13.0
+    leadville = natural_flux_at_altitude(3100.0) / 13.0
+    assert 3.0 < denver < 4.5
+    assert 9.0 < leadville < 13.0
+
+
+def test_altitude_flux_lanl_factor():
+    from repro.beam.flux import LANL_ALTITUDE_M, natural_flux_at_altitude
+
+    factor = natural_flux_at_altitude(LANL_ALTITUDE_M) / 13.0
+    assert 4.5 < factor < 7.0  # Trinity sees ~5-6x the sea-level flux
+
+
+def test_altitude_flux_validates():
+    from repro.beam.flux import natural_flux_at_altitude
+
+    with pytest.raises(ValueError):
+        natural_flux_at_altitude(-10.0)

@@ -1,0 +1,70 @@
+"""Statistics-driven beam-time planning."""
+
+import pytest
+
+from repro.beam.flux import LanceBeam
+from repro.beam.planner import plan_campaign
+from repro.util.stats import required_events_for_relative_ci
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return plan_campaign(("dgemm", "lud"), seed=2017, pilot_trials=120)
+
+
+def test_plan_covers_requested_benchmarks(plan):
+    assert [e.benchmark for e in plan.entries] == ["dgemm", "lud"]
+
+
+def test_target_matches_ci_criterion(plan):
+    target = required_events_for_relative_ci(0.10)
+    for entry in plan.entries:
+        assert entry.target_events == target
+
+
+def test_trials_driven_by_rarer_outcome(plan):
+    for entry in plan.entries:
+        rarest = min(p for p in (entry.p_sdc, entry.p_due) if p > 0)
+        expected = entry.target_events / rarest
+        assert entry.required_trials == pytest.approx(expected, rel=0.01)
+
+
+def test_beam_time_consistent_with_fluence(plan):
+    sigma = 0.0
+    from repro.beam.sensitivity import DEFAULT_SENSITIVITY
+
+    sigma = DEFAULT_SENSITIVITY.total_cross_section_cm2
+    for entry in plan.entries:
+        fluence = entry.required_trials / sigma
+        hours = plan.beam.beam_seconds_for_fluence(fluence) / 3600.0
+        assert entry.beam_hours == pytest.approx(hours)
+
+
+def test_total_beam_hours_same_order_as_paper(plan):
+    # The paper spent >500 beam hours on five benchmarks; two of ours
+    # should land within the same couple orders of magnitude.
+    assert 1.0 < plan.total_beam_hours < 5000.0
+
+
+def test_render_mentions_paper(plan):
+    text = plan.render()
+    assert "beam campaign plan" in text
+    assert "500 hours" in text
+    assert "dgemm" in text
+
+
+def test_higher_flux_means_less_time():
+    slow = plan_campaign(("lud",), pilot_trials=100, beam=LanceBeam(flux_n_cm2_s=1e5))
+    fast = plan_campaign(("lud",), pilot_trials=100, beam=LanceBeam(flux_n_cm2_s=2.5e6))
+    assert fast.total_beam_hours < slow.total_beam_hours
+
+
+def test_tighter_ci_needs_more_trials():
+    loose = plan_campaign(("lud",), pilot_trials=100, relative_ci=0.2)
+    tight = plan_campaign(("lud",), pilot_trials=100, relative_ci=0.05)
+    assert tight.entries[0].required_trials > loose.entries[0].required_trials
+
+
+def test_pilot_validated():
+    with pytest.raises(ValueError):
+        plan_campaign(("lud",), pilot_trials=5)

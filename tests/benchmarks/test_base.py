@@ -1,0 +1,133 @@
+"""Benchmark base protocol: guards, pointers, windows."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import (
+    BenchmarkHang,
+    PointerTable,
+    SegmentationFault,
+    bounded_range,
+    checked_index,
+)
+from repro.benchmarks.registry import create
+
+
+def test_bounded_range_normal():
+    assert list(bounded_range(2, 8, 2)) == [2, 4, 6]
+
+
+def test_bounded_range_zero_step_hangs():
+    with pytest.raises(BenchmarkHang):
+        bounded_range(0, 10, 0)
+
+
+def test_bounded_range_huge_trip_hangs():
+    with pytest.raises(BenchmarkHang):
+        bounded_range(0, 10**9)
+
+
+def test_bounded_range_negative_step():
+    assert list(bounded_range(5, 0, -2)) == [5, 3, 1]
+
+
+def test_checked_index_ok():
+    assert checked_index(3, 5) == 3
+
+
+@pytest.mark.parametrize("bad", [-1, 5, 10**12, -(10**12)])
+def test_checked_index_rejects(bad):
+    with pytest.raises(IndexError):
+        checked_index(bad, 5)
+
+
+def test_pointer_table_resolve_untouched_is_same_object():
+    arr = np.arange(6, dtype=np.float64)
+    table = PointerTable({"a": arr})
+    assert table.resolve("a", arr) is arr
+
+
+def test_pointer_table_null_pointer_segfaults():
+    arr = np.arange(6, dtype=np.float64)
+    table = PointerTable({"a": arr})
+    table.addresses[0] = 0
+    with pytest.raises(SegmentationFault):
+        table.resolve("a", arr)
+
+
+def test_pointer_table_wild_pointer_segfaults():
+    arr = np.arange(6, dtype=np.float64)
+    table = PointerTable({"a": arr})
+    table.addresses[0] ^= np.int64(1) << np.int64(40)
+    with pytest.raises(SegmentationFault):
+        table.resolve("a", arr)
+
+
+def test_pointer_table_in_allocation_shift_reads_garbage():
+    arr = np.arange(6, dtype=np.int64)
+    table = PointerTable({"a": arr})
+    table.addresses[0] += 8  # one element forward, still in allocation
+    shifted = table.resolve("a", arr)
+    assert shifted is not arr
+    assert shifted[0] == arr[1]
+
+
+def test_pointer_table_misaligned_shift():
+    arr = np.arange(4, dtype=np.float64)
+    table = PointerTable({"a": arr})
+    table.addresses[0] += 3  # misaligned: garbage floats, no crash
+    shifted = table.resolve("a", arr)
+    assert shifted.shape == arr.shape
+
+
+def test_pointer_table_distinct_allocations():
+    a = np.zeros(100)
+    b = np.zeros(100)
+    table = PointerTable({"a": a, "b": b})
+    assert table.addresses[0] != table.addresses[1]
+    span = abs(int(table.addresses[1]) - int(table.addresses[0]))
+    assert span >= a.nbytes  # allocations do not overlap
+
+
+def test_pointer_table_empty_rejected():
+    with pytest.raises(ValueError):
+        PointerTable({})
+
+
+def test_window_of_step_partition():
+    bench = create("dgemm")
+    state = bench.make_state(np.random.default_rng(0))
+    total = bench.num_steps(state)
+    windows = [bench.window_of_step(s, total) for s in range(total)]
+    assert windows[0] == 0
+    assert windows[-1] == bench.num_windows - 1
+    assert sorted(set(windows)) == list(range(bench.num_windows))
+    assert windows == sorted(windows)  # monotone
+
+
+def test_window_of_step_validates():
+    bench = create("dgemm")
+    with pytest.raises(ValueError):
+        bench.window_of_step(0, 0)
+
+
+def test_describe_contains_metadata():
+    bench = create("nw")
+    meta = bench.describe()
+    assert meta["name"] == "nw"
+    assert meta["num_windows"] == 4
+    assert meta["float_output"] is False
+    assert "params" in meta
+
+
+def test_unknown_param_rejected():
+    with pytest.raises(TypeError):
+        create("dgemm", bogus=1)
+
+
+def test_frames_are_unique_ordered():
+    bench = create("hotspot")
+    state = bench.make_state(np.random.default_rng(0))
+    frames = bench.frames(state, 0)
+    assert len(frames) == len(set(frames))
+    assert "global" in frames

@@ -1,0 +1,149 @@
+"""CLAMR K-D tree: build/query correctness and corruption behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks.base import BenchmarkHang
+from repro.benchmarks.clamr.kdtree import KdTree
+from repro.util.rng import derive_rng
+
+
+def _points(n=50, seed=3):
+    rng = derive_rng(seed, "kd")
+    return rng.random(n), rng.random(n)
+
+
+def test_build_leaf_only_for_small_sets():
+    x, y = _points(5)
+    tree = KdTree.build(x, y, leaf_size=8)
+    assert int(tree.n_nodes[()]) == 1
+    assert tree.left[0] == -1
+
+
+def test_build_empty_rejected():
+    with pytest.raises(ValueError):
+        KdTree.build(np.array([]), np.array([]))
+
+
+def test_build_leaf_size_validated():
+    x, y = _points(5)
+    with pytest.raises(ValueError):
+        KdTree.build(x, y, leaf_size=0)
+
+
+def test_perm_is_permutation():
+    x, y = _points(64)
+    tree = KdTree.build(x, y, leaf_size=4)
+    assert sorted(tree.perm) == list(range(64))
+
+
+def test_query_on_exact_points_returns_self():
+    x, y = _points(40)
+    tree = KdTree.build(x, y, leaf_size=4)
+    found = tree.query_nearest(x, y, x, y)
+    assert np.array_equal(found, np.arange(40))
+
+
+def test_query_near_points_mostly_exact():
+    x, y = _points(60)
+    tree = KdTree.build(x, y, leaf_size=6)
+    qx = x + 1e-6
+    qy = y - 1e-6
+    found = tree.query_nearest(x, y, qx, qy)
+    # Points that are themselves split pivots can fall just across
+    # their own plane: leaf-local search misses those, by design.
+    assert (found == np.arange(60)).mean() > 0.85
+
+
+def test_query_matches_brute_force_majority():
+    x, y = _points(80, seed=9)
+    tree = KdTree.build(x, y, leaf_size=8)
+    rng = derive_rng(10, "q")
+    qx, qy = rng.random(40), rng.random(40)
+    found = tree.query_nearest(x, y, qx, qy)
+    d2 = (qx[:, None] - x[None, :]) ** 2 + (qy[:, None] - y[None, :]) ** 2
+    exact = d2.argmin(axis=1)
+    # Leaf-local search is approximate: requires a strong majority of
+    # exact hits (the CLAMR neighbour queries are near-interior points).
+    assert (found == exact).mean() > 0.6
+
+
+def test_corrupted_child_pointer_crashes():
+    x, y = _points(60)
+    tree = KdTree.build(x, y, leaf_size=4)
+    tree.left[0] = 10_000
+    with pytest.raises(IndexError):
+        tree.query_nearest(x, y, x[:5], y[:5])
+
+
+def test_corrupted_cycle_hangs():
+    x, y = _points(60)
+    tree = KdTree.build(x, y, leaf_size=4)
+    tree.left[0] = 0  # root points at itself for half the queries
+    tree.right[0] = 0
+    with pytest.raises(BenchmarkHang):
+        tree.query_nearest(x, y, x[:5], y[:5])
+
+
+def test_corrupted_node_count_crashes():
+    x, y = _points(60)
+    tree = KdTree.build(x, y, leaf_size=4)
+    tree.n_nodes[...] = -3
+    with pytest.raises(IndexError):
+        tree.query_nearest(x, y, x[:2], y[:2])
+
+
+def test_corrupted_split_dim_crashes():
+    x, y = _points(60)
+    tree = KdTree.build(x, y, leaf_size=4)
+    tree.split_dim[0] = 7
+    with pytest.raises(IndexError):
+        tree.query_nearest(x, y, x[:2], y[:2])
+
+
+def test_corrupted_leaf_range_crashes():
+    x, y = _points(30)
+    tree = KdTree.build(x, y, leaf_size=4)
+    leaves = np.flatnonzero(tree.left[: int(tree.n_nodes[()])] == -1)
+    tree.leaf_lo[leaves[0]] = 999
+    with pytest.raises(IndexError):
+        tree.query_nearest(x, y, x, y)
+
+
+def test_corrupted_leaf_candidate_crashes():
+    x, y = _points(30)
+    tree = KdTree.build(x, y, leaf_size=4)
+    tree.perm[0] = 500
+    with pytest.raises(IndexError):
+        tree.query_nearest(x, y, x, y)
+
+
+def test_corrupted_split_value_wrong_neighbour_not_crash():
+    x, y = _points(60)
+    tree = KdTree.build(x, y, leaf_size=4)
+    tree.split_val[0] = -100.0  # every query now descends right
+    found = tree.query_nearest(x, y, x, y)
+    assert found.shape == (60,)  # silent wrong answers (SDC path)
+
+
+def test_variables_expose_backing_stores():
+    x, y = _points(30)
+    tree = KdTree.build(x, y, leaf_size=4)
+    variables = tree.variables()
+    assert variables["tree_left"] is tree.left
+    assert set(variables) >= {"tree_split_val", "tree_perm", "tree_n_nodes"}
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 120), leaf=st.integers(1, 16))
+def test_build_covers_all_points_in_leaves(n, leaf):
+    x, y = _points(n, seed=n)
+    tree = KdTree.build(x, y, leaf_size=leaf)
+    nodes = int(tree.n_nodes[()])
+    covered = []
+    for node in range(nodes):
+        if tree.left[node] == -1:
+            covered.extend(tree.perm[tree.leaf_lo[node] : tree.leaf_hi[node]])
+    assert sorted(covered) == list(range(n))

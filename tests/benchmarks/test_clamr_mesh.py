@@ -1,0 +1,169 @@
+"""CLAMR AMR mesh: refinement, coarsening, painting."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import SimulationAborted
+from repro.benchmarks.clamr.mesh import AmrMesh
+
+
+def _mesh(base=4, max_level=2, capacity=400) -> AmrMesh:
+    mesh = AmrMesh(base, max_level, capacity)
+    mesh.init_dam_break()
+    return mesh
+
+
+def test_init_covers_domain():
+    mesh = _mesh()
+    n = mesh.live()
+    assert n == 16
+    assert np.all((mesh.x[:n] > 0) & (mesh.x[:n] < 1))
+    assert np.all(mesh.lev[:n] == 0)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        AmrMesh(1, 1, 100)
+    with pytest.raises(ValueError):
+        AmrMesh(4, -1, 100)
+    with pytest.raises(ValueError):
+        AmrMesh(4, 1, 2)
+
+
+def test_cell_size_by_level():
+    mesh = _mesh(base=4)
+    assert mesh.cell_size(0) == pytest.approx(0.25)
+    assert mesh.cell_size(2) == pytest.approx(0.0625)
+    assert mesh.finest_size == pytest.approx(0.0625)
+
+
+def test_cell_size_rejects_corrupt_level():
+    mesh = _mesh()
+    with pytest.raises(IndexError):
+        mesh.cell_size(99)
+    with pytest.raises(IndexError):
+        mesh.cell_size(-1)
+
+
+def test_live_validates_counter():
+    mesh = _mesh()
+    mesh.ncells[...] = 0
+    with pytest.raises(IndexError):
+        mesh.live()
+    mesh.ncells[...] = 10**6
+    with pytest.raises(IndexError):
+        mesh.live()
+
+
+def test_refine_adds_three_cells_per_split():
+    mesh = _mesh()
+    created = mesh.refine(np.array([5]))
+    assert created == 3
+    assert mesh.live() == 19
+    # Children share a fresh parent id and distinct slots.
+    children = np.flatnonzero(mesh.parent[:19] == 0)
+    assert len(children) == 4
+    assert sorted(mesh.slot[children]) == [0, 1, 2, 3]
+    assert np.all(mesh.lev[children] == 1)
+
+
+def test_refine_conserves_state_values():
+    mesh = _mesh()
+    h_before = mesh.h[5]
+    mesh.refine(np.array([5]))
+    children = np.flatnonzero(mesh.parent[: mesh.live()] == 0)
+    assert np.all(mesh.h[children] == h_before)
+
+
+def test_refine_children_inside_parent():
+    mesh = _mesh()
+    cx, cy = mesh.x[5], mesh.y[5]
+    size = float(mesh.cell_size(0))
+    mesh.refine(np.array([5]))
+    children = np.flatnonzero(mesh.parent[: mesh.live()] == 0)
+    assert np.all(np.abs(mesh.x[children] - cx) <= size / 2)
+    assert np.all(np.abs(mesh.y[children] - cy) <= size / 2)
+
+
+def test_refine_at_max_level_is_noop():
+    mesh = _mesh(max_level=0)
+    assert mesh.refine(np.array([3])) == 0
+
+
+def test_refine_past_capacity_aborts():
+    mesh = _mesh(capacity=17)
+    with pytest.raises(SimulationAborted):
+        mesh.refine(np.arange(16))
+
+
+def test_refine_rejects_corrupt_index():
+    mesh = _mesh()
+    with pytest.raises(IndexError):
+        mesh.refine(np.array([500]))
+
+
+def test_refine_empty_is_noop():
+    mesh = _mesh()
+    assert mesh.refine(np.array([], dtype=np.int64)) == 0
+    assert mesh.live() == 16
+
+
+def test_coarsen_merges_quiet_quartet():
+    mesh = _mesh()
+    mesh.refine(np.array([5]))
+    n = mesh.live()
+    removed = mesh.coarsen(np.ones(n, dtype=bool))
+    assert removed == 3
+    assert mesh.live() == 16
+    assert np.all(mesh.lev[:16] == 0)
+
+
+def test_coarsen_respects_quiet_mask():
+    mesh = _mesh()
+    mesh.refine(np.array([5]))
+    n = mesh.live()
+    quiet = np.ones(n, dtype=bool)
+    children = np.flatnonzero(mesh.parent[:n] == 0)
+    quiet[children[0]] = False  # one loud sibling blocks the merge
+    assert mesh.coarsen(quiet) == 0
+
+
+def test_coarsen_averages_state():
+    mesh = _mesh()
+    mesh.refine(np.array([5]))
+    n = mesh.live()
+    children = np.flatnonzero(mesh.parent[:n] == 0)
+    mesh.h[children] = [1.0, 2.0, 3.0, 4.0]
+    mesh.coarsen(np.ones(n, dtype=bool))
+    merged = mesh.live() - 1  # compacted cells keep order; find level-0 cell
+    assert 2.5 in mesh.h[: mesh.live()]
+
+
+def test_coarsen_mask_shape_checked():
+    mesh = _mesh()
+    with pytest.raises(ValueError):
+        mesh.coarsen(np.ones(3, dtype=bool))
+
+
+def test_refine_coarsen_roundtrip_preserves_cell_count():
+    mesh = _mesh()
+    mesh.refine(np.array([2, 7, 11]))
+    assert mesh.live() == 16 + 9
+    mesh.coarsen(np.ones(mesh.live(), dtype=bool))
+    assert mesh.live() == 16
+
+
+def test_sample_grid_shape_and_values():
+    mesh = _mesh(base=4, max_level=1)
+    grid = mesh.sample_grid()
+    assert grid.shape == (8, 8)
+    assert set(np.unique(grid)) <= set(np.unique(mesh.h[: mesh.live()]))
+
+
+def test_sample_grid_finer_cells_paint_over():
+    mesh = _mesh(base=4, max_level=1)
+    mesh.refine(np.array([0]))
+    children = np.flatnonzero(mesh.parent[: mesh.live()] == 0)
+    mesh.h[children] = 42.0
+    grid = mesh.sample_grid()
+    assert (grid == 42.0).sum() == 4  # each level-1 child covers one pixel

@@ -1,0 +1,135 @@
+"""CLAMR cell sort: Morton keys and the reorder pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks.clamr.mesh import AmrMesh
+from repro.benchmarks.clamr.sort import (
+    apply_permutation,
+    commit_reorder,
+    compute_sort_permutation,
+    gather_reorder_buffers,
+    morton_keys,
+)
+
+
+def _mesh() -> AmrMesh:
+    mesh = AmrMesh(4, 1, 200)
+    mesh.init_dam_break()
+    return mesh
+
+
+def test_morton_keys_quadrant_order():
+    # Z-order: (0,0) < (1,0)? Morton interleaves x into even bits and y
+    # into odd bits, so y dominates within a level.
+    keys = morton_keys(np.array([0.1, 0.6, 0.1, 0.6]), np.array([0.1, 0.1, 0.6, 0.6]), 8)
+    assert keys[0] == keys.min()
+    assert keys[3] == keys.max()
+
+
+def test_morton_keys_distinct_for_distinct_cells():
+    mesh = _mesh()
+    n = mesh.live()
+    keys = morton_keys(mesh.x[:n], mesh.y[:n], 8)
+    assert len(np.unique(keys)) == n
+
+
+def test_morton_keys_handle_nan_inf():
+    keys = morton_keys(np.array([np.nan, np.inf, -np.inf]), np.array([0.5, 0.5, 0.5]), 8)
+    assert np.isfinite(keys).all()
+
+
+def test_morton_resolution_validation():
+    with pytest.raises(ValueError):
+        morton_keys(np.array([0.5]), np.array([0.5]), 0)
+    with pytest.raises(ValueError):
+        morton_keys(np.array([0.5]), np.array([0.5]), 1 << 20)
+
+
+def test_sort_permutation_is_valid():
+    mesh = _mesh()
+    perm = compute_sort_permutation(mesh)
+    assert sorted(perm) == list(range(mesh.live()))
+
+
+def test_sorted_mesh_keys_nondecreasing():
+    mesh = _mesh()
+    apply_permutation(mesh, compute_sort_permutation(mesh))
+    n = mesh.live()
+    keys = morton_keys(mesh.x[:n], mesh.y[:n], 8)
+    assert np.all(np.diff(keys) >= 0)
+
+
+def test_reorder_preserves_multiset_of_cells():
+    mesh = _mesh()
+    n = mesh.live()
+    before = sorted(zip(mesh.x[:n], mesh.y[:n], mesh.h[:n]))
+    apply_permutation(mesh, compute_sort_permutation(mesh))
+    after = sorted(zip(mesh.x[:n], mesh.y[:n], mesh.h[:n]))
+    assert before == after
+
+
+def test_gather_then_commit_equals_apply():
+    mesh_a = _mesh()
+    mesh_b = _mesh()
+    perm = compute_sort_permutation(mesh_a)
+    buffers = gather_reorder_buffers(mesh_a, perm)
+    commit_reorder(mesh_a, buffers)
+    apply_permutation(mesh_b, perm)
+    n = mesh_a.live()
+    assert np.array_equal(mesh_a.x[:n], mesh_b.x[:n])
+    assert np.array_equal(mesh_a.h[:n], mesh_b.h[:n])
+
+
+def test_corrupted_perm_out_of_range_crashes():
+    mesh = _mesh()
+    perm = compute_sort_permutation(mesh)
+    perm[3] = 9999
+    with pytest.raises(IndexError):
+        gather_reorder_buffers(mesh, perm)
+
+
+def test_corrupted_perm_duplicate_scrambles_silently():
+    mesh = _mesh()
+    perm = compute_sort_permutation(mesh)
+    perm[3] = perm[4]  # duplicates a cell, drops another: SDC not crash
+    apply_permutation(mesh, perm)
+    n = mesh.live()
+    coords = set(zip(mesh.x[:n], mesh.y[:n]))
+    assert len(coords) == n - 1
+
+
+def test_wrong_length_perm_crashes():
+    mesh = _mesh()
+    with pytest.raises(IndexError):
+        apply_permutation(mesh, np.arange(5))
+
+
+def test_corrupted_buffer_shape_crashes_commit():
+    mesh = _mesh()
+    buffers = gather_reorder_buffers(mesh, compute_sort_permutation(mesh))
+    buffers["h"] = buffers["h"][:-2]
+    with pytest.raises(IndexError):
+        commit_reorder(mesh, buffers)
+
+
+def test_corrupted_buffer_values_become_mesh_state():
+    mesh = _mesh()
+    buffers = gather_reorder_buffers(mesh, compute_sort_permutation(mesh))
+    buffers["h"][0] = 123.456
+    commit_reorder(mesh, buffers)
+    assert 123.456 in mesh.h[: mesh.live()]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    xs=st.lists(st.floats(0.01, 0.99), min_size=2, max_size=16),
+)
+def test_morton_keys_deterministic(xs):
+    x = np.array(xs)
+    y = x[::-1].copy()
+    a = morton_keys(x, y, 64)
+    b = morton_keys(x, y, 64)
+    assert np.array_equal(a, b)

@@ -1,0 +1,144 @@
+"""DGEMM benchmark: correctness and corruption semantics."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import BenchmarkHang, SegmentationFault
+from repro.benchmarks.dgemm import Dgemm
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture
+def bench() -> Dgemm:
+    return Dgemm()
+
+
+@pytest.fixture
+def state(bench):
+    return bench.make_state(derive_rng(11, "dgemm-test"))
+
+
+def test_matches_numpy(bench, state):
+    out = bench.run(state)
+    np.testing.assert_allclose(out, state.a_src @ state.b_src, atol=1e-10)
+
+
+def test_deterministic(bench):
+    a = bench.golden(derive_rng(5, "g"))
+    b = bench.golden(derive_rng(5, "g"))
+    assert np.array_equal(a, b)
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        Dgemm(n=60, n_threads=7)
+    with pytest.raises(ValueError):
+        Dgemm(k_block=0)
+    with pytest.raises(ValueError):
+        Dgemm(col_block=7)
+    with pytest.raises(ValueError):
+        Dgemm(init_steps=0)
+
+
+def test_step_count(bench, state):
+    assert bench.num_steps(state) == 2 + 60 // 3
+
+
+def test_kernel_frame_only_after_init(bench, state):
+    names_at_0 = {v.name for v in bench.variables(state, 0)}
+    names_at_5 = {v.name for v in bench.variables(state, 5)}
+    assert "thread_ctl" not in names_at_0
+    assert "thread_ctl" in names_at_5
+    assert "operand_ptrs" in names_at_5
+
+
+def test_control_classes(bench, state):
+    classes = {v.name: v.var_class for v in bench.variables(state, 5)}
+    assert classes["thread_ctl"] == "control"
+    assert classes["a"] == "matrix"
+    assert classes["operand_ptrs"] == "pointer"
+
+
+def _run_from(bench, state, start):
+    for index in range(start, bench.num_steps(state)):
+        bench.step(state, index)
+    return bench.output(state)
+
+
+def test_corrupted_row_bound_out_of_range_crashes(bench, state):
+    bench.step(state, 0)
+    bench.step(state, 1)
+    state.thread_ctl[3, 1] = 10_000  # end row far out of range
+    with pytest.raises(IndexError):
+        _run_from(bench, state, 2)
+
+
+def test_corrupted_k_stride_zero_hangs(bench, state):
+    bench.step(state, 0)
+    bench.step(state, 1)
+    state.thread_ctl[3, 4] = 0
+    with pytest.raises(BenchmarkHang):
+        _run_from(bench, state, 2)
+
+
+def test_empty_tile_is_silent_wrong_output(bench, state):
+    golden = bench.golden(derive_rng(11, "dgemm-test"))
+    bench.step(state, 0)
+    bench.step(state, 1)
+    state.thread_ctl[3, 1] = 0  # end <= start: tile never computed
+    out = _run_from(bench, state, 2)
+    mismatch = out != golden
+    assert mismatch.any()
+    rows = np.unique(np.nonzero(mismatch)[0])
+    assert set(rows) <= set(range(9, 12))  # only thread 3's rows
+
+
+def test_corrupted_operand_pointer_segfaults(bench, state):
+    bench.step(state, 0)
+    bench.step(state, 1)
+    state.ptrs.addresses[0] = 42
+    with pytest.raises(SegmentationFault):
+        _run_from(bench, state, 2)
+
+
+def test_shifted_pointer_changes_output_not_crash(bench, state):
+    golden = bench.golden(derive_rng(11, "dgemm-test"))
+    bench.step(state, 0)
+    bench.step(state, 1)
+    state.ptrs.addresses[0] += 16  # 2 elements forward, in-allocation
+    out = _run_from(bench, state, 2)
+    assert not np.array_equal(out, golden)
+    assert np.isfinite(out).all()
+
+
+def test_corrupted_dims_crash(bench, state):
+    bench.step(state, 0)
+    bench.step(state, 1)
+    state.dims[1] = -5
+    with pytest.raises(IndexError):
+        bench.step(state, 2)
+
+
+def test_corrupted_matrix_element_is_local_column_damage(bench, state):
+    golden = bench.golden(derive_rng(11, "dgemm-test"))
+    bench.step(state, 0)
+    bench.step(state, 1)
+    state.b[7, 9] += 100.0
+    out = _run_from(bench, state, 2)
+    mismatch = out != golden
+    cols = np.unique(np.nonzero(mismatch)[1])
+    assert cols.tolist() == [9]  # a B-element fault damages one column
+
+
+def test_init_cursor_corruption_leaves_stale_rows(bench, state):
+    golden = bench.golden(derive_rng(11, "dgemm-test"))
+    state.init_cursor[...] = 10**6  # cursor corrupted before any init
+    out = _run_from(bench, state, 0)
+    # Init still copies (cursor only lowers the start), output intact.
+    assert np.allclose(out, golden)
+
+
+def test_output_is_copy(bench, state):
+    out = bench.run(state)
+    out[0, 0] = 1e9
+    assert state.c[0, 0] != 1e9

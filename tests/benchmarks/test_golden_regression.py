@@ -1,0 +1,56 @@
+"""Golden-output regression pins.
+
+Every benchmark is deterministic under a seed, and the whole
+reproduction (golden diffs, FIT scaling, criticality tables) rests on
+that.  These pins freeze the exact bytes of each benchmark's golden
+output for one fixed seed so any accidental behavioural change —
+dtype drift, reordered reductions, a changed default parameter — fails
+loudly instead of silently shifting every campaign.
+
+If a change is *intentional* (e.g. retuning a default parameter),
+regenerate the table:
+
+    python - <<'EOF'
+    import hashlib, numpy as np
+    from repro.benchmarks import create, names
+    from repro.util import derive_rng
+    for name in names():
+        out = create(name).golden(derive_rng(2017, "golden-regression", name))
+        print(name, hashlib.sha256(np.ascontiguousarray(out).tobytes()).hexdigest()[:16])
+    EOF
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import create, names
+from repro.util.rng import derive_rng
+
+#: name -> (sha256[:16] of raw bytes, shape, float64 sum).
+GOLDEN_PINS: dict[str, tuple[str, tuple[int, ...], float]] = {
+    "clamr": ("31c9998f5ded302b", (32, 32), 3.800938e03),
+    "dgemm": ("e0f96f98ff85c6b6", (60, 60), -2.977245e01),
+    "hotspot": ("b011af3b324b5575", (64, 64), 3.324355e05),
+    "lavamd": ("56d60183fb89620b", (4, 4, 4, 32), 1.306300e03),
+    "lud": ("85e021f72a6a5dc3", (48, 48), 2.381363e03),
+    "nw": ("c29417d3fcd7499d", (65, 65), -7.152580e05),
+}
+
+
+def test_pins_cover_every_benchmark():
+    assert set(GOLDEN_PINS) == set(names())
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PINS))
+def test_golden_output_pinned(name):
+    digest, shape, total = GOLDEN_PINS[name]
+    out = create(name).golden(derive_rng(2017, "golden-regression", name))
+    assert out.shape == shape
+    assert float(np.asarray(out, dtype=np.float64).sum()) == pytest.approx(
+        total, rel=1e-5
+    )
+    assert (
+        hashlib.sha256(np.ascontiguousarray(out).tobytes()).hexdigest()[:16] == digest
+    )

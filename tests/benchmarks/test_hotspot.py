@@ -1,0 +1,121 @@
+"""HotSpot benchmark: physics sanity and corruption semantics."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import SegmentationFault
+from repro.benchmarks.hotspot import HotSpot
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture
+def bench() -> HotSpot:
+    return HotSpot(iterations=30)
+
+
+@pytest.fixture
+def state(bench):
+    return bench.make_state(derive_rng(3, "hs-test"))
+
+
+def test_golden_is_finite_and_physical(bench):
+    out = bench.golden(derive_rng(3, "hs-test"))
+    assert np.isfinite(out).all()
+    # Temperatures stay between ambient and a plausible hot-spot cap.
+    assert out.min() >= 79.0
+    assert out.max() < 500.0
+
+
+def test_deterministic(bench):
+    a = bench.golden(derive_rng(9, "g"))
+    b = bench.golden(derive_rng(9, "g"))
+    assert np.array_equal(a, b)
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        HotSpot(rows=2)
+    with pytest.raises(ValueError):
+        HotSpot(iterations=0)
+
+
+def test_hot_blocks_get_hotter(bench, state):
+    bench.run(state)
+    hot = state.temp[state.power > state.power.max() * 0.9]
+    cold = state.temp[state.power == 0.0]
+    if hot.size and cold.size:
+        assert hot.mean() > cold.mean()
+
+
+def test_perturbation_attenuates(bench):
+    """The paper's key HotSpot property: errors are damped over time."""
+    clean = bench.make_state(derive_rng(4, "p"))
+    dirty = bench.make_state(derive_rng(4, "p"))
+    bench.step(clean, 0)
+    bench.step(dirty, 0)
+    dirty.temp[30, 30] += 40.0
+    for index in range(1, bench.num_steps(clean)):
+        bench.step(clean, index)
+        bench.step(dirty, index)
+    final_delta = np.abs(dirty.temp - clean.temp).max()
+    assert final_delta < 40.0 * 0.1  # at least 10x attenuation in 30 iters
+
+
+def test_file_image_faults_after_load_are_masked(bench, state):
+    golden = bench.golden(derive_rng(3, "hs-test"))
+    bench.step(state, 0)  # file images consumed here
+    state.temp_init[:, :] = 9999.0
+    state.power_init[:, :] = 9999.0
+    for index in range(1, bench.num_steps(state)):
+        bench.step(state, index)
+    assert np.array_equal(bench.output(state), golden)
+
+
+def test_scratch_buffer_faults_are_masked(bench, state):
+    golden = bench.golden(derive_rng(3, "hs-test"))
+    bench.step(state, 0)
+    state.temp_next[:, :] = -1.0
+    for index in range(1, bench.num_steps(state)):
+        bench.step(state, index)
+    assert np.array_equal(bench.output(state), golden)
+
+
+def test_corrupted_grid_dims_crash(bench, state):
+    state.grid_ctl[0] = 100_000
+    with pytest.raises(IndexError):
+        bench.step(state, 0)
+    state.grid_ctl[0] = 1
+    with pytest.raises(IndexError):
+        bench.step(state, 0)
+
+
+def test_zeroed_capacitance_produces_sdc_not_crash(bench, state):
+    state.consts[0] = 0.0  # division by zero -> inf/NaN, no exception
+    for index in range(bench.num_steps(state)):
+        bench.step(state, index)
+    out = bench.output(state)
+    assert not np.isfinite(out).all()
+
+
+def test_corrupted_pointer_segfaults(bench, state):
+    state.ptrs.addresses[1] = 1
+    with pytest.raises(SegmentationFault):
+        bench.step(state, 0)
+
+
+def test_power_fault_shifts_steady_state(bench, state):
+    golden = bench.golden(derive_rng(3, "hs-test"))
+    bench.step(state, 0)
+    state.power[20, 20] += 0.05  # extra watts on one cell
+    for index in range(1, bench.num_steps(state)):
+        bench.step(state, index)
+    out = bench.output(state)
+    assert abs(out[20, 20] - golden[20, 20]) > 0.01
+
+
+def test_variable_classes(bench, state):
+    classes = {v.name: v.var_class for v in bench.variables(state, 0)}
+    assert classes["consts"] == "constant"
+    assert classes["grid_ctl"] == "control"
+    assert classes["temp"] == "grid"
+    assert classes["grid_ptrs"] == "pointer"

@@ -1,0 +1,111 @@
+"""LUD benchmark: factorisation correctness and corruption semantics."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import SegmentationFault
+from repro.benchmarks.lud import Lud
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture
+def bench() -> Lud:
+    return Lud()
+
+
+@pytest.fixture
+def state(bench):
+    return bench.make_state(derive_rng(31, "lud-test"))
+
+
+def test_lu_reconstructs_input(bench, state):
+    original = state.matrix.astype(np.float64).copy()
+    out = bench.run(state)
+    n = out.shape[0]
+    lower = np.tril(out, -1) + np.eye(n)
+    upper = np.triu(out)
+    rel = np.abs(lower @ upper - original).max() / np.abs(original).max()
+    assert rel < 1e-5
+
+
+def test_input_copy_untouched_by_run(bench, state):
+    before = state.input_copy.copy()
+    bench.run(state)
+    assert np.array_equal(state.input_copy, before)
+
+
+def test_input_copy_faults_are_masked(bench, state):
+    golden = bench.golden(derive_rng(31, "lud-test"))
+    state.input_copy[:, :] = -1.0
+    out = bench.run(state)
+    assert np.array_equal(out, golden)
+
+
+def test_deterministic(bench):
+    a = bench.golden(derive_rng(1, "g"))
+    b = bench.golden(derive_rng(1, "g"))
+    assert np.array_equal(a, b)
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        Lud(n=50, block=4)
+    with pytest.raises(ValueError):
+        Lud(block=0)
+
+
+def test_early_fault_spreads_further_than_late_fault(bench):
+    """The in-place working set: early faults contaminate more."""
+
+    def wrong_count(step_of_fault: int) -> int:
+        golden = bench.golden(derive_rng(31, "lud-test"))
+        state = bench.make_state(derive_rng(31, "lud-test"))
+        for index in range(bench.num_steps(state)):
+            if index == step_of_fault:
+                state.matrix[30, 30] += 10.0
+            bench.step(state, index)
+        return int((bench.output(state) != golden).sum())
+
+    assert wrong_count(1) > wrong_count(10)
+
+
+def test_corrupted_block_bounds_crash(bench, state):
+    state.block_ctl[5] = (40, 20, 48)  # b0 >= b1
+    bench.step(state, 0)
+    with pytest.raises(IndexError):
+        bench.step(state, 5)
+
+
+def test_corrupted_block_bounds_overflow_crash(bench, state):
+    state.block_ctl[2, 2] = 10**7  # n out of range
+    with pytest.raises(IndexError):
+        bench.step(state, 2)
+
+
+def test_stale_block_corruption_is_masked(bench, state):
+    golden = bench.golden(derive_rng(31, "lud-test"))
+    for index in range(4):
+        bench.step(state, index)
+    state.block_ctl[1] = (999, -1, 7)  # block 1 already done: stale
+    for index in range(4, bench.num_steps(state)):
+        bench.step(state, index)
+    assert np.array_equal(bench.output(state), golden)
+
+
+def test_corrupted_pointer_segfaults(bench, state):
+    state.ptrs.addresses[0] = 123
+    with pytest.raises(SegmentationFault):
+        bench.step(state, 0)
+
+
+def test_shifted_pointer_stales_output(bench, state):
+    golden = bench.golden(derive_rng(31, "lud-test"))
+    state.ptrs.addresses[0] += 4  # factorise a detached shifted copy
+    out = bench.run(state)
+    assert not np.array_equal(out, golden)
+
+
+def test_zero_pivot_is_sdc_not_crash(bench, state):
+    state.matrix[0, 0] = 0.0
+    out = bench.run(state)  # inf/NaN propagate silently
+    assert not np.isfinite(out).all()

@@ -1,0 +1,118 @@
+"""Needleman-Wunsch benchmark: DP correctness and corruption semantics."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import SegmentationFault
+from repro.benchmarks.nw import NeedlemanWunsch
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture
+def bench() -> NeedlemanWunsch:
+    return NeedlemanWunsch(n=32, rows_per_step=4)
+
+
+@pytest.fixture
+def state(bench):
+    return bench.make_state(derive_rng(41, "nw-test"))
+
+
+def _naive_dp(state, n, penalty):
+    f = np.zeros((n + 1, n + 1), dtype=np.int64)
+    f[0, :] = -penalty * np.arange(n + 1)
+    f[:, 0] = -penalty * np.arange(n + 1)
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            sub = state.blosum[state.seq1[i - 1], state.seq2[j - 1]]
+            f[i, j] = max(f[i - 1, j - 1] + sub, f[i - 1, j] - penalty, f[i, j - 1] - penalty)
+    return f
+
+
+def test_matches_naive_dp(bench, state):
+    out = bench.run(state)
+    assert np.array_equal(out, _naive_dp(state, 32, 10))
+
+
+def test_deterministic(bench):
+    a = bench.golden(derive_rng(1, "g"))
+    b = bench.golden(derive_rng(1, "g"))
+    assert np.array_equal(a, b)
+
+
+def test_integer_output(bench, state):
+    out = bench.run(state)
+    assert out.dtype == np.int32
+    assert bench.float_output is False
+    assert bench.output_decimals is None
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        NeedlemanWunsch(n=30, rows_per_step=4)
+    with pytest.raises(ValueError):
+        NeedlemanWunsch(penalty=0)
+
+
+def test_blosum_symmetric(state):
+    assert np.array_equal(state.blosum, state.blosum.T)
+
+
+def test_zero_fault_on_unfilled_region_is_masked(bench, state):
+    golden = bench.golden(derive_rng(41, "nw-test"))
+    bench.step(state, 0)  # rows 1..4 filled
+    state.score[20, 15] = 0  # row 20 still zero anyway
+    for index in range(1, bench.num_steps(state)):
+        bench.step(state, index)
+    assert np.array_equal(bench.output(state), golden)
+
+
+def test_fault_on_filled_region_propagates_downstream(bench, state):
+    golden = bench.golden(derive_rng(41, "nw-test"))
+    for index in range(4):
+        bench.step(state, index)
+    state.score[16, 16] += 500  # on the DP frontier
+    for index in range(4, bench.num_steps(state)):
+        bench.step(state, index)
+    out = bench.output(state)
+    mismatch = out != golden
+    assert mismatch.any()
+    # DP dependencies only flow down-right.
+    assert not mismatch[:16, :].any()
+
+
+def test_corrupted_residue_crashes(bench, state):
+    state.seq1[10] = 99  # outside the substitution alphabet
+    with pytest.raises(IndexError):
+        bench.run(state)
+
+
+def test_corrupted_penalty_crashes(bench, state):
+    state.dp_ctl[1] = 10**9
+    with pytest.raises(IndexError):
+        bench.step(state, 0)
+
+
+def test_corrupted_n_crashes(bench, state):
+    state.dp_ctl[0] = 10**6
+    with pytest.raises(IndexError):
+        bench.step(state, 0)
+
+
+def test_corrupted_cursor_skips_rows(bench, state):
+    golden = bench.golden(derive_rng(41, "nw-test"))
+    state.dp_ctl[2] = 33  # cursor claims everything is done
+    out = bench.run(state)
+    assert not np.array_equal(out, golden)
+
+
+def test_corrupted_pointer_segfaults(bench, state):
+    state.ptrs.addresses[0] = 7
+    with pytest.raises(SegmentationFault):
+        bench.step(state, 0)
+
+
+def test_negative_sequence_value_crashes(bench, state):
+    state.seq1[0] = -3
+    with pytest.raises(IndexError):
+        bench.step(state, 0)

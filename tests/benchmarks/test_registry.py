@@ -1,0 +1,73 @@
+"""Benchmark registry and paper subsets."""
+
+import pytest
+
+from repro.benchmarks.registry import (
+    BEAM_BENCHMARKS,
+    BENCHMARKS,
+    INJECTION_BENCHMARKS,
+    TIME_WINDOW_BENCHMARKS,
+    create,
+    names,
+)
+
+
+def test_six_benchmarks_registered():
+    assert names() == ("clamr", "dgemm", "hotspot", "lavamd", "lud", "nw")
+
+
+def test_nw_not_in_beam_subset():
+    # "NW was only tested with our fault injection."
+    assert "nw" not in BEAM_BENCHMARKS
+    assert len(BEAM_BENCHMARKS) == 5
+
+
+def test_injection_covers_all_six():
+    assert set(INJECTION_BENCHMARKS) == set(BENCHMARKS)
+
+
+def test_lavamd_not_in_time_window_plots():
+    assert "lavamd" not in TIME_WINDOW_BENCHMARKS
+    assert len(TIME_WINDOW_BENCHMARKS) == 5
+
+
+def test_create_with_params():
+    bench = create("dgemm", n=40, n_threads=10, col_block=2)
+    assert bench.params["n"] == 40
+
+
+def test_create_unknown_raises():
+    with pytest.raises(KeyError):
+        create("linpack")
+
+
+def test_paper_window_counts():
+    # Section 6: CLAMR 9 windows, DGEMM/HotSpot 5, LUD/NW 4.
+    expected = {"clamr": 9, "dgemm": 5, "hotspot": 5, "lud": 4, "nw": 4}
+    for name, windows in expected.items():
+        assert create(name).num_windows == windows
+
+
+def test_lavamd_is_only_3d_benchmark():
+    dims = {name: create(name).output_dims for name in names()}
+    assert dims.pop("lavamd") == 3
+    assert all(d == 2 for d in dims.values())
+
+
+def test_paper_scale_params_validate():
+    # Instantiating at the irradiated-run size class must pass each
+    # benchmark's parameter validation (no run — golden at this scale
+    # takes minutes in Python).
+    for name in names():
+        cls = BENCHMARKS[name]
+        bench = cls(**cls.paper_scale_params())
+        assert bench.params != {} and bench.name == name
+
+
+def test_paper_scale_strictly_larger():
+    for name in names():
+        cls = BENCHMARKS[name]
+        default = cls.default_params()
+        paper = cls.paper_scale_params()
+        size_keys = [k for k in ("n", "rows", "base", "boxes1d") if k in default]
+        assert any(paper[k] > default[k] for k in size_keys), name

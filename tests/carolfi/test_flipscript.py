@@ -1,0 +1,101 @@
+"""Flip-script variable selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.base import Variable
+from repro.carolfi.flipscript import STACK_CLASSES, FlipScript, SitePolicy
+from repro.util.rng import derive_rng
+
+
+def _variables():
+    return [
+        Variable("big", np.zeros(1000), frame="global", var_class="matrix"),
+        Variable("small", np.zeros(10), frame="global", var_class="matrix"),
+        Variable("ctl", np.zeros(4, dtype=np.int64), frame="kernel", var_class="control"),
+        Variable("ptr", np.zeros(2, dtype=np.int64), frame="kernel", var_class="pointer"),
+    ]
+
+
+def test_stack_classes():
+    assert STACK_CLASSES == {"control", "constant", "pointer"}
+
+
+def test_footprint_prefers_big_arrays():
+    script = FlipScript(SitePolicy.FOOTPRINT)
+    rng = derive_rng(1, "fp")
+    picks = [script.select(_variables(), rng)[0].name for _ in range(300)]
+    assert picks.count("big") > 250
+
+
+def test_weighted_honours_stack_share():
+    script = FlipScript(SitePolicy.WEIGHTED)
+    rng = derive_rng(2, "w")
+    picks = [
+        script.select(_variables(), rng, stack_share=0.5)[0].var_class
+        for _ in range(600)
+    ]
+    stack = sum(1 for c in picks if c in STACK_CLASSES)
+    assert 0.4 < stack / 600 < 0.6
+
+
+def test_weighted_zero_share_never_picks_stack():
+    script = FlipScript(SitePolicy.WEIGHTED)
+    rng = derive_rng(3, "w0")
+    for _ in range(100):
+        var, _ = script.select(_variables(), rng, stack_share=0.0)
+        assert var.var_class not in STACK_CLASSES
+
+
+def test_weighted_full_share_always_picks_stack():
+    script = FlipScript(SitePolicy.WEIGHTED)
+    rng = derive_rng(4, "w1")
+    for _ in range(100):
+        var, _ = script.select(_variables(), rng, stack_share=1.0)
+        assert var.var_class in STACK_CLASSES
+
+
+def test_weighted_without_stack_falls_back_to_heap():
+    script = FlipScript(SitePolicy.WEIGHTED)
+    heap_only = [v for v in _variables() if v.var_class == "matrix"]
+    var, _ = script.select(heap_only, derive_rng(5, "f"), stack_share=1.0)
+    assert var.var_class == "matrix"
+
+
+def test_weighted_share_validated():
+    script = FlipScript(SitePolicy.WEIGHTED)
+    with pytest.raises(ValueError):
+        script.select(_variables(), derive_rng(6, "v"), stack_share=1.5)
+
+
+def test_frame_uniform_covers_frames():
+    script = FlipScript(SitePolicy.FRAME_UNIFORM)
+    rng = derive_rng(7, "fu")
+    frames = {script.select(_variables(), rng)[0].frame for _ in range(100)}
+    assert frames == {"global", "kernel"}
+
+
+def test_element_within_bounds():
+    script = FlipScript()
+    rng = derive_rng(8, "e")
+    for _ in range(100):
+        var, element = script.select(_variables(), rng)
+        assert 0 <= element < var.size
+
+
+def test_empty_variable_list_rejected():
+    with pytest.raises(ValueError):
+        FlipScript().select([], derive_rng(9, "x"))
+
+
+def test_zero_size_variables_skipped():
+    variables = [Variable("empty", np.zeros(0), frame="f", var_class="matrix")]
+    with pytest.raises(ValueError):
+        FlipScript().select(variables, derive_rng(10, "z"))
+
+
+def test_deterministic_selection():
+    script = FlipScript()
+    a = script.select(_variables(), derive_rng(11, "d"))
+    b = script.select(_variables(), derive_rng(11, "d"))
+    assert a[0].name == b[0].name and a[1] == b[1]

@@ -1,0 +1,97 @@
+"""Log parser CLI and per-resource FIT attribution."""
+
+import io
+
+import pytest
+
+from repro.beam.experiment import BeamExperiment
+from repro.beam.fit import fit_by_resource
+from repro.carolfi.campaign import CampaignConfig, run_campaign
+from repro.faults.outcome import Outcome
+from repro.logtools import main, summarize_beam_log, summarize_injection_log
+
+
+@pytest.fixture(scope="module")
+def injection_log(tmp_path_factory):
+    path = tmp_path_factory.mktemp("logs") / "inj.jsonl"
+    run_campaign(CampaignConfig(benchmark="lud", injections=60, seed=4), log_path=path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def beam_log(tmp_path_factory):
+    path = tmp_path_factory.mktemp("logs") / "beam.jsonl"
+    BeamExperiment("lud", seed=4).run_campaign(120, log_path=path)
+    return path
+
+
+def test_injection_summary_sections(injection_log):
+    buf = io.StringIO()
+    summarize_injection_log([str(injection_log)], buf)
+    text = buf.getvalue()
+    assert "lud: 60 injections" in text
+    assert "outcomes:" in text
+    assert "PVF %" in text
+    assert "SDC by window" in text
+    assert "portion" in text
+
+
+def test_beam_summary_sections(beam_log):
+    buf = io.StringIO()
+    summarize_beam_log([str(beam_log)], buf)
+    text = buf.getvalue()
+    assert "strike trials" in text
+    assert "FIT" in text
+    assert "SDCs by resource" in text
+
+
+def test_cli_injection(injection_log, capsys):
+    assert main(["injection", str(injection_log)]) == 0
+    assert "injections" in capsys.readouterr().out
+
+
+def test_cli_beam(beam_log, capsys):
+    assert main(["beam", str(beam_log)]) == 0
+    assert "strike trials" in capsys.readouterr().out
+
+
+def test_empty_log_rejected(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(SystemExit):
+        summarize_injection_log([str(empty)], io.StringIO())
+    with pytest.raises(SystemExit):
+        summarize_beam_log([str(empty)], io.StringIO())
+
+
+def test_fit_by_resource_partitions_outcome(dgemm_beam):
+    by_resource = fit_by_resource(dgemm_beam, Outcome.SDC)
+    from repro.beam.fit import estimate_fit
+
+    total = estimate_fit(dgemm_beam).sdc.fit
+    assert sum(e.fit for e in by_resource.values()) == pytest.approx(total)
+    # Sorted by contribution, descending.
+    fits = [e.fit for e in by_resource.values()]
+    assert fits == sorted(fits, reverse=True)
+
+
+def test_fit_by_resource_empty_campaign():
+    from repro.beam.experiment import BeamCampaignResult
+    from repro.beam.sensitivity import DEFAULT_SENSITIVITY
+
+    with pytest.raises(ValueError):
+        fit_by_resource(
+            BeamCampaignResult("x", [], DEFAULT_SENSITIVITY), Outcome.SDC
+        )
+
+
+def test_injection_summary_includes_severity(injection_log):
+    buf = io.StringIO()
+    summarize_injection_log([str(injection_log)], buf)
+    assert "SDC severity" in buf.getvalue()
+
+
+def test_beam_summary_includes_severity(beam_log):
+    buf = io.StringIO()
+    summarize_beam_log([str(beam_log)], buf)
+    assert "SDC severity" in buf.getvalue()

@@ -1,0 +1,68 @@
+"""Runner CLI and paper reference tables."""
+
+import io
+
+import pytest
+
+from repro.benchmarks.registry import BEAM_BENCHMARKS, INJECTION_BENCHMARKS
+from repro.experiments import paper
+from repro.experiments.runner import EXPERIMENTS, main, run_experiments
+
+
+def test_experiment_registry_order():
+    assert list(EXPERIMENTS) == [
+        "figure2",
+        "figure3",
+        "figure4",
+        "figure5",
+        "figure6",
+        "criticality",
+        "extrapolation",
+        "mitigation",
+        "futurework",
+        "propagation",
+    ]
+
+
+def test_cli_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "figure2" in out and "mitigation" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_experiments(["figure99"], scale=0.05)
+
+
+def test_run_single_experiment_streams_output():
+    stream = io.StringIO()
+    run_experiments(["extrapolation"], seed=3, scale=0.04, stream=stream)
+    text = stream.getvalue()
+    assert "### extrapolation" in text
+    assert "Trinity" in text
+
+
+def test_paper_figure2_covers_beam_benchmarks():
+    assert set(paper.FIGURE2_FIT) == set(BEAM_BENCHMARKS)
+    for sdc, due in paper.FIGURE2_FIT.values():
+        assert sdc > 0 and due > 0
+
+
+def test_paper_figure4_covers_all_benchmarks():
+    assert set(paper.FIGURE4_SHARES) == set(INJECTION_BENCHMARKS)
+    for shares in paper.FIGURE4_SHARES.values():
+        assert sum(shares) == pytest.approx(100.0, abs=5.0)
+
+
+def test_paper_text_claims_present():
+    assert paper.TEXT_CLAIMS["max_fit"] == 193.0
+    assert paper.TEXT_CLAIMS["trinity_boards"] == 19_000
+    assert paper.TEXT_CLAIMS["natural_years_covered"] == 57_000
+    assert paper.TEXT_CLAIMS["injection_count_per_benchmark"] == 10_000
+
+
+def test_paper_criticality_anchor_values():
+    assert paper.SECTION6_CRITICALITY["dgemm"]["control"] == (38.0, 38.0)
+    assert paper.SECTION6_CRITICALITY["clamr"]["sort"] == (39.0, 43.0)
+    assert paper.SECTION6_CRITICALITY["lud"]["matrices"] == (54.0, 28.0)

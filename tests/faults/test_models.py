@@ -1,0 +1,95 @@
+"""The four CAROL-FI fault models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.models import FaultModel, apply_fault_model
+from repro.util.rng import derive_rng
+
+
+def test_all_models():
+    assert [m.value for m in FaultModel.all()] == ["single", "double", "random", "zero"]
+
+
+def test_single_flips_exactly_one_bit():
+    arr = np.zeros(4, dtype=np.int64)
+    detail = apply_fault_model(arr, 2, FaultModel.SINGLE, derive_rng(1, "m"))
+    assert detail["model"] == "single"
+    assert len(detail["bits"]) == 1
+    assert bin(int(arr[2]) & (2**63 - 1)).count("1") <= 1
+    assert arr[2] != 0
+
+
+def test_double_flips_two_bits_same_byte():
+    arr = np.zeros(4, dtype=np.int64)
+    detail = apply_fault_model(arr, 0, FaultModel.DOUBLE, derive_rng(2, "m"))
+    bits = detail["bits"]
+    assert len(bits) == 2
+    assert bits[0] != bits[1]
+    # Both flipped bits land within the same byte (paper: the Double
+    # model restricts the distance between the flipped bits).
+    assert bits[0] // 8 == bits[1] // 8
+
+
+def test_zero_clears_element():
+    arr = np.full(3, 99.5)
+    detail = apply_fault_model(arr, 1, FaultModel.ZERO, derive_rng(3, "m"))
+    assert arr[1] == 0.0
+    assert detail["bits"] is None
+
+
+def test_random_overwrites_bits():
+    arr = np.zeros(3, dtype=np.int64)
+    apply_fault_model(arr, 0, FaultModel.RANDOM, derive_rng(4, "m"))
+    # 64 random bits are zero with probability 2^-64.
+    assert arr[0] != 0
+
+
+def test_only_target_element_changes():
+    for model in FaultModel.all():
+        arr = np.arange(8, dtype=np.float64) + 1.0
+        before = arr.copy()
+        apply_fault_model(arr, 5, model, derive_rng(5, model.value))
+        changed = np.flatnonzero(arr.view(np.uint64) != before.view(np.uint64))
+        assert changed.tolist() in ([5], []), model
+
+
+def test_accepts_string_model():
+    arr = np.zeros(1, dtype=np.int32)
+    detail = apply_fault_model(arr, 0, "zero", derive_rng(6, "m"))
+    assert detail["model"] == "zero"
+
+
+def test_unknown_model_rejected():
+    arr = np.zeros(1)
+    with pytest.raises(ValueError):
+        apply_fault_model(arr, 0, "half", derive_rng(7, "m"))
+
+
+def test_deterministic_under_same_rng():
+    a = np.zeros(1, dtype=np.int64)
+    b = np.zeros(1, dtype=np.int64)
+    da = apply_fault_model(a, 0, FaultModel.SINGLE, derive_rng(8, "m"))
+    db = apply_fault_model(b, 0, FaultModel.SINGLE, derive_rng(8, "m"))
+    assert da == db
+    assert a[0] == b[0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_double_bits_within_word_any_seed(seed):
+    arr = np.zeros(1, dtype=np.float32)
+    detail = apply_fault_model(arr, 0, FaultModel.DOUBLE, derive_rng(seed, "d"))
+    lo, hi = detail["bits"]
+    assert 0 <= lo < hi < 32
+    assert lo // 8 == hi // 8
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_single_bit_in_range_for_int8(seed):
+    arr = np.zeros(2, dtype=np.int8)
+    detail = apply_fault_model(arr, 1, FaultModel.SINGLE, derive_rng(seed, "s"))
+    assert 0 <= detail["bits"][0] < 8

@@ -1,0 +1,94 @@
+"""Fault sites, outcomes, and record serialisation."""
+
+import pytest
+
+from repro.faults.outcome import DueKind, InjectionRecord, Outcome
+from repro.faults.site import FaultSite
+
+
+def _site() -> FaultSite:
+    return FaultSite(
+        frame="kernel",
+        variable="thread_ctl",
+        flat_index=17,
+        dtype="int64",
+        var_class="control",
+        shape=(20, 9),
+    )
+
+
+def test_site_roundtrip():
+    site = _site()
+    assert FaultSite.from_dict(site.to_dict()) == site
+
+
+def test_site_default_class():
+    site = FaultSite.from_dict(
+        {"frame": "main", "variable": "x", "flat_index": 0, "dtype": "float64"}
+    )
+    assert site.var_class == "data"
+    assert site.shape == ()
+
+
+def test_outcome_enum():
+    assert Outcome.all() == (Outcome.MASKED, Outcome.SDC, Outcome.DUE)
+    assert Outcome("sdc") is Outcome.SDC
+
+
+def test_due_kinds():
+    assert {k.value for k in DueKind} == {"crash", "timeout", "mca"}
+
+
+def _record(outcome=Outcome.SDC) -> InjectionRecord:
+    return InjectionRecord(
+        benchmark="dgemm",
+        run_index=3,
+        site=_site(),
+        fault_model="double",
+        bits=(1, 5),
+        interrupt_step=4,
+        total_steps=22,
+        time_window=0,
+        num_windows=5,
+        outcome=outcome,
+        due_kind=None,
+        sdc_metrics={"pattern": "line", "max_rel_err": 0.5},
+    )
+
+
+def test_record_roundtrip():
+    record = _record()
+    again = InjectionRecord.from_dict(record.to_dict())
+    assert again == record
+
+
+def test_record_due_roundtrip():
+    record = InjectionRecord(
+        benchmark="nw",
+        run_index=0,
+        site=_site(),
+        fault_model="random",
+        bits=None,
+        interrupt_step=1,
+        total_steps=16,
+        time_window=0,
+        num_windows=4,
+        outcome=Outcome.DUE,
+        due_kind=DueKind.CRASH,
+        due_detail="IndexError: boom",
+    )
+    again = InjectionRecord.from_dict(record.to_dict())
+    assert again.due_kind is DueKind.CRASH
+    assert again.bits is None
+    assert again.due_detail == "IndexError: boom"
+
+
+def test_record_dict_is_json_friendly():
+    import json
+
+    assert json.loads(json.dumps(_record().to_dict()))["benchmark"] == "dgemm"
+
+
+def test_record_frozen():
+    with pytest.raises(AttributeError):
+        _record().outcome = Outcome.MASKED

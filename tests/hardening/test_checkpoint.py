@@ -1,0 +1,147 @@
+"""Checkpoint/restart DUE recovery."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.registry import create
+from repro.hardening.checkpoint import run_with_checkpoints
+from repro.util.rng import derive_rng
+
+
+def _bench_and_state(seed=21):
+    bench = create("lud", n=24, block=4)
+    return bench, bench.make_state(derive_rng(seed, "ckpt"))
+
+
+def test_clean_run_completes_without_failures():
+    bench, state = _bench_and_state()
+    golden = bench.golden(derive_rng(21, "ckpt"))
+    run = run_with_checkpoints(bench, state, interval=2)
+    assert run.completed
+    assert run.failures == 0
+    assert not run.recovered
+    assert run.executed_steps == run.useful_steps
+    assert run.wasted_fraction == 0.0
+    np.testing.assert_array_equal(run.output, golden)
+
+
+def test_checkpoints_taken_at_interval():
+    bench, state = _bench_and_state()
+    run = run_with_checkpoints(bench, state, interval=2)
+    # 6 steps, snapshots at 0, 2, 4 (not at the final boundary).
+    assert run.checkpoints_taken == 3
+    assert run.checkpoint_bytes > 0
+
+
+def test_crash_after_checkpoint_recovers_cheaply():
+    bench, state = _bench_and_state()
+    golden = bench.golden(derive_rng(21, "ckpt"))
+
+    def inject(st):
+        st.block_ctl[5] = (999, -1, 0)  # crash when block 5 runs
+
+    run = run_with_checkpoints(bench, state, interval=2, inject=inject, inject_step=5)
+    # The corruption is in block_ctl *before* the snapshot at step 4...
+    # it lands at step 5, after the snapshot: first retry succeeds.
+    assert run.completed
+    assert run.recovered
+    assert run.failures == 1
+    np.testing.assert_array_equal(run.output, golden)
+    assert run.wasted_fraction <= 0.5
+
+
+def test_poisoned_checkpoint_falls_back_further():
+    bench, state = _bench_and_state()
+    golden = bench.golden(derive_rng(21, "ckpt"))
+
+    def inject(st):
+        st.block_ctl[5] = (999, -1, 0)  # poison long before it crashes
+
+    run = run_with_checkpoints(bench, state, interval=2, inject=inject, inject_step=1)
+    # Snapshots at steps 2 and 4 contain the poisoned control entry, so
+    # recovery must cascade back to the pristine snapshot 0.
+    assert run.completed
+    assert run.failures > 1
+    np.testing.assert_array_equal(run.output, golden)
+
+
+def test_max_failures_gives_up():
+    bench, state = _bench_and_state()
+
+    def inject(st):
+        st.block_ctl[5] = (999, -1, 0)
+
+    run = run_with_checkpoints(
+        bench, state, interval=2, inject=inject, inject_step=1, max_failures=1
+    )
+    assert not run.completed
+    assert run.output is None
+    assert run.failures == 2
+
+
+def test_sdc_is_not_caught_by_checkpointing():
+    bench, state = _bench_and_state()
+    golden = bench.golden(derive_rng(21, "ckpt"))
+
+    def inject(st):
+        st.matrix[20, 20] += 5.0  # silent corruption, no crash
+
+    run = run_with_checkpoints(bench, state, interval=2, inject=inject, inject_step=3)
+    assert run.completed
+    assert run.failures == 0
+    assert not np.array_equal(run.output, golden)  # SDC sails through
+
+
+def test_validation():
+    bench, state = _bench_and_state()
+    with pytest.raises(ValueError):
+        run_with_checkpoints(bench, state, interval=0)
+    with pytest.raises(ValueError):
+        run_with_checkpoints(bench, state, interval=2, max_failures=-1)
+    with pytest.raises(ValueError):
+        run_with_checkpoints(bench, state, interval=2, inject_step=-1)
+
+
+def test_interval_larger_than_run_means_restart_only():
+    bench, state = _bench_and_state()
+
+    def inject(st):
+        st.block_ctl[5] = (999, -1, 0)
+
+    run = run_with_checkpoints(bench, state, interval=100, inject=inject, inject_step=4)
+    assert run.completed
+    assert run.checkpoints_taken == 1  # only the pristine snapshot
+    # Full restart: wasted work equals the pre-crash progress.
+    assert run.executed_steps > run.useful_steps
+
+
+def test_wasted_fraction_arithmetic():
+    from repro.hardening.checkpoint import CheckpointRun
+
+    run = CheckpointRun(
+        completed=True,
+        output=None,
+        failures=1,
+        executed_steps=9,
+        useful_steps=6,
+        checkpoints_taken=3,
+        checkpoint_bytes=100,
+    )
+    assert run.wasted_fraction == pytest.approx(0.5)
+    assert run.recovered
+
+
+def test_wasted_fraction_zero_useful():
+    from repro.hardening.checkpoint import CheckpointRun
+
+    run = CheckpointRun(
+        completed=False,
+        output=None,
+        failures=9,
+        executed_steps=0,
+        useful_steps=0,
+        checkpoints_taken=1,
+        checkpoint_bytes=0,
+    )
+    assert run.wasted_fraction == 0.0
+    assert not run.recovered

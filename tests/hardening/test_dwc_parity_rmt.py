@@ -1,0 +1,160 @@
+"""Duplication-with-comparison, parity, redundant execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks.registry import create
+from repro.hardening.dwc import DuplicatedVariable, DwcMismatch
+from repro.hardening.parity import (
+    ParityMismatch,
+    ParityProtected,
+    detection_probability,
+    word_parity,
+)
+from repro.hardening.rmt import redundant_run
+from repro.util.bits import flip_bit_inplace
+from repro.util.rng import derive_rng
+
+# -- DWC ----------------------------------------------------------------------
+
+
+def test_dwc_clean_read():
+    var = DuplicatedVariable(np.array([1, 2, 3], dtype=np.int64))
+    assert var.check()
+    np.testing.assert_array_equal(var.read(), [1, 2, 3])
+
+
+def test_dwc_detects_primary_corruption():
+    var = DuplicatedVariable(np.array([1, 2, 3], dtype=np.int64))
+    flip_bit_inplace(var.primary, 1, 5)
+    assert not var.check()
+    with pytest.raises(DwcMismatch):
+        var.read()
+
+
+def test_dwc_detects_shadow_corruption():
+    var = DuplicatedVariable(np.array([1.5, 2.5]))
+    flip_bit_inplace(var.shadow, 0, 3)
+    with pytest.raises(DwcMismatch):
+        var.read()
+
+
+def test_dwc_write_through():
+    var = DuplicatedVariable(np.zeros(3))
+    var.write(7.0)
+    assert var.check()
+    assert (var.read() == 7.0).all()
+
+
+def test_dwc_scrub_resyncs():
+    var = DuplicatedVariable(np.zeros(2, dtype=np.int32))
+    var.shadow[0] = 9
+    var.scrub()
+    assert var.check()
+
+
+def test_dwc_overhead_equals_copy_size():
+    var = DuplicatedVariable(np.zeros(10, dtype=np.float32))
+    assert var.overhead_bytes == 40
+
+
+def test_dwc_scalar_0d():
+    var = DuplicatedVariable(np.array(5, dtype=np.int64))
+    assert var.check()
+    flip_bit_inplace(var.primary.reshape(()).base if False else var.primary, 0, 0)
+    assert not var.check()
+
+
+def test_dwc_rejects_object_arrays():
+    with pytest.raises(TypeError):
+        DuplicatedVariable(np.array([object()]))
+
+
+# -- Parity -------------------------------------------------------------------
+
+
+def test_word_parity_known_values():
+    arr = np.array([0b0, 0b1, 0b11, 0b111], dtype=np.int64)
+    np.testing.assert_array_equal(word_parity(arr), [0, 1, 0, 1])
+
+
+def test_parity_clean():
+    protected = ParityProtected(np.arange(10, dtype=np.int32))
+    assert protected.check()
+    protected.verify()
+
+
+def test_parity_detects_single_flip():
+    protected = ParityProtected(np.arange(10, dtype=np.int32))
+    flip_bit_inplace(protected.data, 4, 7)
+    assert protected.mismatches().tolist() == [4]
+    with pytest.raises(ParityMismatch):
+        protected.verify()
+
+
+def test_parity_misses_double_flip():
+    protected = ParityProtected(np.arange(10, dtype=np.int32))
+    flip_bit_inplace(protected.data, 4, 7)
+    flip_bit_inplace(protected.data, 4, 2)
+    assert protected.check()  # even multiplicity escapes parity
+
+
+def test_parity_refresh_after_legit_write():
+    protected = ParityProtected(np.arange(4, dtype=np.int64))
+    protected.data[2] = 999
+    assert not protected.check()
+    protected.refresh()
+    assert protected.check()
+
+
+def test_parity_overhead_one_bit_per_word():
+    protected = ParityProtected(np.zeros(64, dtype=np.float32))
+    assert protected.overhead_bits == 64
+
+
+def test_parity_detection_probability():
+    assert detection_probability(1) == 1.0
+    assert detection_probability(2) == 0.0
+    assert detection_probability(3) == 1.0
+    with pytest.raises(ValueError):
+        detection_probability(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bits=st.lists(st.integers(0, 31), min_size=1, max_size=6, unique=True))
+def test_parity_catches_exactly_odd_multiplicities(bits):
+    protected = ParityProtected(np.array([12345], dtype=np.int32))
+    for bit in bits:
+        flip_bit_inplace(protected.data, 0, bit)
+    assert protected.check() == (len(bits) % 2 == 0)
+
+
+# -- RMT ----------------------------------------------------------------------
+
+
+def test_rmt_agrees_on_clean_runs():
+    bench = create("lud", n=16, block=4)
+
+    def make_state():
+        return bench.make_state(derive_rng(3, "rmt"))
+
+    result = redundant_run(bench, make_state)
+    assert result.agree
+    assert result.time_overhead_factor == 2.0
+
+
+def test_rmt_detects_divergent_copy():
+    bench = create("lud", n=16, block=4)
+    calls = {"n": 0}
+
+    def make_state():
+        state = bench.make_state(derive_rng(3, "rmt"))
+        calls["n"] += 1
+        if calls["n"] == 2:
+            state.matrix[5, 5] += 1.0  # fault in the second replica
+        return state
+
+    result = redundant_run(bench, make_state)
+    assert not result.agree

@@ -1,0 +1,43 @@
+"""KNC configuration and resource inventory."""
+
+from repro.phi.config import KNC_3120A, PhiConfig
+from repro.phi.resources import RESOURCE_INVENTORY, ResourceClass
+
+
+def test_3120a_parameters_match_paper():
+    cfg = KNC_3120A
+    assert cfg.cores == 57
+    assert cfg.threads_per_core == 4
+    assert cfg.hardware_threads == 228
+    assert cfg.vector_register_bits == 512
+    assert cfg.vector_registers_per_thread == 32
+    assert cfg.gddr_gb == 6
+    assert cfg.l1_kb_per_core == 64
+    assert cfg.l2_kb_per_core == 512
+    assert cfg.process_nm == 22
+    assert cfg.ecc_enabled
+
+
+def test_totals():
+    cfg = KNC_3120A
+    assert cfg.vector_register_bits_total == 228 * 32 * 512
+    assert cfg.l2_bits_total == 57 * 512 * 1024 * 8
+    assert cfg.l1_bits_total == 57 * 64 * 1024 * 8
+
+
+def test_custom_config():
+    cfg = PhiConfig(cores=2, threads_per_core=2)
+    assert cfg.hardware_threads == 4
+
+
+def test_inventory_covers_all_resources():
+    assert set(RESOURCE_INVENTORY) == set(ResourceClass.all())
+
+
+def test_caches_are_the_only_ecc_protected_resources():
+    protected = {r for r, spec in RESOURCE_INVENTORY.items() if spec.ecc_protected}
+    assert protected == {ResourceClass.L1_CACHE, ResourceClass.L2_CACHE}
+
+
+def test_every_spec_has_description():
+    assert all(spec.description for spec in RESOURCE_INVENTORY.values())

@@ -1,0 +1,47 @@
+"""SECDED ECC model."""
+
+import numpy as np
+import pytest
+
+from repro.phi.ecc import EccOutcome, classify_upset, sample_upset_size
+from repro.util.rng import derive_rng
+
+
+def test_single_bit_corrected():
+    assert classify_upset(1) is EccOutcome.CORRECTED
+
+
+def test_double_bit_detected_is_due():
+    # "SECDED ECC normally triggers application crash when a double bit
+    # error is detected."
+    assert classify_upset(2) is EccOutcome.DETECTED
+
+
+@pytest.mark.parametrize("bits", [3, 4, 7])
+def test_multi_bit_escapes(bits):
+    assert classify_upset(bits) is EccOutcome.ESCAPED
+
+
+def test_ecc_disabled_everything_escapes():
+    for bits in (1, 2, 3):
+        assert classify_upset(bits, ecc_enabled=False) is EccOutcome.ESCAPED
+
+
+def test_zero_bits_rejected():
+    with pytest.raises(ValueError):
+        classify_upset(0)
+
+
+def test_upset_size_distribution():
+    rng = derive_rng(4, "ecc")
+    sizes = np.array([sample_upset_size(rng) for _ in range(3000)])
+    assert set(np.unique(sizes)) <= {1, 2, 3, 4}
+    # Single-bit events dominate (92% nominal).
+    assert (sizes == 1).mean() > 0.85
+    assert (sizes >= 2).mean() > 0.02
+
+
+def test_upset_size_deterministic():
+    a = [sample_upset_size(derive_rng(1, "s")) for _ in range(5)]
+    b = [sample_upset_size(derive_rng(1, "s")) for _ in range(5)]
+    assert a == b

@@ -1,0 +1,182 @@
+"""Strike-effect machine on real benchmark state."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.registry import create
+from repro.phi.machine import (
+    MachineCheckError,
+    SchedulerWedge,
+    XeonPhiMachine,
+)
+from repro.phi.resources import ResourceClass
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture
+def machine() -> XeonPhiMachine:
+    return XeonPhiMachine()
+
+
+@pytest.fixture
+def bench():
+    return create("dgemm")
+
+
+@pytest.fixture
+def state(bench):
+    state = bench.make_state(derive_rng(55, "machine-test"))
+    bench.step(state, 0)
+    bench.step(state, 1)
+    return state
+
+
+def _snapshot(bench, state):
+    return {v.name: v.array.copy() for v in bench.variables(state, 5)}
+
+
+def _changed_names(bench, state, before):
+    changed = []
+    for var in bench.variables(state, 5):
+        now = var.array.reshape(-1).view(np.uint8)
+        then = before[var.name].reshape(-1).view(np.uint8)
+        if not np.array_equal(now, then):
+            changed.append(var.name)
+    return changed
+
+
+def _apply_until(machine, bench, state, resource, wanted_effect, max_tries=200):
+    for seed in range(max_tries):
+        rng = derive_rng(seed, "strike", resource.value)
+        try:
+            result = machine.apply_strike(bench, state, 5, resource, rng)
+        except (MachineCheckError, SchedulerWedge):
+            continue
+        if result.effect == wanted_effect:
+            return result
+    pytest.fail(f"effect {wanted_effect} never sampled for {resource}")
+
+
+def test_vector_register_flips_contiguous_lanes(machine, bench, state):
+    before = _snapshot(bench, state)
+    result = _apply_until(machine, bench, state, ResourceClass.VECTOR_REGISTER, "lane_flips")
+    victim = result.detail["variable"]
+    changed = _changed_names(bench, state, before)
+    assert changed == [victim]
+    elements = result.detail["elements"]
+    assert 1 <= len(elements) <= 512 // 64
+    assert elements == sorted(elements)
+
+
+def test_scalar_register_hits_stack_class(machine, bench, state):
+    result = machine.apply_strike(
+        bench, state, 5, ResourceClass.SCALAR_REGISTER, derive_rng(1, "sr")
+    )
+    assert result.effect == "register_flip"
+    stack_names = {
+        v.name
+        for v in bench.variables(state, 5)
+        if v.var_class in ("control", "constant", "pointer")
+    }
+    assert result.detail["variable"] in stack_names
+
+
+def test_cache_single_bit_corrected_is_noop(machine, bench, state):
+    before = _snapshot(bench, state)
+    result = _apply_until(machine, bench, state, ResourceClass.L2_CACHE, "ecc_corrected")
+    assert result.detail["bits"] == 1
+    assert _changed_names(bench, state, before) == []
+
+
+def test_cache_double_bit_raises_machine_check(machine, bench, state):
+    raised = False
+    for seed in range(300):
+        try:
+            machine.apply_strike(
+                bench, state, 5, ResourceClass.L2_CACHE, derive_rng(seed, "mca")
+            )
+        except MachineCheckError:
+            raised = True
+            break
+    assert raised
+
+
+def test_cache_wrong_line_copies_within_array(machine, bench, state):
+    result = _apply_until(machine, bench, state, ResourceClass.L1_CACHE, "wrong_line")
+    detail = result.detail
+    var = {v.name: v for v in bench.variables(state, 5)}[detail["variable"]]
+    flat = var.array.reshape(-1)
+    np.testing.assert_array_equal(
+        flat[detail["start"] : detail["start"] + detail["elements"]],
+        flat[detail["source"] : detail["source"] + detail["elements"]],
+    )
+
+
+def test_fpu_garbles_one_element(machine, bench, state):
+    before = _snapshot(bench, state)
+    result = machine.apply_strike(
+        bench, state, 5, ResourceClass.FPU_LOGIC, derive_rng(3, "fpu")
+    )
+    assert result.effect == "garbage_result"
+    assert _changed_names(bench, state, before) == [result.detail["variable"]]
+
+
+def test_pipeline_can_hit_control_or_data(machine, bench, state):
+    effects = set()
+    for seed in range(60):
+        result = machine.apply_strike(
+            bench, state, 5, ResourceClass.PIPELINE_QUEUE, derive_rng(seed, "pq")
+        )
+        effects.add(result.effect)
+    assert effects == {"control_flip", "data_garble"}
+
+
+def test_dispatch_wedge_raises(machine, bench, state):
+    raised = False
+    for seed in range(60):
+        try:
+            machine.apply_strike(
+                bench, state, 5, ResourceClass.DISPATCH_SCHEDULER, derive_rng(seed, "dw")
+            )
+        except SchedulerWedge:
+            raised = True
+            break
+    assert raised
+
+
+def test_dispatch_tile_skew_moves_core_slab(machine, bench, state):
+    result = _apply_until(
+        machine, bench, state, ResourceClass.DISPATCH_SCHEDULER, "tile_skew"
+    )
+    assert result.detail["hi"] > result.detail["lo"]
+
+
+def test_interconnect_mca_or_wrong_line(machine, bench, state):
+    effects = set()
+    for seed in range(60):
+        try:
+            result = machine.apply_strike(
+                bench, state, 5, ResourceClass.INTERCONNECT, derive_rng(seed, "ic")
+            )
+            effects.add(result.effect)
+        except MachineCheckError:
+            effects.add("mca")
+    assert "mca" in effects and "wrong_line" in effects
+
+
+def test_strike_determinism(machine, bench):
+    outcomes = []
+    for _ in range(2):
+        state = bench.make_state(derive_rng(55, "machine-test"))
+        bench.step(state, 0)
+        bench.step(state, 1)
+        result = machine.apply_strike(
+            bench, state, 5, ResourceClass.FPU_LOGIC, derive_rng(9, "det")
+        )
+        outcomes.append((result.effect, result.detail["element"]))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_unknown_resource_rejected(machine, bench, state):
+    with pytest.raises(ValueError):
+        machine.apply_strike(bench, state, 5, "warp_core", derive_rng(1, "x"))

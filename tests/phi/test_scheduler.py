@@ -1,0 +1,83 @@
+"""Thread scheduler slab arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phi.config import PhiConfig
+from repro.phi.scheduler import ThreadScheduler
+
+
+def test_slabs_partition_exactly():
+    sched = ThreadScheduler()
+    total = 1000
+    covered = []
+    for thread in range(228):
+        slab = sched.slab_of_thread(total, thread)
+        covered.extend(range(slab.start, slab.stop))
+    assert covered == list(range(total))
+
+
+def test_slab_sizes_balanced():
+    sched = ThreadScheduler()
+    sizes = [sched.slab_of_thread(1000, t).size for t in range(228)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_small_arrays_leave_idle_threads():
+    sched = ThreadScheduler()
+    sizes = [sched.slab_of_thread(10, t).size for t in range(228)]
+    assert sum(sizes) == 10
+    assert sizes.count(0) == 218
+
+
+def test_thread_of_element_inverse():
+    sched = ThreadScheduler()
+    total = 777
+    for element in range(0, total, 13):
+        thread = sched.thread_of_element(total, element)
+        slab = sched.slab_of_thread(total, thread)
+        assert slab.start <= element < slab.stop
+
+
+def test_core_slab_spans_four_threads():
+    sched = ThreadScheduler()
+    total = 2280
+    lo, hi = sched.core_slab(total, thread=5)  # core 1: threads 4..7
+    s4 = sched.slab_of_thread(total, 4)
+    s7 = sched.slab_of_thread(total, 7)
+    assert (lo, hi) == (s4.start, s7.stop)
+
+
+def test_validation():
+    sched = ThreadScheduler()
+    with pytest.raises(ValueError):
+        sched.slab_of_thread(100, 228)
+    with pytest.raises(ValueError):
+        sched.slab_of_thread(0, 0)
+    with pytest.raises(IndexError):
+        sched.thread_of_element(10, 10)
+
+
+def test_random_thread_in_range(rng):
+    sched = ThreadScheduler()
+    for _ in range(50):
+        assert 0 <= sched.random_thread(rng) < 228
+
+
+def test_custom_config_thread_count():
+    sched = ThreadScheduler(PhiConfig(cores=2, threads_per_core=2))
+    with pytest.raises(ValueError):
+        sched.slab_of_thread(100, 4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(total=st.integers(1, 5000), element=st.integers(0, 4999))
+def test_thread_of_element_consistent(total, element):
+    if element >= total:
+        element = element % total
+    sched = ThreadScheduler()
+    thread = sched.thread_of_element(total, element)
+    slab = sched.slab_of_thread(total, thread)
+    assert slab.start <= element < slab.stop

@@ -1,0 +1,172 @@
+"""Bit-manipulation primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    bit_width,
+    flip_bit_inplace,
+    flip_bits_inplace,
+    get_bit,
+    randomize_element_inplace,
+    zero_element_inplace,
+)
+
+DTYPES = [np.int8, np.int32, np.int64, np.float32, np.float64, np.uint16]
+
+
+@pytest.mark.parametrize(
+    "dtype,width",
+    [(np.int8, 8), (np.int32, 32), (np.int64, 64), (np.float32, 32), (np.float64, 64)],
+)
+def test_bit_width(dtype, width):
+    assert bit_width(dtype) == width
+
+
+def test_flip_bit_changes_integer_value():
+    arr = np.array([0, 0, 0], dtype=np.int64)
+    flip_bit_inplace(arr, 1, 3)
+    assert arr.tolist() == [0, 8, 0]
+
+
+def test_flip_bit_is_involution():
+    arr = np.array([12345], dtype=np.int64)
+    flip_bit_inplace(arr, 0, 17)
+    flip_bit_inplace(arr, 0, 17)
+    assert arr[0] == 12345
+
+
+def test_flip_high_bit_makes_int64_negative():
+    arr = np.array([1], dtype=np.int64)
+    flip_bit_inplace(arr, 0, 63)
+    assert arr[0] < 0
+
+
+def test_flip_sign_bit_of_float64():
+    arr = np.array([2.5])
+    flip_bit_inplace(arr, 0, 63)
+    assert arr[0] == -2.5
+
+
+def test_flip_low_mantissa_bit_is_tiny():
+    arr = np.array([1.0])
+    flip_bit_inplace(arr, 0, 0)
+    assert arr[0] != 1.0
+    assert abs(arr[0] - 1.0) < 1e-12
+
+
+def test_get_bit_roundtrip():
+    arr = np.array([0b1010], dtype=np.int32)
+    assert get_bit(arr, 0, 1) == 1
+    assert get_bit(arr, 0, 0) == 0
+    assert get_bit(arr, 0, 3) == 1
+
+
+def test_flip_bits_distinct_required():
+    arr = np.array([0], dtype=np.int64)
+    with pytest.raises(ValueError):
+        flip_bits_inplace(arr, 0, [3, 3])
+
+
+def test_flip_bits_multiple():
+    arr = np.array([0], dtype=np.int64)
+    flip_bits_inplace(arr, 0, [0, 2])
+    assert arr[0] == 5
+
+
+def test_zero_element():
+    arr = np.array([[1.5, 2.5], [3.5, 4.5]])
+    zero_element_inplace(arr, 3)
+    assert arr[1, 1] == 0.0
+    assert arr[0, 0] == 1.5
+
+
+def test_randomize_element_deterministic(rng):
+    a = np.array([0.0, 0.0])
+    b = np.array([0.0, 0.0])
+    randomize_element_inplace(a, 1, np.random.default_rng(5))
+    randomize_element_inplace(b, 1, np.random.default_rng(5))
+    assert a[1] == b[1] or (np.isnan(a[1]) and np.isnan(b[1]))
+    assert a[0] == 0.0
+
+
+def test_out_of_range_index_raises():
+    arr = np.zeros(4)
+    with pytest.raises(IndexError):
+        flip_bit_inplace(arr, 4, 0)
+    with pytest.raises(IndexError):
+        flip_bit_inplace(arr, -1, 0)
+
+
+def test_out_of_range_bit_raises():
+    arr = np.zeros(4, dtype=np.float32)
+    with pytest.raises(IndexError):
+        flip_bit_inplace(arr, 0, 32)
+
+
+def test_empty_array_raises():
+    with pytest.raises(IndexError):
+        zero_element_inplace(np.zeros(0), 0)
+
+
+def test_non_contiguous_rejected():
+    arr = np.zeros((4, 4))[:, ::2]
+    with pytest.raises(ValueError):
+        flip_bit_inplace(arr, 0, 0)
+
+
+def test_object_array_rejected():
+    arr = np.array([object()])
+    with pytest.raises(TypeError):
+        flip_bit_inplace(arr, 0, 0)
+
+
+def test_non_array_rejected():
+    with pytest.raises(TypeError):
+        flip_bit_inplace([1, 2, 3], 0, 0)
+
+
+def test_flip_only_touches_target_element():
+    arr = np.arange(16, dtype=np.int32)
+    before = arr.copy()
+    flip_bit_inplace(arr, 7, 5)
+    changed = np.flatnonzero(arr != before)
+    assert changed.tolist() == [7]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    index=st.integers(0, 9),
+    bit=st.integers(0, 63),
+    value=st.integers(-(2**62), 2**62),
+)
+def test_flip_twice_restores_any_int64(index, bit, value):
+    arr = np.full(10, value, dtype=np.int64)
+    flip_bit_inplace(arr, index, bit)
+    flip_bit_inplace(arr, index, bit)
+    assert arr[index] == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(index=st.integers(0, 5), bit=st.integers(0, 31))
+def test_flip_changes_exactly_one_bit_float32(index, bit):
+    arr = np.linspace(1, 2, 6, dtype=np.float32)
+    before = arr.copy().view(np.uint32)
+    flip_bit_inplace(arr, index, bit)
+    after = arr.view(np.uint32)
+    diff = before ^ after
+    assert diff[index] == np.uint32(1) << np.uint32(bit)
+    assert np.all(np.delete(diff, index) == 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_zero_then_value_is_zero_all_dtypes(data):
+    dtype = data.draw(st.sampled_from(DTYPES))
+    size = data.draw(st.integers(1, 8))
+    index = data.draw(st.integers(0, size - 1))
+    arr = np.ones(size, dtype=dtype)
+    zero_element_inplace(arr, index)
+    assert arr[index] == 0

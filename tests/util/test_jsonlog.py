@@ -1,0 +1,63 @@
+"""JSONL campaign log store."""
+
+import numpy as np
+import pytest
+
+from repro.util.jsonlog import JsonlLog, dump_records, load_records
+
+
+def test_append_and_iterate(tmp_path):
+    log = JsonlLog(tmp_path / "log.jsonl")
+    log.append({"a": 1})
+    log.append({"a": 2})
+    assert [r["a"] for r in log] == [1, 2]
+    assert len(log) == 2
+
+
+def test_extend(tmp_path):
+    log = JsonlLog(tmp_path / "log.jsonl")
+    log.extend([{"x": i} for i in range(5)])
+    assert len(log) == 5
+
+
+def test_numpy_values_sanitised(tmp_path):
+    log = JsonlLog(tmp_path / "log.jsonl")
+    log.append(
+        {
+            "scalar": np.int64(7),
+            "floaty": np.float32(1.5),
+            "array": np.arange(3),
+            "nested": {"v": np.float64(2.5), "list": [np.int32(1)]},
+        }
+    )
+    record = next(iter(log))
+    assert record["scalar"] == 7
+    assert record["floaty"] == 1.5
+    assert record["array"] == [0, 1, 2]
+    assert record["nested"]["v"] == 2.5
+    assert record["nested"]["list"] == [1]
+
+
+def test_missing_file_iterates_empty(tmp_path):
+    log = JsonlLog(tmp_path / "nope.jsonl")
+    assert list(log) == []
+    assert len(log) == 0
+
+
+def test_dump_overwrites(tmp_path):
+    path = tmp_path / "out.jsonl"
+    dump_records(path, [{"v": 1}])
+    dump_records(path, [{"v": 2}])
+    assert load_records(path) == [{"v": 2}]
+
+
+def test_load_skips_blank_lines(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text('{"a": 1}\n\n{"a": 2}\n')
+    assert len(load_records(path)) == 2
+
+
+def test_creates_parent_dirs(tmp_path):
+    log = JsonlLog(tmp_path / "deep" / "dir" / "log.jsonl")
+    log.append({"ok": True})
+    assert len(log) == 1

@@ -1,0 +1,131 @@
+"""Statistical estimators behind the paper's error bars."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    half_width_for_proportion,
+    mean_and_sem,
+    poisson_ci,
+    proportion_ci,
+    required_events_for_relative_ci,
+    wilson_ci,
+)
+
+
+def test_poisson_ci_zero_events():
+    ci = poisson_ci(0)
+    assert ci.lower == 0.0
+    assert ci.upper == pytest.approx(3.6889, abs=1e-3)
+
+
+def test_poisson_ci_100_events_is_about_20pct():
+    # 100 Poisson events give a ~±20% interval; the paper's "CIs lower
+    # than 10%" requires the ~385 events computed below.
+    ci = poisson_ci(100)
+    assert 0.18 < ci.relative_half_width() < 0.22
+
+
+def test_poisson_ci_385_events_hits_10pct():
+    ci = poisson_ci(385)
+    assert ci.relative_half_width() < 0.105
+
+
+def test_poisson_ci_contains_point():
+    ci = poisson_ci(17)
+    assert ci.lower < 17 < ci.upper
+
+
+def test_poisson_ci_negative_raises():
+    with pytest.raises(ValueError):
+        poisson_ci(-1)
+
+
+def test_poisson_ci_bad_confidence():
+    with pytest.raises(ValueError):
+        poisson_ci(5, confidence=1.5)
+
+
+def test_wald_worst_case_is_1p96_pct_for_10000():
+    # Section 6: 10,000 injections give worst-case error bars of 1.96%.
+    assert half_width_for_proportion(10_000) == pytest.approx(0.0098, abs=1e-4)
+    ci = proportion_ci(5_000, 10_000)
+    assert (ci.upper - ci.lower) == pytest.approx(0.0196, abs=2e-4)
+
+
+def test_proportion_ci_clipped_to_unit_interval():
+    ci = proportion_ci(0, 10)
+    assert ci.lower == 0.0
+    ci = proportion_ci(10, 10)
+    assert ci.upper == 1.0
+
+
+def test_proportion_ci_validates():
+    with pytest.raises(ValueError):
+        proportion_ci(5, 0)
+    with pytest.raises(ValueError):
+        proportion_ci(11, 10)
+
+
+def test_wilson_narrower_than_wald_at_extremes():
+    wald = proportion_ci(1, 1000)
+    wilson = wilson_ci(1, 1000)
+    assert wilson.lower > 0.0 >= wald.lower
+
+
+def test_wilson_validates():
+    with pytest.raises(ValueError):
+        wilson_ci(2, 0)
+    with pytest.raises(ValueError):
+        wilson_ci(-1, 5)
+
+
+def test_required_events_for_10pct_ci():
+    # (1.96 / 0.1)^2 ~ 385 events for a 10% relative CI at 95%.
+    needed = required_events_for_relative_ci(0.10)
+    assert 380 <= needed <= 390
+
+
+def test_required_events_tighter_needs_more():
+    assert required_events_for_relative_ci(0.05) > required_events_for_relative_ci(0.2)
+
+
+def test_required_events_validates():
+    with pytest.raises(ValueError):
+        required_events_for_relative_ci(0.0)
+
+
+def test_mean_and_sem():
+    mean, sem = mean_and_sem(np.array([1.0, 2.0, 3.0]))
+    assert mean == pytest.approx(2.0)
+    assert sem == pytest.approx(1.0 / math.sqrt(3))
+
+
+def test_mean_and_sem_single_value():
+    mean, sem = mean_and_sem(np.array([4.2]))
+    assert mean == pytest.approx(4.2)
+    assert sem == 0.0
+
+
+def test_mean_and_sem_empty_raises():
+    with pytest.raises(ValueError):
+        mean_and_sem(np.array([]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(events=st.integers(1, 2000))
+def test_poisson_ci_monotone_width(events):
+    ci = poisson_ci(events)
+    assert 0 <= ci.lower < events < ci.upper
+
+
+@settings(max_examples=50, deadline=None)
+@given(successes=st.integers(0, 100), extra=st.integers(1, 100))
+def test_wilson_within_unit_interval(successes, extra):
+    trials = successes + extra
+    ci = wilson_ci(successes, trials)
+    assert 0.0 <= ci.lower <= ci.value <= ci.upper <= 1.0

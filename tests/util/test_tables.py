@@ -1,0 +1,61 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+def test_basic_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "1.50" in text
+    assert "22.25" in text
+
+
+def test_title_and_separator():
+    text = format_table(["h"], [["x"]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+    assert set(text.splitlines()[1]) == {"="}
+
+
+def test_numeric_columns_right_aligned():
+    text = format_table(["n"], [[1.0], [100.0]])
+    rows = text.splitlines()[-2:]
+    assert rows[0].endswith("1.00")
+    assert rows[1].endswith("100.00")
+
+
+def test_mixed_width_rows_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_floatfmt_override():
+    text = format_table(["x"], [[3.14159]], floatfmt=".4f")
+    assert "3.1416" in text
+
+
+def test_bool_cells():
+    text = format_table(["ok"], [[True], [False]])
+    assert "yes" in text and "no" in text
+
+
+def test_dash_cells_do_not_break_alignment():
+    text = format_table(["a", "b"], [["x", "-"], ["y", 2.0]])
+    assert "-" in text
+
+
+def test_format_series():
+    text = format_series("bench", [1, 2], [10.0, 20.5])
+    assert text == "bench: (1, 10.00) (2, 20.50)"
+
+
+def test_format_series_length_mismatch():
+    with pytest.raises(ValueError):
+        format_series("x", [1, 2], [1.0])
+
+
+def test_empty_rows_table():
+    text = format_table(["a"], [])
+    assert "a" in text

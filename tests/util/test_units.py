@@ -1,0 +1,93 @@
+"""FIT / MTBF / fluence conversions."""
+
+import pytest
+
+from repro.util.units import (
+    FIT_HOURS,
+    SEA_LEVEL_FLUX_N_CM2_H,
+    acceleration_factor,
+    cross_section_from_counts,
+    fit_from_cross_section,
+    fit_to_mtbf_hours,
+    mtbf_hours_to_fit,
+    natural_hours_covered,
+)
+
+
+def test_reference_flux_is_13():
+    assert SEA_LEVEL_FLUX_N_CM2_H == 13.0
+
+
+def test_cross_section_from_counts():
+    assert cross_section_from_counts(10, 1e10) == pytest.approx(1e-9)
+
+
+def test_cross_section_validates():
+    with pytest.raises(ValueError):
+        cross_section_from_counts(1, 0.0)
+    with pytest.raises(ValueError):
+        cross_section_from_counts(-1, 1.0)
+
+
+def test_fit_from_cross_section():
+    # sigma * flux * 1e9: 1e-9 cm^2 at 13 n/cm^2/h -> 13 FIT.
+    assert fit_from_cross_section(1e-9) == pytest.approx(13.0)
+
+
+def test_fit_mtbf_roundtrip():
+    fit = 113.0
+    mtbf = fit_to_mtbf_hours(fit)
+    assert mtbf_hours_to_fit(mtbf) == pytest.approx(fit)
+
+
+def test_trinity_scale_mtbf_about_11_days():
+    # Paper: SDC for LUD (~140 FIT read-off, 113-190 plausible) every
+    # 11-12 days at 19,000 boards. 190 FIT x 19,000 boards ~ 11.5 days.
+    mtbf_days = fit_to_mtbf_hours(190.0, devices=19_000) / 24.0
+    assert 10.0 < mtbf_days < 13.0
+
+
+def test_mtbf_validates():
+    with pytest.raises(ValueError):
+        fit_to_mtbf_hours(0.0)
+    with pytest.raises(ValueError):
+        fit_to_mtbf_hours(10.0, devices=0)
+    with pytest.raises(ValueError):
+        mtbf_hours_to_fit(-1.0)
+
+
+def test_acceleration_factor_orders_of_magnitude():
+    # acceleration_factor returns natural hours per beam *second*; the
+    # dimensionless flux ratio (x3600) is 6-8 orders of magnitude, as
+    # the paper states for LANSCE.
+    low_ratio = acceleration_factor(1e5) * 3600.0
+    high_ratio = acceleration_factor(2.5e6) * 3600.0
+    assert 1e6 < low_ratio < 1e8
+    assert 1e8 < high_ratio < 1e10
+
+
+def test_acceleration_validates():
+    with pytest.raises(ValueError):
+        acceleration_factor(0.0)
+    with pytest.raises(ValueError):
+        acceleration_factor(1e5, natural_flux_n_cm2_h=0.0)
+
+
+def test_natural_hours_covered_57000_years():
+    # 500 beam hours at ~2.5e6 n/cm^2/s at least: fluence = 4.5e12;
+    # natural hours = fluence / 13 ~ 3.5e11 h >> 5e8 h (57k years).
+    fluence = 2.5e6 * 500 * 3600
+    hours = natural_hours_covered(fluence)
+    years = hours / 8766.0
+    assert years > 57_000
+
+
+def test_natural_hours_validates():
+    with pytest.raises(ValueError):
+        natural_hours_covered(-1.0)
+    with pytest.raises(ValueError):
+        natural_hours_covered(1.0, natural_flux_n_cm2_h=0.0)
+
+
+def test_fit_hours_constant():
+    assert FIT_HOURS == 1e9
