@@ -1,0 +1,71 @@
+"""Campaign engine scaling — injections/sec at 1/2/4 workers.
+
+Times the sharded campaign engine end-to-end and records the
+injections/sec achieved at each worker count (``benchmark.extra_info``
+lands in the ``BENCH_*.json`` exports, so the parallel-scaling
+trajectory is tracked across commits alongside the timing itself).
+Speedup tops out at the machine's core count; on a single-core box the
+sweep degenerates to measuring the engine's fan-out overhead, which is
+worth tracking too.
+"""
+
+import time
+
+from repro.carolfi.campaign import CampaignConfig, run_campaign
+
+from _artifacts import register_artifact
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Rate-sweep campaign: dgemm injections are heavy enough (~10ms each)
+#: that pool start-up does not swamp the per-worker throughput.
+SCALING_CONFIG = CampaignConfig(benchmark="dgemm", injections=96, seed=11)
+SCALING_SHARD_SIZE = 8
+
+#: Cheap campaign for the serial-engine-overhead timing loop.
+QUICK_CONFIG = CampaignConfig(
+    benchmark="nw",
+    injections=96,
+    seed=11,
+    benchmark_params={"n": 24, "rows_per_step": 4},
+)
+
+
+def _rate(workers: int) -> float:
+    start = time.perf_counter()
+    result = run_campaign(
+        SCALING_CONFIG, workers=workers, shard_size=SCALING_SHARD_SIZE
+    )
+    elapsed = time.perf_counter() - start
+    assert len(result) == SCALING_CONFIG.injections
+    return SCALING_CONFIG.injections / elapsed
+
+
+def test_campaign_scaling(benchmark):
+    rates = {w: _rate(w) for w in WORKER_COUNTS}
+    lines = ["workers  injections/sec  speedup"]
+    for w in WORKER_COUNTS:
+        lines.append(f"{w:>7}  {rates[w]:>14.1f}  {rates[w] / rates[1]:>6.2f}x")
+    register_artifact("campaign_scaling", "\n".join(lines))
+    benchmark.extra_info.update(
+        {f"rate_workers_{w}": rates[w] for w in WORKER_COUNTS}
+    )
+    benchmark.extra_info["speedup_4_over_1"] = rates[4] / rates[1]
+    # Time the parallel path itself (pool start-up included).
+    benchmark.pedantic(
+        lambda: run_campaign(
+            SCALING_CONFIG, workers=4, shard_size=SCALING_SHARD_SIZE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_campaign_serial_engine_overhead(benchmark):
+    """The engine's serial path should cost about the same as the legacy loop."""
+    result = benchmark.pedantic(
+        lambda: run_campaign(QUICK_CONFIG, workers=1, shard_size=8),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result) == QUICK_CONFIG.injections

@@ -5,7 +5,6 @@ asserting the qualitative signatures the paper's text calls out.
 """
 
 from repro.experiments import figure5
-from repro.faults.outcome import Outcome
 
 from _artifacts import register_artifact
 

@@ -6,7 +6,6 @@ measured protection overhead for every benchmark.
 """
 
 from repro.benchmarks.registry import create
-from repro.carolfi.flipscript import SitePolicy
 from repro.experiments import futurework
 from repro.faults.models import FaultModel
 from repro.hardening.hardened import HardenedSupervisor

@@ -24,7 +24,10 @@ from repro.experiments.data import ExperimentData
 @pytest.fixture(scope="session")
 def data() -> ExperimentData:
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
-    return ExperimentData(seed=2017, scale=scale)
+    # REPRO_WORKERS > 1 runs the injection campaigns on the sharded
+    # parallel engine; the default stays serial so timings are stable.
+    workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    return ExperimentData(seed=2017, scale=scale, workers=workers)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

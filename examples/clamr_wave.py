@@ -15,7 +15,6 @@ Run:  python examples/clamr_wave.py
 import numpy as np
 
 from repro.benchmarks import Clamr
-from repro.benchmarks.base import BenchmarkError
 from repro.carolfi import Supervisor
 from repro.faults import FaultModel, Outcome
 from repro.util.rng import derive_rng

@@ -235,9 +235,16 @@ class Dgemm(Benchmark):
             # accumulator) only exists once compute threads are running.
             variables.extend(
                 [
-                    Variable("thread_ctl", state.thread_ctl, frame="kernel", var_class="control"),
+                    Variable(
+                        "thread_ctl", state.thread_ctl, frame="kernel", var_class="control"
+                    ),
                     Variable("acc", state.acc, frame="kernel", var_class="matrix"),
-                    Variable("operand_ptrs", state.ptrs.addresses, frame="kernel", var_class="pointer"),
+                    Variable(
+                        "operand_ptrs",
+                        state.ptrs.addresses,
+                        frame="kernel",
+                        var_class="pointer",
+                    ),
                 ]
             )
         return variables

@@ -11,21 +11,37 @@ The reproduction mirrors CAROL-FI's two-script architecture:
   applies one of the four fault models to its backing store.
 
 :mod:`repro.carolfi.campaign` drives whole campaigns (the paper injects
->=10,000 faults per benchmark) and :mod:`repro.carolfi.logparse`
-re-reads persisted JSONL logs, mirroring the paper's parser scripts.
+>=10,000 faults per benchmark), :mod:`repro.carolfi.engine` shards
+campaigns over worker processes with resumable checkpoints, and
+:mod:`repro.carolfi.logparse` re-reads persisted JSONL logs, mirroring
+the paper's parser scripts.
 """
 
 from repro.carolfi.campaign import CampaignConfig, CampaignResult, run_campaign
 from repro.carolfi.configfile import load_config, run_from_config
+from repro.carolfi.engine import (
+    CheckpointError,
+    ShardFailure,
+    ShardProgress,
+    ShardSpec,
+    plan_shards,
+    run_sharded_campaign,
+)
 from repro.carolfi.flipscript import FlipScript, SitePolicy
 from repro.carolfi.supervisor import Supervisor
 
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
+    "CheckpointError",
     "FlipScript",
+    "ShardFailure",
+    "ShardProgress",
+    "ShardSpec",
     "load_config",
+    "plan_shards",
     "run_from_config",
+    "run_sharded_campaign",
     "SitePolicy",
     "Supervisor",
     "run_campaign",

@@ -84,13 +84,38 @@ class CampaignResult:
 def run_campaign(
     config: CampaignConfig,
     log_path: str | Path | None = None,
+    *,
+    workers: int | None = 1,
+    checkpoint_dir: str | Path | None = None,
+    shard_size: int | None = None,
+    progress: Any | None = None,
 ) -> CampaignResult:
     """Run a full injection campaign.
 
     Fault models rotate round-robin so every model receives an equal
     share; interrupt times are drawn uniformly per run by the
-    Supervisor.  Deterministic for a given config.
+    Supervisor.  Deterministic for a given config: every run's random
+    stream is keyed by ``(seed, benchmark, run_index)``, so the result
+    is bit-identical for any ``workers`` count or shard layout.
+
+    ``workers`` > 1 (or ``None`` for ``REPRO_WORKERS`` / cpu-count
+    auto-detection), ``checkpoint_dir``, ``shard_size`` or ``progress``
+    route the campaign through the sharded engine
+    (:mod:`repro.carolfi.engine`), which adds parallel execution and
+    resumable per-shard JSONL checkpoints.  The default (``workers=1``,
+    no checkpointing) keeps the plain in-process serial path below.
     """
+    if workers != 1 or checkpoint_dir is not None or shard_size is not None or progress:
+        from repro.carolfi.engine import run_sharded_campaign
+
+        return run_sharded_campaign(
+            config,
+            workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            shard_size=shard_size,
+            progress=progress,
+            log_path=log_path,
+        )
     benchmark = create(config.benchmark, **config.benchmark_params)
     supervisor = Supervisor(
         benchmark,
@@ -101,10 +126,14 @@ def run_campaign(
     log = JsonlLog(log_path) if log_path is not None else None
     records: list[InjectionRecord] = []
     models = config.fault_models
-    for run_index in range(config.injections):
-        model = models[run_index % len(models)]
-        record = supervisor.run_one(run_index, model)
-        records.append(record)
+    try:
+        for run_index in range(config.injections):
+            model = models[run_index % len(models)]
+            record = supervisor.run_one(run_index, model)
+            records.append(record)
+            if log is not None:
+                log.append(record.to_dict())
+    finally:
         if log is not None:
-            log.append(record.to_dict())
+            log.close()
     return CampaignResult(config=config, records=records)

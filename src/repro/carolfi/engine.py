@@ -1,0 +1,519 @@
+"""Sharded, parallel, resumable campaign execution.
+
+The paper's numbers rest on 10,000+ injections per benchmark; running
+them one after another in one process is the reproduction's single
+biggest bottleneck.  This engine splits a campaign into deterministic
+*shards* (contiguous run-index ranges), fans the shards out over a
+``ProcessPoolExecutor``, and merges the shard records back in canonical
+run-index order.
+
+Determinism is structural, not incidental: every injection derives its
+random stream from ``(seed, benchmark, run_index)`` via
+:func:`repro.util.rng.derive_rng`, so a record is bit-identical no
+matter which worker executes it, in what order, or how the campaign is
+sharded.  ``run_campaign(config, workers=4)`` therefore equals
+``run_campaign(config, workers=1)`` record for record.
+
+Resumability: with a ``checkpoint_dir``, each shard appends its records
+to its own JSONL file (header → records → ``done`` footer).  On
+restart the engine replays every *complete* shard file from disk and
+re-runs only the rest.  A checkpoint is trusted only if its stored
+config fingerprint matches the requested campaign; a mismatch raises
+:class:`CheckpointError` rather than silently mixing campaigns.  A
+worker killed mid-write leaves a partial trailing line, which the
+reader drops; the shard is then simply re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import time
+from collections.abc import Callable, Iterable
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.benchmarks.registry import create
+from repro.carolfi.campaign import CampaignConfig, CampaignResult
+from repro.carolfi.supervisor import Supervisor
+from repro.faults.outcome import InjectionRecord
+from repro.util.jsonlog import JsonlLog, load_records
+
+__all__ = [
+    "CheckpointError",
+    "ShardFailure",
+    "ShardProgress",
+    "ShardSpec",
+    "campaign_fingerprint",
+    "plan_shards",
+    "resolve_workers",
+    "run_sharded_campaign",
+    "shard_path",
+]
+
+#: Checkpoint file format version (bump on incompatible layout changes).
+CHECKPOINT_VERSION = 1
+
+#: Default number of shards a campaign is split into.  Worker-count
+#: independent on purpose: the shard plan (and hence the checkpoint
+#: layout) depends only on the campaign itself, so a run started with 8
+#: workers can be resumed with 2.
+DEFAULT_SHARD_COUNT = 16
+
+ProgressCallback = Callable[["ShardProgress"], None]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory does not belong to the requested campaign."""
+
+
+class ShardFailure(RuntimeError):
+    """A shard failed twice (original attempt plus one retry)."""
+
+    def __init__(self, shard_index: int, cause: BaseException):
+        super().__init__(
+            f"shard {shard_index} failed after retry: {type(cause).__name__}: {cause}"
+        )
+        self.shard_index = shard_index
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous slice ``[start, stop)`` of a campaign's run indices."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.stop:
+            raise ValueError(f"bad shard range [{self.start}, {self.stop})")
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def run_indices(self) -> range:
+        return range(self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class ShardProgress:
+    """One heartbeat from the engine, delivered to the progress callback.
+
+    ``event`` is one of ``"replayed"`` (shard restored from its
+    checkpoint), ``"started"``, ``"finished"``, ``"retried"`` (worker
+    failure, shard resubmitted once) or ``"failed"``.  ``rate`` counts
+    live injections/sec (replayed shards excluded) and ``eta_s`` is the
+    projected seconds remaining at that rate (``inf`` until the first
+    shard finishes).
+    """
+
+    event: str
+    shard_index: int
+    shard_count: int
+    shard_runs: int
+    done_runs: int
+    total_runs: int
+    elapsed_s: float
+    rate: float
+    eta_s: float
+    detail: str = ""
+
+
+def plan_shards(injections: int, shard_size: int | None = None) -> tuple[ShardSpec, ...]:
+    """Split ``injections`` runs into contiguous shards.
+
+    The default shard size targets :data:`DEFAULT_SHARD_COUNT` shards
+    and depends only on the injection count, never on the worker count.
+    """
+    if injections < 1:
+        raise ValueError("injections must be positive")
+    if shard_size is None:
+        shard_size = max(1, math.ceil(injections / DEFAULT_SHARD_COUNT))
+    if shard_size < 1:
+        raise ValueError("shard_size must be positive")
+    starts = range(0, injections, shard_size)
+    return tuple(
+        ShardSpec(index=i, start=s, stop=min(s + shard_size, injections))
+        for i, s in enumerate(starts)
+    )
+
+
+def campaign_fingerprint(config: CampaignConfig, shard_size: int | None = None) -> str:
+    """Stable hash of everything that determines a campaign's records.
+
+    Stored in every checkpoint header; a resume with a different
+    benchmark, seed, size, fault-model set, policy or shard plan is
+    detected before any stale record is trusted.
+    """
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "benchmark": config.benchmark,
+        "injections": config.injections,
+        "seed": config.seed,
+        "fault_models": [m.value for m in config.fault_models],
+        "policy": config.policy.value,
+        "watchdog_factor": config.watchdog_factor,
+        "benchmark_params": config.benchmark_params,
+        "shard_size": shard_size,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a worker count: explicit > ``REPRO_WORKERS`` > cpu count."""
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        workers = int(env) if env else (os.cpu_count() or 1)
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    return workers
+
+
+def shard_path(checkpoint_dir: str | Path, shard_index: int) -> Path:
+    """Checkpoint file of one shard."""
+    return Path(checkpoint_dir) / f"shard-{shard_index:05d}.jsonl"
+
+
+# -- shard execution (runs inside pool workers) -------------------------------
+
+#: Per-process Supervisor cache: pool workers are reused across shards,
+#: so the benchmark's input generation and golden run are paid once per
+#: worker process rather than once per shard.
+_SUPERVISORS: dict[str, Supervisor] = {}
+
+
+def _supervisor_for(config: CampaignConfig) -> Supervisor:
+    key = json.dumps(
+        {
+            "benchmark": config.benchmark,
+            "seed": config.seed,
+            "policy": config.policy.value,
+            "watchdog_factor": config.watchdog_factor,
+            "benchmark_params": config.benchmark_params,
+        },
+        sort_keys=True,
+    )
+    supervisor = _SUPERVISORS.get(key)
+    if supervisor is None:
+        supervisor = Supervisor(
+            create(config.benchmark, **config.benchmark_params),
+            seed=config.seed,
+            policy=config.policy,
+            watchdog_factor=config.watchdog_factor,
+        )
+        _SUPERVISORS[key] = supervisor
+    return supervisor
+
+
+def _execute_shard(
+    config: CampaignConfig,
+    spec: ShardSpec,
+    checkpoint_file: str | None,
+    fingerprint: str,
+) -> tuple[int, list[dict]]:
+    """Run one shard, checkpointing each record; returns record dicts."""
+    supervisor = _supervisor_for(config)
+    log: JsonlLog | None = None
+    if checkpoint_file is not None:
+        path = Path(checkpoint_file)
+        path.unlink(missing_ok=True)  # drop any partial previous attempt
+        log = JsonlLog(path)
+        log.append(
+            {
+                "kind": "header",
+                "version": CHECKPOINT_VERSION,
+                "config_hash": fingerprint,
+                "shard": spec.index,
+                "start": spec.start,
+                "stop": spec.stop,
+            }
+        )
+    models = config.fault_models
+    rows: list[dict] = []
+    for run_index in spec.run_indices():
+        record = supervisor.run_one(run_index, models[run_index % len(models)])
+        rows.append(record.to_dict())
+        if log is not None:
+            log.append({"kind": "record", "data": rows[-1]})
+    if log is not None:
+        log.append({"kind": "done", "count": len(rows)})
+        log.close()
+    return spec.index, rows
+
+
+# -- checkpoint replay --------------------------------------------------------
+
+
+def _replay_shard(
+    path: Path, fingerprint: str, spec: ShardSpec
+) -> list[InjectionRecord] | None:
+    """Load one shard's records from its checkpoint file.
+
+    Returns ``None`` when the shard must be (re-)run: missing file,
+    partial write (no ``done`` footer, short record count, truncated
+    trailing line) or structural damage.  Raises :class:`CheckpointError`
+    when the file belongs to a *different* campaign — that is never
+    silently repaired.
+    """
+    if not path.exists():
+        return None
+    try:
+        rows = load_records(path)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None  # damaged beyond the tolerated trailing line: re-run
+    if not rows:
+        return None
+    header = rows[0]
+    if not isinstance(header, dict) or header.get("kind") != "header":
+        return None
+    if header.get("config_hash") != fingerprint:
+        raise CheckpointError(
+            f"checkpoint {path} was written by a different campaign "
+            f"(config hash {header.get('config_hash')!r}, expected {fingerprint!r}); "
+            "point --checkpoints at a fresh directory or delete the stale one"
+        )
+    if (header.get("shard"), header.get("start"), header.get("stop")) != (
+        spec.index,
+        spec.start,
+        spec.stop,
+    ):
+        raise CheckpointError(
+            f"checkpoint {path} covers shard "
+            f"{header.get('shard')}[{header.get('start')}:{header.get('stop')}], "
+            f"expected {spec.index}[{spec.start}:{spec.stop}]"
+        )
+    footer = rows[-1]
+    if not isinstance(footer, dict) or footer.get("kind") != "done":
+        return None  # worker was killed before finishing: re-run
+    body = rows[1:-1]
+    if footer.get("count") != len(body) or len(body) != spec.size:
+        return None
+    try:
+        return [InjectionRecord.from_dict(row["data"]) for row in body]
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _validate_checkpoint_dir(checkpoint_dir: Path, fingerprint: str) -> None:
+    """Create/validate the directory-level ``campaign.json`` marker."""
+    marker = checkpoint_dir / "campaign.json"
+    if marker.exists():
+        try:
+            stored = json.loads(marker.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointError(f"unreadable campaign marker {marker}: {exc}") from exc
+        if stored.get("config_hash") != fingerprint:
+            raise CheckpointError(
+                f"checkpoint directory {checkpoint_dir} belongs to a different "
+                f"campaign (config hash {stored.get('config_hash')!r}, "
+                f"expected {fingerprint!r})"
+            )
+        return
+    marker.write_text(
+        json.dumps(
+            {"config_hash": fingerprint, "version": CHECKPOINT_VERSION}, sort_keys=True
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+class _Heartbeat:
+    """Computes injections/sec and ETA for progress events."""
+
+    def __init__(
+        self,
+        callback: ProgressCallback | None,
+        shard_count: int,
+        total_runs: int,
+    ):
+        self.callback = callback
+        self.shard_count = shard_count
+        self.total_runs = total_runs
+        self.done_runs = 0
+        self.live_runs = 0
+        self.started = time.perf_counter()
+
+    def record_done(self, runs: int, live: bool) -> None:
+        self.done_runs += runs
+        if live:
+            self.live_runs += runs
+
+    def emit(self, event: str, spec: ShardSpec, detail: str = "") -> None:
+        if self.callback is None:
+            return
+        elapsed = time.perf_counter() - self.started
+        rate = self.live_runs / elapsed if elapsed > 0 else 0.0
+        remaining = self.total_runs - self.done_runs
+        eta = remaining / rate if rate > 0 else math.inf
+        self.callback(
+            ShardProgress(
+                event=event,
+                shard_index=spec.index,
+                shard_count=self.shard_count,
+                shard_runs=spec.size,
+                done_runs=self.done_runs,
+                total_runs=self.total_runs,
+                elapsed_s=elapsed,
+                rate=rate,
+                eta_s=eta,
+                detail=detail,
+            )
+        )
+
+
+def run_sharded_campaign(
+    config: CampaignConfig,
+    *,
+    workers: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    shard_size: int | None = None,
+    progress: ProgressCallback | None = None,
+    log_path: str | Path | None = None,
+) -> CampaignResult:
+    """Run a campaign sharded, optionally in parallel and resumable.
+
+    ``workers=1`` executes the shards serially in-process (no
+    subprocess is ever spawned); any other count fans shards out over a
+    ``ProcessPoolExecutor``.  ``workers=None`` resolves via
+    ``REPRO_WORKERS`` then ``os.cpu_count()``.  See the module
+    docstring for the determinism and resume contracts.
+    """
+    workers = resolve_workers(workers)
+    shards = plan_shards(config.injections, shard_size)
+    fingerprint = campaign_fingerprint(config, shard_size)
+    ckpt_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+    if ckpt_dir is not None:
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        _validate_checkpoint_dir(ckpt_dir, fingerprint)
+
+    heartbeat = _Heartbeat(progress, len(shards), config.injections)
+    replayed: dict[int, list[InjectionRecord]] = {}
+    pending: list[ShardSpec] = []
+    for spec in shards:
+        records = (
+            _replay_shard(shard_path(ckpt_dir, spec.index), fingerprint, spec)
+            if ckpt_dir is not None
+            else None
+        )
+        if records is None:
+            pending.append(spec)
+        else:
+            replayed[spec.index] = records
+            heartbeat.record_done(spec.size, live=False)
+            heartbeat.emit("replayed", spec)
+
+    executed: dict[int, list[dict]] = {}
+    if pending:
+
+        def ckpt_file(spec: ShardSpec) -> str | None:
+            if ckpt_dir is None:
+                return None
+            return str(shard_path(ckpt_dir, spec.index))
+
+        if workers == 1:
+            _run_serial(config, pending, ckpt_file, fingerprint, heartbeat, executed)
+        else:
+            _run_pool(
+                config, pending, ckpt_file, fingerprint, heartbeat, executed, workers
+            )
+
+    records_out: list[InjectionRecord] = []
+    for spec in shards:
+        if spec.index in replayed:
+            records_out.extend(replayed[spec.index])
+        else:
+            records_out.extend(
+                InjectionRecord.from_dict(row) for row in executed[spec.index]
+            )
+    records_out.sort(key=lambda r: r.run_index)
+    if [r.run_index for r in records_out] != list(range(config.injections)):
+        raise RuntimeError("engine merge produced a non-canonical record sequence")
+    if log_path is not None:
+        with JsonlLog(log_path) as log:
+            log.extend(r.to_dict() for r in records_out)
+    return CampaignResult(config=config, records=records_out)
+
+
+def _run_serial(
+    config: CampaignConfig,
+    pending: Iterable[ShardSpec],
+    ckpt_file: Callable[[ShardSpec], str | None],
+    fingerprint: str,
+    heartbeat: _Heartbeat,
+    executed: dict[int, list[dict]],
+) -> None:
+    for spec in pending:
+        heartbeat.emit("started", spec)
+        try:
+            _, rows = _execute_shard(config, spec, ckpt_file(spec), fingerprint)
+        except Exception as exc:  # noqa: BLE001 — retried once, then surfaced
+            heartbeat.emit("retried", spec, detail=f"{type(exc).__name__}: {exc}")
+            try:
+                _, rows = _execute_shard(config, spec, ckpt_file(spec), fingerprint)
+            except Exception as retry_exc:
+                heartbeat.emit(
+                    "failed", spec, detail=f"{type(retry_exc).__name__}: {retry_exc}"
+                )
+                raise ShardFailure(spec.index, retry_exc) from retry_exc
+        executed[spec.index] = rows
+        heartbeat.record_done(spec.size, live=True)
+        heartbeat.emit("finished", spec)
+
+
+def _run_pool(
+    config: CampaignConfig,
+    pending: list[ShardSpec],
+    ckpt_file: Callable[[ShardSpec], str | None],
+    fingerprint: str,
+    heartbeat: _Heartbeat,
+    executed: dict[int, list[dict]],
+    workers: int,
+) -> None:
+    max_workers = min(workers, len(pending))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        attempts: dict[int, int] = {}
+        in_flight: dict[Future, ShardSpec] = {}
+
+        def submit(spec: ShardSpec) -> None:
+            attempts[spec.index] = attempts.get(spec.index, 0) + 1
+            future = pool.submit(
+                _execute_shard, config, spec, ckpt_file(spec), fingerprint
+            )
+            in_flight[future] = spec
+
+        for spec in pending:
+            heartbeat.emit("started", spec)
+            submit(spec)
+        while in_flight:
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                spec = in_flight.pop(future)
+                exc = future.exception()
+                if exc is None:
+                    index, rows = future.result()
+                    executed[index] = rows
+                    heartbeat.record_done(spec.size, live=True)
+                    heartbeat.emit("finished", spec)
+                elif attempts[spec.index] < 2:
+                    heartbeat.emit(
+                        "retried", spec, detail=f"{type(exc).__name__}: {exc}"
+                    )
+                    submit(spec)
+                else:
+                    heartbeat.emit(
+                        "failed", spec, detail=f"{type(exc).__name__}: {exc}"
+                    )
+                    for other in in_flight:
+                        other.cancel()
+                    raise ShardFailure(spec.index, exc) from exc

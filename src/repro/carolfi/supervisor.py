@@ -91,7 +91,9 @@ class Supervisor:
     ) -> InjectionRecord:
         """Execute one injection test and classify its outcome."""
         bench = self.benchmark
-        rng = derive_rng(self.seed, "carolfi", bench.name, "run", str(run_index))
+        # Keyed by run index alone (not shard/worker), so any sharding of
+        # the campaign replays bit-identical per-run streams.
+        rng = derive_rng(self.seed, "carolfi", bench.name, "run", run_index)
         total = self.total_steps
         if interrupt_step is None:
             interrupt_step = int(rng.integers(0, total))

@@ -14,11 +14,14 @@ the test-suite and CI.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.beam.experiment import BeamCampaignResult, BeamExperiment
 from repro.benchmarks.registry import BEAM_BENCHMARKS, INJECTION_BENCHMARKS
 from repro.carolfi.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.carolfi.engine import ShardProgress
 
 __all__ = ["ExperimentData"]
 
@@ -29,10 +32,21 @@ _INJECTIONS = 1600
 
 @dataclass
 class ExperimentData:
-    """Lazily-run, memoised campaigns behind all experiments."""
+    """Lazily-run, memoised campaigns behind all experiments.
+
+    ``workers`` and ``checkpoint_root`` are forwarded to the sharded
+    campaign engine: ``workers=1`` (the default, used by the test
+    suite) keeps the plain serial path, ``workers=None`` auto-detects
+    from ``REPRO_WORKERS`` / cpu count, and a ``checkpoint_root`` gives
+    every benchmark campaign its own resumable checkpoint directory
+    under it.
+    """
 
     seed: int = 2017
     scale: float = 1.0
+    workers: int | None = 1
+    checkpoint_root: str | Path | None = None
+    progress: Callable[[ShardProgress], None] | None = field(default=None, repr=False)
     _beam: dict[str, BeamCampaignResult] = field(default_factory=dict, repr=False)
     _injection: dict[str, CampaignResult] = field(default_factory=dict, repr=False)
 
@@ -65,7 +79,18 @@ class ExperimentData:
             config = CampaignConfig(
                 benchmark=benchmark, injections=self.injections, seed=self.seed
             )
-            self._injection[benchmark] = run_campaign(config)
+            checkpoint_dir = None
+            if self.checkpoint_root is not None:
+                checkpoint_dir = (
+                    Path(self.checkpoint_root)
+                    / f"{benchmark}-seed{self.seed}-n{self.injections}"
+                )
+            self._injection[benchmark] = run_campaign(
+                config,
+                workers=self.workers,
+                checkpoint_dir=checkpoint_dir,
+                progress=self.progress,
+            )
         return self._injection[benchmark]
 
     def all_beam(self) -> dict[str, BeamCampaignResult]:

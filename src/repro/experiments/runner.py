@@ -5,20 +5,28 @@ Usage (installed as ``repro-experiments``)::
     repro-experiments                 # everything at full scale
     repro-experiments --quick         # 10% campaigns, minutes not hours
     repro-experiments figure2 figure3 --seed 7
+    repro-experiments --workers 8 --checkpoints /tmp/ckpt figure4
     repro-experiments --list
 
 Campaigns are shared across experiments within one invocation (Figures
 2/3 reuse one beam campaign per benchmark; Figures 4-6, criticality and
-mitigation reuse one injection campaign per benchmark).
+mitigation reuse one injection campaign per benchmark).  Injection
+campaigns run on the sharded parallel engine: ``--workers`` (or the
+``REPRO_WORKERS`` environment variable) sets the process count, and
+``--checkpoints DIR`` makes campaigns resumable — re-invoking with the
+same directory replays finished shards instead of re-running them.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 from collections.abc import Callable, Sequence
+from typing import Any
 
+from repro.carolfi.engine import ShardProgress
 from repro.experiments import (
     criticality,
     data as data_mod,
@@ -50,18 +58,40 @@ EXPERIMENTS: dict[str, tuple[Callable, Callable]] = {
 }
 
 
+def _print_progress(event: ShardProgress) -> None:
+    """One stderr heartbeat line per shard event."""
+    eta = "?" if not math.isfinite(event.eta_s) else f"{event.eta_s:.0f}s"
+    line = (
+        f"[shard {event.shard_index + 1}/{event.shard_count}] "
+        f"{event.event:<8} {event.done_runs}/{event.total_runs} injections "
+        f"({event.rate:.1f}/s, eta {eta})"
+    )
+    if event.detail:
+        line += f" — {event.detail}"
+    print(line, file=sys.stderr, flush=True)
+
+
 def run_experiments(
     names: Sequence[str],
     seed: int = 2017,
     scale: float = 1.0,
-    stream=None,
+    stream: Any = None,
+    workers: int | None = 1,
+    checkpoint_root: str | None = None,
+    progress: Callable[[ShardProgress], None] | None = None,
 ) -> data_mod.ExperimentData:
     """Run the named experiments, printing each rendered artifact."""
     stream = stream or sys.stdout
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
-    shared = data_mod.ExperimentData(seed=seed, scale=scale)
+    shared = data_mod.ExperimentData(
+        seed=seed,
+        scale=scale,
+        workers=workers,
+        checkpoint_root=checkpoint_root,
+        progress=progress,
+    )
     for name in names:
         run, render = EXPERIMENTS[name]
         start = time.perf_counter()
@@ -93,6 +123,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="shorthand for --scale 0.1"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="injection campaign worker processes "
+        "(default: $REPRO_WORKERS, else all cpu cores; 1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--checkpoints",
+        metavar="DIR",
+        default=None,
+        help="checkpoint root; campaigns resume from completed shards under it",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-shard heartbeats (injections/sec, ETA) to stderr",
+    )
     parser.add_argument("--list", action="store_true", help="list experiments and exit")
     args = parser.parse_args(argv)
     if args.list:
@@ -100,7 +148,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(name)
         return 0
     scale = 0.1 if args.quick else args.scale
-    run_experiments(args.experiments, seed=args.seed, scale=scale)
+    run_experiments(
+        args.experiments,
+        seed=args.seed,
+        scale=scale,
+        workers=args.workers,
+        checkpoint_root=args.checkpoints,
+        progress=_print_progress if args.progress else None,
+    )
     return 0
 
 

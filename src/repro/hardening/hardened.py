@@ -113,6 +113,15 @@ class HardenedSupervisor:
         self.total_steps = benchmark.num_steps(state)
         self.golden = self._quantize(benchmark.run(state))
         self.plain_runtime = max(time.perf_counter() - plain_start, 1e-4)
+        # Re-measure once warm and keep the faster run: the first
+        # execution pays allocator/cache warm-up, which otherwise
+        # understates the hardening overhead on noisy hosts.
+        rerun_start = time.perf_counter()
+        state = self._fresh_state()
+        benchmark.num_steps(state)
+        benchmark.run(state)
+        rerun_runtime = max(time.perf_counter() - rerun_start, 1e-4)
+        self.plain_runtime = min(self.plain_runtime, rerun_runtime)
         self.golden_runtime = self.plain_runtime
 
         # Measure the hardened fault-free run: overhead = guards +

@@ -5,6 +5,12 @@ frame, fault model, time window, outcome, ...); the beam driver logs one
 record per observed error.  Both use this append-only JSON-lines store
 so third-party analysis can re-parse raw campaign data, mirroring the
 paper's public log repository.
+
+The store doubles as the campaign engine's shard checkpoint format, so
+it is written to survive a killed worker: files are opened in append
+mode with explicit UTF-8, every record is flushed to the OS as soon as
+it is written, and the reader ignores a partial trailing line (the only
+damage a kill mid-write can cause to an append-only file).
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 import json
 from collections.abc import Iterable, Iterator
 from pathlib import Path
-from typing import Any
+from typing import IO, Any
 
 import numpy as np
 
@@ -33,20 +39,44 @@ def _sanitize(value: Any) -> Any:
 
 
 class JsonlLog:
-    """Append-only JSONL file of dict records."""
+    """Append-only JSONL file of dict records.
+
+    The underlying file is kept open in append mode and flushed after
+    every record, so a record is durable the moment :meth:`append`
+    returns even if the writing process is later killed.  Usable as a
+    context manager; an unclosed log loses nothing because of the
+    per-record flush.
+    """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = None
+
+    def _file(self) -> IO[str]:
+        if self._fh is None or self._fh.closed:
+            self._fh = self.path.open("a", encoding="utf-8")
+        return self._fh
 
     def append(self, record: dict[str, Any]) -> None:
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(_sanitize(record), sort_keys=True) + "\n")
+        fh = self._file()
+        fh.write(json.dumps(_sanitize(record), sort_keys=True) + "\n")
+        fh.flush()
 
     def extend(self, records: Iterable[dict[str, Any]]) -> None:
-        with self.path.open("a", encoding="utf-8") as fh:
-            for record in records:
-                fh.write(json.dumps(_sanitize(record), sort_keys=True) + "\n")
+        for record in records:
+            self.append(record)
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "JsonlLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
         if not self.path.exists():
@@ -66,12 +96,23 @@ def dump_records(path: str | Path, records: Iterable[dict[str, Any]]) -> None:
             fh.write(json.dumps(_sanitize(record), sort_keys=True) + "\n")
 
 
-def load_records(path: str | Path) -> list[dict[str, Any]]:
-    """Read all JSONL records from ``path``."""
-    out: list[dict[str, Any]] = []
+def load_records(path: str | Path, strict: bool = False) -> list[dict[str, Any]]:
+    """Read all JSONL records from ``path``.
+
+    A writer killed mid-append leaves at most one partial final line;
+    that line is silently dropped so checkpoints survive hard kills.
+    Corruption anywhere *before* the final line — or any bad line when
+    ``strict`` is true — still raises ``json.JSONDecodeError``.
+    """
     with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                out.append(json.loads(line))
+        lines = [line.strip() for line in fh]
+    content = [(i, line) for i, line in enumerate(lines) if line]
+    out: list[dict[str, Any]] = []
+    for pos, (_, line) in enumerate(content):
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            if strict or pos != len(content) - 1:
+                raise
+            break  # partial trailing line from a killed writer
     return out

@@ -16,12 +16,18 @@ import numpy as np
 __all__ = ["derive_rng", "spawn_rngs"]
 
 
-def _name_entropy(name: str) -> int:
-    digest = hashlib.sha256(name.encode("utf-8")).digest()
+def _name_entropy(name: str | int) -> int:
+    """Stable 128-bit entropy for one path component.
+
+    Integer components hash as their decimal string, so
+    ``derive_rng(7, "run", 5)`` and ``derive_rng(7, "run", "5")`` name
+    the same stream — shard and run indices can be passed uncast.
+    """
+    digest = hashlib.sha256(str(name).encode("utf-8")).digest()
     return int.from_bytes(digest[:16], "little")
 
 
-def derive_rng(seed: int, *names: str) -> np.random.Generator:
+def derive_rng(seed: int, *names: str | int) -> np.random.Generator:
     """Return a generator keyed by ``seed`` and a stable path of names.
 
     ``derive_rng(7, "beam", "dgemm")`` always yields the same stream, and
@@ -32,7 +38,7 @@ def derive_rng(seed: int, *names: str) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence(entropy))
 
 
-def spawn_rngs(seed: int, count: int, *names: str) -> list[np.random.Generator]:
+def spawn_rngs(seed: int, count: int, *names: str | int) -> list[np.random.Generator]:
     """Return ``count`` independent generators under one named path."""
     if count < 0:
         raise ValueError("count must be non-negative")

@@ -67,7 +67,11 @@ def wilson_ci(successes: int, trials: int, confidence: float = 0.95) -> CountEst
     denom = 1.0 + z * z / trials
     center = (p + z * z / (2 * trials)) / denom
     half = z * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials)) / denom
-    return CountEstimate(p, max(0.0, center - half), min(1.0, center + half), confidence)
+    # At p = 0 (or 1) the bound equals p exactly; rounding can leave it a
+    # few ulp past p, so clamp the interval to always contain the estimate.
+    lower = min(max(0.0, center - half), p)
+    upper = max(min(1.0, center + half), p)
+    return CountEstimate(p, lower, upper, confidence)
 
 
 def proportion_ci(successes: int, trials: int, confidence: float = 0.95) -> CountEstimate:

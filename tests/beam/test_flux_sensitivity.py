@@ -1,9 +1,8 @@
 """Beam flux configuration and the device sensitivity table."""
 
-import numpy as np
 import pytest
 
-from repro.beam.flux import LANSCE_FLUX_MAX, LANSCE_FLUX_MIN, LanceBeam
+from repro.beam.flux import LanceBeam
 from repro.beam.sensitivity import (
     DEFAULT_SENSITIVITY,
     DeviceSensitivity,

@@ -135,7 +135,6 @@ def test_coarsen_averages_state():
     children = np.flatnonzero(mesh.parent[:n] == 0)
     mesh.h[children] = [1.0, 2.0, 3.0, 4.0]
     mesh.coarsen(np.ones(n, dtype=bool))
-    merged = mesh.live() - 1  # compacted cells keep order; find level-0 cell
     assert 2.5 in mesh.h[: mesh.live()]
 
 

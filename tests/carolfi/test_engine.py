@@ -1,0 +1,297 @@
+"""Sharded parallel campaign engine: determinism, resume, corruption."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.carolfi.campaign import CampaignConfig, run_campaign
+from repro.carolfi.engine import (
+    CheckpointError,
+    ShardFailure,
+    ShardSpec,
+    campaign_fingerprint,
+    plan_shards,
+    resolve_workers,
+    run_sharded_campaign,
+    shard_path,
+)
+
+#: Small, fast campaign: nw with 4 steps, 24 injections over 4 shards.
+CONFIG = CampaignConfig(
+    benchmark="nw",
+    injections=24,
+    seed=13,
+    benchmark_params={"n": 16, "rows_per_step": 4},
+)
+SHARD_SIZE = 6
+
+
+def dicts(result):
+    return [r.to_dict() for r in result.records]
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return run_campaign(CONFIG)
+
+
+# -- shard planning -----------------------------------------------------------
+
+
+def test_plan_shards_partitions_runs():
+    shards = plan_shards(25, 7)
+    assert [s.index for s in shards] == [0, 1, 2, 3]
+    assert shards[0].start == 0 and shards[-1].stop == 25
+    covered = [i for s in shards for i in s.run_indices()]
+    assert covered == list(range(25))
+
+
+def test_plan_shards_default_is_worker_independent():
+    shards = plan_shards(1600)
+    assert len(shards) == 16
+    assert sum(s.size for s in shards) == 1600
+
+
+def test_plan_shards_rejects_bad_input():
+    with pytest.raises(ValueError):
+        plan_shards(0)
+    with pytest.raises(ValueError):
+        plan_shards(10, 0)
+    with pytest.raises(ValueError):
+        ShardSpec(index=0, start=5, stop=5)
+
+
+def test_resolve_workers_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    assert resolve_workers(None) == 3
+    assert resolve_workers(2) == 2
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert resolve_workers(None) >= 1
+    with pytest.raises(ValueError):
+        resolve_workers(0)
+
+
+def test_fingerprint_tracks_config():
+    base = campaign_fingerprint(CONFIG, SHARD_SIZE)
+    assert base == campaign_fingerprint(CONFIG, SHARD_SIZE)
+    other_seed = CampaignConfig(
+        benchmark="nw", injections=24, seed=14,
+        benchmark_params={"n": 16, "rows_per_step": 4},
+    )
+    assert campaign_fingerprint(other_seed, SHARD_SIZE) != base
+    assert campaign_fingerprint(CONFIG, 3) != base
+
+
+# -- determinism across worker counts (acceptance criterion) ------------------
+
+
+def test_parallel_matches_serial_record_for_record(serial_result):
+    parallel = run_campaign(CONFIG, workers=4, shard_size=SHARD_SIZE)
+    assert dicts(parallel) == dicts(serial_result)
+
+
+def test_sharding_layout_does_not_change_records(serial_result):
+    odd_shards = run_campaign(CONFIG, workers=1, shard_size=5)
+    assert dicts(odd_shards) == dicts(serial_result)
+
+
+def test_engine_serial_path_matches_legacy(serial_result):
+    engine = run_sharded_campaign(CONFIG, workers=1, shard_size=SHARD_SIZE)
+    assert dicts(engine) == dicts(serial_result)
+
+
+def test_engine_writes_campaign_log(tmp_path, serial_result):
+    log_path = tmp_path / "campaign.jsonl"
+    run_campaign(CONFIG, log_path, workers=2, shard_size=SHARD_SIZE)
+    from repro.carolfi.logparse import load_injection_log
+
+    assert [r.to_dict() for r in load_injection_log(log_path)] == dicts(serial_result)
+
+
+# -- resumable checkpoints (acceptance criterion) -----------------------------
+
+
+def test_resume_skips_completed_shards(tmp_path, serial_result):
+    ckpt = tmp_path / "ckpt"
+    run_campaign(CONFIG, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE)
+    # Simulate a campaign killed mid-run: two shards never completed.
+    shard_path(ckpt, 2).unlink()
+    shard_path(ckpt, 3).unlink()
+    events = []
+    resumed = run_campaign(
+        CONFIG,
+        workers=1,
+        checkpoint_dir=ckpt,
+        shard_size=SHARD_SIZE,
+        progress=events.append,
+    )
+    replayed = sorted(e.shard_index for e in events if e.event == "replayed")
+    finished = sorted(e.shard_index for e in events if e.event == "finished")
+    assert replayed == [0, 1]
+    assert finished == [2, 3]
+    assert dicts(resumed) == dicts(serial_result)
+
+
+def test_resume_tolerates_partial_trailing_line(tmp_path, serial_result):
+    """A worker killed mid-append leaves a truncated line; the shard re-runs."""
+    ckpt = tmp_path / "ckpt"
+    run_campaign(CONFIG, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE)
+    path = shard_path(ckpt, 1)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    truncated = "\n".join(lines[:4]) + '\n{"kind": "record", "data": {"tru'
+    path.write_text(truncated, encoding="utf-8")
+    events = []
+    resumed = run_campaign(
+        CONFIG,
+        workers=1,
+        checkpoint_dir=ckpt,
+        shard_size=SHARD_SIZE,
+        progress=events.append,
+    )
+    assert 1 in {e.shard_index for e in events if e.event == "finished"}
+    assert dicts(resumed) == dicts(serial_result)
+    # The re-run rewrote a complete checkpoint: a third invocation replays all.
+    again = run_campaign(CONFIG, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE)
+    assert dicts(again) == dicts(serial_result)
+
+
+def test_missing_done_footer_reruns_shard(tmp_path, serial_result):
+    ckpt = tmp_path / "ckpt"
+    run_campaign(CONFIG, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE)
+    path = shard_path(ckpt, 0)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert json.loads(lines[-1])["kind"] == "done"
+    path.write_text("\n".join(lines[:-1]) + "\n", encoding="utf-8")
+    events = []
+    resumed = run_campaign(
+        CONFIG,
+        workers=1,
+        checkpoint_dir=ckpt,
+        shard_size=SHARD_SIZE,
+        progress=events.append,
+    )
+    assert 0 in {e.shard_index for e in events if e.event == "finished"}
+    assert dicts(resumed) == dicts(serial_result)
+
+
+def test_parallel_resume_matches_serial(tmp_path, serial_result):
+    ckpt = tmp_path / "ckpt"
+    run_campaign(CONFIG, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE)
+    shard_path(ckpt, 1).unlink()
+    resumed = run_campaign(
+        CONFIG, workers=2, checkpoint_dir=ckpt, shard_size=SHARD_SIZE
+    )
+    assert dicts(resumed) == dicts(serial_result)
+
+
+def test_mismatched_config_hash_rejected(tmp_path):
+    ckpt = tmp_path / "ckpt"
+    run_campaign(CONFIG, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE)
+    other = CampaignConfig(
+        benchmark="nw", injections=24, seed=14,
+        benchmark_params={"n": 16, "rows_per_step": 4},
+    )
+    with pytest.raises(CheckpointError):
+        run_campaign(other, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE)
+
+
+def test_mismatched_shard_header_rejected(tmp_path):
+    ckpt = tmp_path / "ckpt"
+    run_campaign(CONFIG, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE)
+    # A shard file copied over another slot matches the campaign hash but
+    # covers the wrong run range: loud failure, never silent reuse.
+    shard_path(ckpt, 0).write_text(
+        shard_path(ckpt, 1).read_text(encoding="utf-8"), encoding="utf-8"
+    )
+    with pytest.raises(CheckpointError):
+        run_campaign(CONFIG, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE)
+
+
+def test_garbage_shard_file_reruns_shard(tmp_path, serial_result):
+    ckpt = tmp_path / "ckpt"
+    run_campaign(CONFIG, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE)
+    shard_path(ckpt, 2).write_text("complete garbage\nnot json\n", encoding="utf-8")
+    resumed = run_campaign(CONFIG, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE)
+    assert dicts(resumed) == dicts(serial_result)
+
+
+def test_killed_campaign_resumes_without_rerunning_finished_shards(tmp_path):
+    """SIGKILL a checkpointing campaign mid-run, then resume in-process."""
+    ckpt = tmp_path / "ckpt"
+    script = (
+        "from repro.carolfi.campaign import CampaignConfig, run_campaign\n"
+        "config = CampaignConfig(benchmark='nw', injections=24, seed=13,\n"
+        "                        benchmark_params={'n': 16, 'rows_per_step': 4})\n"
+        "import time\n"
+        "def slow(event):\n"
+        "    time.sleep(0.05)  # stretch the campaign so the kill lands mid-run\n"
+        f"run_campaign(config, workers=1, checkpoint_dir={str(ckpt)!r},\n"
+        "             shard_size=6, progress=slow)\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [env.get("PYTHONPATH", "")] + list(sys.path) if p
+    )
+    proc = subprocess.Popen([sys.executable, "-c", script], env=env)
+    deadline = time.time() + 60
+    try:
+        # Wait until at least one shard checkpoint is complete, then kill.
+        while time.time() < deadline and proc.poll() is None:
+            done = [
+                i for i in range(4)
+                if shard_path(ckpt, i).exists()
+                and '"kind": "done"' in shard_path(ckpt, i).read_text(encoding="utf-8")
+            ]
+            if done:
+                break
+            time.sleep(0.01)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+    finally:
+        proc.wait(timeout=60)
+
+    events = []
+    resumed = run_campaign(
+        CONFIG,
+        workers=1,
+        checkpoint_dir=ckpt,
+        shard_size=SHARD_SIZE,
+        progress=events.append,
+    )
+    replayed = {e.shard_index for e in events if e.event == "replayed"}
+    finished = {e.shard_index for e in events if e.event == "finished"}
+    assert replayed, "kill landed before any shard completed"
+    assert replayed | finished == {0, 1, 2, 3}
+    assert replayed.isdisjoint(finished)
+    assert dicts(resumed) == dicts(run_campaign(CONFIG))
+
+
+# -- failures and heartbeats --------------------------------------------------
+
+
+def test_unknown_benchmark_fails_with_retry(tmp_path):
+    bad = CampaignConfig(benchmark="no-such-benchmark", injections=4, seed=1)
+    events = []
+    with pytest.raises(ShardFailure):
+        run_campaign(bad, workers=1, shard_size=2, progress=events.append)
+    kinds = [e.event for e in events]
+    assert "retried" in kinds and "failed" in kinds
+
+
+def test_progress_heartbeat_fields():
+    events = []
+    run_campaign(CONFIG, workers=1, shard_size=SHARD_SIZE, progress=events.append)
+    finished = [e for e in events if e.event == "finished"]
+    assert len(finished) == 4
+    assert finished[-1].done_runs == CONFIG.injections
+    assert finished[-1].total_runs == CONFIG.injections
+    assert finished[-1].rate > 0
+    assert finished[-1].eta_s == pytest.approx(0.0, abs=1e-6)
+    assert all(e.shard_count == 4 for e in events)
+    done = [e.done_runs for e in finished]
+    assert done == sorted(done)

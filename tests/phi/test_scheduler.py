@@ -1,6 +1,5 @@
 """Thread scheduler slab arithmetic."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,5 +1,7 @@
 """JSONL campaign log store."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -61,3 +63,48 @@ def test_creates_parent_dirs(tmp_path):
     log = JsonlLog(tmp_path / "deep" / "dir" / "log.jsonl")
     log.append({"ok": True})
     assert len(log) == 1
+
+
+def test_records_durable_without_close(tmp_path):
+    """Every append is flushed, so a second reader sees it immediately."""
+    log = JsonlLog(tmp_path / "log.jsonl")
+    log.append({"v": 1})
+    assert load_records(tmp_path / "log.jsonl") == [{"v": 1}]  # handle still open
+    log.close()
+
+
+def test_context_manager_appends(tmp_path):
+    with JsonlLog(tmp_path / "log.jsonl") as log:
+        log.append({"v": 1})
+    assert load_records(tmp_path / "log.jsonl") == [{"v": 1}]
+
+
+def test_partial_trailing_line_skipped(tmp_path):
+    """A writer killed mid-append must not poison later reads."""
+    path = tmp_path / "log.jsonl"
+    path.write_text('{"a": 1}\n{"a": 2}\n{"a": 3, "tru', encoding="utf-8")
+    assert load_records(path) == [{"a": 1}, {"a": 2}]
+    assert [r["a"] for r in JsonlLog(path)] == [1, 2]
+
+
+def test_partial_trailing_line_strict_raises(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text('{"a": 1}\n{"a": 2, "tru', encoding="utf-8")
+    with pytest.raises(json.JSONDecodeError):
+        load_records(path, strict=True)
+
+
+def test_interior_corruption_still_raises(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text('{"a": 1}\nnot json at all\n{"a": 3}\n', encoding="utf-8")
+    with pytest.raises(json.JSONDecodeError):
+        load_records(path)
+
+
+def test_append_after_close_reopens(tmp_path):
+    log = JsonlLog(tmp_path / "log.jsonl")
+    log.append({"v": 1})
+    log.close()
+    log.append({"v": 2})
+    log.close()
+    assert len(log) == 2
