@@ -26,6 +26,7 @@ them produces wrong regions, crashes, or hangs organically.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -39,8 +40,11 @@ __all__ = [
     "SegmentationFault",
     "SimulationAborted",
     "Variable",
+    "arm_deadline",
     "bounded_range",
     "checked_index",
+    "deadline_checkpoint",
+    "window_of_step",
 ]
 
 #: Hard iteration cap used by every internal data-dependent loop.  Real
@@ -48,6 +52,47 @@ __all__ = [
 #: into a deterministic :class:`BenchmarkHang` the Supervisor's watchdog
 #: classifies as a DUE (timeout).
 MAX_LOOP_ITERATIONS = 100_000
+
+
+#: Wall-clock deadline (``time.perf_counter`` value) armed by the
+#: Supervisor for the duration of one injected execution, or ``None``
+#: outside a supervised run.  Workers are single-threaded processes, so
+#: a module global is sufficient (and cheap to consult from hot loops).
+_DEADLINE: float | None = None
+
+
+def arm_deadline(at: float | None) -> None:
+    """Arm (or, with ``None``, disarm) the cooperative run deadline.
+
+    While armed, :func:`deadline_checkpoint` — called by
+    :func:`bounded_range` and available to any long-running step body —
+    raises :class:`BenchmarkHang` once ``time.perf_counter()`` passes
+    ``at``.  This lets the watchdog fire *inside* a slow step instead of
+    only between steps, narrowing the set of hangs that require the
+    isolation sandbox's hard kill.
+    """
+    global _DEADLINE
+    _DEADLINE = None if at is None else float(at)
+
+
+def deadline_checkpoint() -> None:
+    """Raise :class:`BenchmarkHang` if the armed run deadline has passed."""
+    if _DEADLINE is not None and time.perf_counter() > _DEADLINE:
+        raise BenchmarkHang("cooperative deadline expired mid-step")
+
+
+def window_of_step(step: int, total_steps: int, num_windows: int) -> int:
+    """Execution-time window (0-based) a step falls into.
+
+    Module-level so code that only knows a benchmark's metadata (e.g.
+    the isolation sandbox synthesising a DUE record for a run whose
+    worker process died) windows steps identically to the live
+    :meth:`Benchmark.window_of_step`.
+    """
+    if total_steps <= 0:
+        raise ValueError("total_steps must be positive")
+    step = min(max(step, 0), total_steps - 1)
+    return min(num_windows - 1, step * num_windows // total_steps)
 
 
 class BenchmarkError(RuntimeError):
@@ -126,6 +171,7 @@ def bounded_range(start: int, stop: int, step: int = 1) -> range:
     corrupted ``step`` of zero or an absurd trip count raises
     :class:`BenchmarkHang` instead of spinning.
     """
+    deadline_checkpoint()
     start, stop, step = int(start), int(stop), int(step)
     if step == 0:
         raise BenchmarkHang("loop step corrupted to zero")
@@ -270,10 +316,7 @@ class Benchmark(abc.ABC):
 
     def window_of_step(self, step: int, total_steps: int) -> int:
         """Execution-time window (0-based) a step falls into."""
-        if total_steps <= 0:
-            raise ValueError("total_steps must be positive")
-        step = min(max(step, 0), total_steps - 1)
-        return min(self.num_windows - 1, step * self.num_windows // total_steps)
+        return window_of_step(step, total_steps, self.num_windows)
 
     def describe(self) -> dict[str, Any]:
         """Static metadata used by campaign logs and reports."""

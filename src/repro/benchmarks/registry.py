@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.benchmarks.base import Benchmark
+from repro.benchmarks.chaos import Chaos
 from repro.benchmarks.clamr import Clamr
 from repro.benchmarks.dgemm import Dgemm
 from repro.benchmarks.hotspot import HotSpot
@@ -20,6 +21,7 @@ from repro.benchmarks.lud import Lud
 from repro.benchmarks.nw import NeedlemanWunsch
 
 __all__ = [
+    "AUX_BENCHMARKS",
     "BEAM_BENCHMARKS",
     "BENCHMARKS",
     "INJECTION_BENCHMARKS",
@@ -32,6 +34,13 @@ BENCHMARKS: dict[str, type[Benchmark]] = {
     cls.name: cls
     for cls in (Clamr, Dgemm, HotSpot, LavaMD, Lud, NeedlemanWunsch)
 }
+
+#: Auxiliary benchmarks that are instantiable by name (campaign worker
+#: subprocesses create benchmarks by name, so they must be registered)
+#: but are *not* part of the paper's study: ``chaos`` exists to validate
+#: the isolation sandbox with failure modes that escape the in-process
+#: Supervisor (hard exits, guard-free spins, unbounded allocation).
+AUX_BENCHMARKS: dict[str, type[Benchmark]] = {Chaos.name: Chaos}
 
 #: Benchmarks irradiated at LANSCE (Figure 2 / Figure 3).
 BEAM_BENCHMARKS: tuple[str, ...] = ("clamr", "dgemm", "hotspot", "lavamd", "lud")
@@ -51,14 +60,14 @@ TIME_WINDOW_BENCHMARKS: tuple[str, ...] = ("clamr", "dgemm", "hotspot", "lud", "
 
 
 def names() -> tuple[str, ...]:
-    """All registered benchmark names, sorted."""
+    """All paper benchmark names, sorted (auxiliary benchmarks excluded)."""
     return tuple(sorted(BENCHMARKS))
 
 
 def create(name: str, **params: Any) -> Benchmark:
-    """Instantiate a benchmark by its paper name."""
-    try:
-        cls = BENCHMARKS[name]
-    except KeyError:
-        raise KeyError(f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}") from None
+    """Instantiate a benchmark (paper or auxiliary) by name."""
+    cls = BENCHMARKS.get(name) or AUX_BENCHMARKS.get(name)
+    if cls is None:
+        known = sorted(BENCHMARKS) + sorted(AUX_BENCHMARKS)
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}")
     return cls(**params)

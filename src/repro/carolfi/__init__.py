@@ -21,13 +21,23 @@ from repro.carolfi.campaign import CampaignConfig, CampaignResult, run_campaign
 from repro.carolfi.configfile import load_config, run_from_config
 from repro.carolfi.engine import (
     CheckpointError,
+    RetryPolicy,
     ShardFailure,
     ShardProgress,
+    ShardRunError,
     ShardSpec,
+    backoff_delay,
     plan_shards,
+    read_failure_log,
     run_sharded_campaign,
 )
 from repro.carolfi.flipscript import FlipScript, SitePolicy
+from repro.carolfi.isolation import (
+    InjectionSandbox,
+    IsolationConfig,
+    IsolationMode,
+    SandboxError,
+)
 from repro.carolfi.supervisor import Supervisor
 
 __all__ = [
@@ -35,11 +45,19 @@ __all__ = [
     "CampaignResult",
     "CheckpointError",
     "FlipScript",
+    "InjectionSandbox",
+    "IsolationConfig",
+    "IsolationMode",
+    "RetryPolicy",
+    "SandboxError",
     "ShardFailure",
     "ShardProgress",
+    "ShardRunError",
     "ShardSpec",
+    "backoff_delay",
     "load_config",
     "plan_shards",
+    "read_failure_log",
     "run_from_config",
     "run_sharded_campaign",
     "SitePolicy",

@@ -89,6 +89,9 @@ def run_campaign(
     checkpoint_dir: str | Path | None = None,
     shard_size: int | None = None,
     progress: Any | None = None,
+    isolation: Any | None = None,
+    retry: Any | None = None,
+    failure_log: str | Path | None = None,
 ) -> CampaignResult:
     """Run a full injection campaign.
 
@@ -96,16 +99,30 @@ def run_campaign(
     share; interrupt times are drawn uniformly per run by the
     Supervisor.  Deterministic for a given config: every run's random
     stream is keyed by ``(seed, benchmark, run_index)``, so the result
-    is bit-identical for any ``workers`` count or shard layout.
+    is bit-identical for any ``workers`` count, shard layout or
+    isolation mode.
 
     ``workers`` > 1 (or ``None`` for ``REPRO_WORKERS`` / cpu-count
-    auto-detection), ``checkpoint_dir``, ``shard_size`` or ``progress``
+    auto-detection), ``checkpoint_dir``, ``shard_size``, ``progress``,
+    ``isolation`` (an :class:`~repro.carolfi.isolation.IsolationConfig`
+    selecting subprocess sandboxing), ``retry`` (an
+    :class:`~repro.carolfi.engine.RetryPolicy`) or ``failure_log``
     route the campaign through the sharded engine
-    (:mod:`repro.carolfi.engine`), which adds parallel execution and
-    resumable per-shard JSONL checkpoints.  The default (``workers=1``,
-    no checkpointing) keeps the plain in-process serial path below.
+    (:mod:`repro.carolfi.engine`), which adds parallel execution,
+    resumable per-shard JSONL checkpoints and fault-domain supervision.
+    The default (``workers=1``, no checkpointing, inproc isolation)
+    keeps the plain in-process serial path below.
     """
-    if workers != 1 or checkpoint_dir is not None or shard_size is not None or progress:
+    engine_requested = (
+        workers != 1
+        or checkpoint_dir is not None
+        or shard_size is not None
+        or progress
+        or isolation is not None
+        or retry is not None
+        or failure_log is not None
+    )
+    if engine_requested:
         from repro.carolfi.engine import run_sharded_campaign
 
         return run_sharded_campaign(
@@ -115,6 +132,9 @@ def run_campaign(
             shard_size=shard_size,
             progress=progress,
             log_path=log_path,
+            isolation=isolation,
+            retry=retry,
+            failure_log=failure_log,
         )
     benchmark = create(config.benchmark, **config.benchmark_params)
     supervisor = Supervisor(

@@ -1,10 +1,10 @@
-"""Sharded, parallel, resumable campaign execution.
+"""Sharded, parallel, resumable, fault-tolerant campaign execution.
 
 The paper's numbers rest on 10,000+ injections per benchmark; running
 them one after another in one process is the reproduction's single
 biggest bottleneck.  This engine splits a campaign into deterministic
-*shards* (contiguous run-index ranges), fans the shards out over a
-``ProcessPoolExecutor``, and merges the shard records back in canonical
+*shards* (contiguous run-index ranges) and fans the shards out over
+dedicated worker processes, merging the shard records back in canonical
 run-index order.
 
 Determinism is structural, not incidental: every injection derives its
@@ -19,9 +19,26 @@ to its own JSONL file (header → records → ``done`` footer).  On
 restart the engine replays every *complete* shard file from disk and
 re-runs only the rest.  A checkpoint is trusted only if its stored
 config fingerprint matches the requested campaign; a mismatch raises
-:class:`CheckpointError` rather than silently mixing campaigns.  A
-worker killed mid-write leaves a partial trailing line, which the
-reader drops; the shard is then simply re-run.
+:class:`CheckpointError` rather than silently mixing campaigns.
+
+Fault domains: every in-flight shard is one disposable OS process the
+engine supervises directly — it can observe its exit code, reap it when
+its heartbeat stalls, and re-dispatch the shard without touching any
+other worker.  Shard failures are retried with deterministic
+exponential backoff plus jitter; a run that repeatedly kills its worker
+is **quarantined** (recorded as a DUE with a ``sandbox:`` detail and
+skipped on the next attempt), so a campaign degrades gracefully instead
+of aborting.  Only a shard that keeps failing *without making progress*
+raises :class:`ShardFailure`.  Every retry, reap, worker death,
+sandbox kill and quarantine is appended to a structured failure-event
+log (``failures.jsonl`` under the checkpoint directory by default).
+
+With ``isolation=IsolationConfig(mode=IsolationMode.SUBPROCESS, ...)``
+each individual injection additionally runs inside the
+:class:`~repro.carolfi.isolation.InjectionSandbox`, making crashes and
+hangs *observed process deaths* exactly like the paper's GDB-supervised
+runs.  Serial in-process execution (``workers=1``, inproc isolation)
+stays the default, so the test suite remains subprocess-free.
 """
 
 from __future__ import annotations
@@ -31,24 +48,43 @@ import json
 import math
 import os
 import time
+from collections import deque
 from collections.abc import Callable, Iterable
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
-from repro.benchmarks.registry import create
 from repro.carolfi.campaign import CampaignConfig, CampaignResult
-from repro.carolfi.supervisor import Supervisor
-from repro.faults.outcome import InjectionRecord
-from repro.util.jsonlog import JsonlLog, load_records
+from repro.carolfi.isolation import (
+    InjectionSandbox,
+    IsolationConfig,
+    IsolationMode,
+    SandboxError,
+    describe_exitcode,
+    make_due_record,
+    mp_context,
+    supervisor_for,
+    supervisor_key,
+)
+from repro.faults.outcome import DueKind, InjectionRecord
+from repro.util.jsonlog import JsonlLog, load_records, load_records_tolerant
+from repro.util.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.connection import Connection
 
 __all__ = [
     "CheckpointError",
+    "FAILURE_LOG_NAME",
+    "RetryPolicy",
     "ShardFailure",
     "ShardProgress",
+    "ShardRunError",
     "ShardSpec",
+    "backoff_delay",
     "campaign_fingerprint",
     "plan_shards",
+    "read_failure_log",
     "resolve_workers",
     "run_sharded_campaign",
     "shard_path",
@@ -63,6 +99,9 @@ CHECKPOINT_VERSION = 1
 #: workers can be resumed with 2.
 DEFAULT_SHARD_COUNT = 16
 
+#: Default failure-event log file name (under the checkpoint directory).
+FAILURE_LOG_NAME = "failures.jsonl"
+
 ProgressCallback = Callable[["ShardProgress"], None]
 
 
@@ -71,13 +110,81 @@ class CheckpointError(RuntimeError):
 
 
 class ShardFailure(RuntimeError):
-    """A shard failed twice (original attempt plus one retry)."""
+    """A shard kept failing without making progress and was abandoned."""
 
-    def __init__(self, shard_index: int, cause: BaseException):
+    def __init__(self, shard_index: int, attempts: int, detail: str):
+        super().__init__(f"shard {shard_index} failed after {attempts} attempts: {detail}")
+        self.shard_index = shard_index
+        self.attempts = attempts
+
+
+class ShardRunError(RuntimeError):
+    """One specific run raised an exception that escaped the crash net.
+
+    Carries the run index so the retry logic can attribute the failure
+    and quarantine the run instead of abandoning the whole shard.
+    """
+
+    def __init__(self, shard_index: int, run_index: int, cause: BaseException):
         super().__init__(
-            f"shard {shard_index} failed after retry: {type(cause).__name__}: {cause}"
+            f"run {run_index} (shard {shard_index}) raised "
+            f"{type(cause).__name__}: {cause}"
         )
         self.shard_index = shard_index
+        self.run_index = run_index
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Fault-domain policy: backoff, liveness, and quarantine limits."""
+
+    max_attempts: int = 4
+    """Consecutive *no-progress* shard failures tolerated before the
+    campaign aborts with :class:`ShardFailure`.  Failures that advance
+    the shard (new runs completed, or a run quarantined) reset the
+    counter, so a shard full of poison runs still completes."""
+
+    backoff_base_s: float = 0.25
+    """First retry delay; doubles every consecutive attempt."""
+
+    backoff_cap_s: float = 8.0
+    """Upper bound on the exponential delay (before jitter)."""
+
+    liveness_timeout_s: float = 300.0
+    """A worker that sends no heartbeat for this long is reaped (killed
+    and its shard re-dispatched, the hung run charged a death)."""
+
+    max_run_deaths: int = 2
+    """Worker deaths attributed to one run before it is quarantined."""
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("need 0 <= backoff_base_s <= backoff_cap_s")
+        if self.liveness_timeout_s <= 0:
+            raise ValueError("liveness_timeout_s must be positive")
+        if self.max_run_deaths < 1:
+            raise ValueError("max_run_deaths must be at least 1")
+
+
+def backoff_delay(
+    seed: int, shard_index: int, attempt: int, policy: RetryPolicy | None = None
+) -> float:
+    """Deterministic exponential backoff with jitter for one retry.
+
+    ``attempt`` counts from 1.  The delay doubles per attempt up to the
+    policy cap and is jittered into ``[0.5, 1.5)`` of itself so retrying
+    shards do not stampede; the jitter derives from
+    ``(seed, shard_index, attempt)``, so a schedule is reproducible
+    under a fixed campaign seed.
+    """
+    if attempt < 1:
+        raise ValueError("attempt counts from 1")
+    policy = policy or RetryPolicy()
+    rng = derive_rng(seed, "engine", "backoff", shard_index, attempt)
+    delay = min(policy.backoff_base_s * (2.0 ** (attempt - 1)), policy.backoff_cap_s)
+    return delay * (0.5 + float(rng.random()))
 
 
 @dataclass(frozen=True)
@@ -106,10 +213,11 @@ class ShardProgress:
 
     ``event`` is one of ``"replayed"`` (shard restored from its
     checkpoint), ``"started"``, ``"finished"``, ``"retried"`` (worker
-    failure, shard resubmitted once) or ``"failed"``.  ``rate`` counts
-    live injections/sec (replayed shards excluded) and ``eta_s`` is the
-    projected seconds remaining at that rate (``inf`` until the first
-    shard finishes).
+    failure, shard re-dispatched after backoff), ``"reaped"`` (hung
+    worker killed), ``"quarantined"`` (poison run recorded as DUE and
+    skipped) or ``"failed"``.  ``rate`` counts live injections/sec
+    (replayed shards excluded) and ``eta_s`` is the projected seconds
+    remaining at that rate (``inf`` until the first shard finishes).
     """
 
     event: str
@@ -148,7 +256,10 @@ def campaign_fingerprint(config: CampaignConfig, shard_size: int | None = None) 
 
     Stored in every checkpoint header; a resume with a different
     benchmark, seed, size, fault-model set, policy or shard plan is
-    detected before any stale record is trusted.
+    detected before any stale record is trusted.  Isolation mode and
+    retry policy are deliberately *excluded*: they change how runs are
+    executed and supervised, never what their records contain, so a
+    campaign checkpointed in one mode may resume in another.
     """
     payload = {
         "version": CHECKPOINT_VERSION,
@@ -181,35 +292,59 @@ def shard_path(checkpoint_dir: str | Path, shard_index: int) -> Path:
     return Path(checkpoint_dir) / f"shard-{shard_index:05d}.jsonl"
 
 
-# -- shard execution (runs inside pool workers) -------------------------------
+def read_failure_log(path: str | Path) -> tuple[list[dict], int]:
+    """Load failure events plus a count of skipped corrupt lines.
 
-#: Per-process Supervisor cache: pool workers are reused across shards,
-#: so the benchmark's input generation and golden run are paid once per
-#: worker process rather than once per shard.
-_SUPERVISORS: dict[str, Supervisor] = {}
+    Failure logs are written across worker deaths and hard kills, so a
+    damaged interior line is a fact to report, not an error to die on:
+    the reader returns every parseable event and *how many* lines it
+    had to skip, instead of silently dropping them.
+    """
+    return load_records_tolerant(path)
 
 
-def _supervisor_for(config: CampaignConfig) -> Supervisor:
-    key = json.dumps(
-        {
-            "benchmark": config.benchmark,
-            "seed": config.seed,
-            "policy": config.policy.value,
-            "watchdog_factor": config.watchdog_factor,
-            "benchmark_params": config.benchmark_params,
-        },
-        sort_keys=True,
-    )
-    supervisor = _SUPERVISORS.get(key)
-    if supervisor is None:
-        supervisor = Supervisor(
-            create(config.benchmark, **config.benchmark_params),
-            seed=config.seed,
-            policy=config.policy,
-            watchdog_factor=config.watchdog_factor,
-        )
-        _SUPERVISORS[key] = supervisor
-    return supervisor
+# -- failure-event log ---------------------------------------------------------
+
+
+class _FailureSink:
+    """Appends structured failure events to ``failures.jsonl`` (or not).
+
+    The file is created eagerly, so "the campaign saw zero failures" is
+    distinguishable from "failure logging was off" (and CI can always
+    upload the artifact).
+    """
+
+    def __init__(self, path: str | Path | None):
+        self._log: JsonlLog | None = None
+        if path is not None:
+            target = Path(path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.touch(exist_ok=True)
+            self._log = JsonlLog(target)
+
+    def __call__(self, event: dict[str, Any]) -> None:
+        if self._log is not None:
+            self._log.append({"t": time.time(), **event})
+
+    def close(self) -> None:
+        if self._log is not None:
+            self._log.close()
+
+
+# -- shard execution (runs inside worker processes) ----------------------------
+
+#: Per-process sandbox cache: a serial campaign reuses one sandbox
+#: across all its shards instead of respawning a worker per shard.
+_SANDBOXES: dict[str, InjectionSandbox] = {}
+
+
+def _sandbox_for(config: CampaignConfig, isolation: IsolationConfig) -> InjectionSandbox:
+    key = supervisor_key(config) + "|" + json.dumps(isolation.to_dict(), sort_keys=True)
+    sandbox = _SANDBOXES.get(key)
+    if sandbox is None:
+        sandbox = InjectionSandbox(config, isolation)
+        _SANDBOXES[key] = sandbox
+    return sandbox
 
 
 def _execute_shard(
@@ -217,9 +352,32 @@ def _execute_shard(
     spec: ShardSpec,
     checkpoint_file: str | None,
     fingerprint: str,
+    isolation: IsolationConfig | None = None,
+    skip_runs: dict[int, tuple[str, str]] | None = None,
+    on_run: Callable[[int], None] | None = None,
+    on_run_done: Callable[[int], None] | None = None,
+    on_failure: Callable[[dict], None] | None = None,
 ) -> tuple[int, list[dict]]:
-    """Run one shard, checkpointing each record; returns record dicts."""
-    supervisor = _supervisor_for(config)
+    """Run one shard, checkpointing each record; returns record dicts.
+
+    ``skip_runs`` maps quarantined run indices to their ``(due_kind,
+    detail)``: those runs are recorded as synthetic DUEs without being
+    executed.  ``on_run``/``on_run_done`` are the heartbeat hooks the
+    engine uses for liveness and death attribution.
+    """
+    iso = isolation or IsolationConfig()
+    run_fn: Callable[[int, Any], InjectionRecord]
+    if iso.mode is IsolationMode.SUBPROCESS:
+        sandbox = _sandbox_for(config, iso)
+        sandbox.on_event = on_failure
+        run_fn = sandbox.run_one
+        total_steps, num_windows = sandbox.total_steps, sandbox.num_windows
+    else:
+        supervisor = supervisor_for(config)
+        run_fn = supervisor.run_one
+        total_steps = supervisor.total_steps
+        num_windows = supervisor.benchmark.num_windows
+    skip = skip_runs or {}
     log: JsonlLog | None = None
     if checkpoint_file is not None:
         path = Path(checkpoint_file)
@@ -238,7 +396,29 @@ def _execute_shard(
     models = config.fault_models
     rows: list[dict] = []
     for run_index in spec.run_indices():
-        record = supervisor.run_one(run_index, models[run_index % len(models)])
+        model = models[run_index % len(models)]
+        if run_index in skip:
+            kind, detail = skip[run_index]
+            record = make_due_record(
+                config,
+                run_index,
+                model,
+                total_steps,
+                num_windows,
+                DueKind(kind),
+                detail,
+            )
+        else:
+            if on_run is not None:
+                on_run(run_index)
+            try:
+                record = run_fn(run_index, model)
+            except SandboxError:
+                raise  # worker infrastructure failure: shard-level, not run-level
+            except Exception as exc:
+                raise ShardRunError(spec.index, run_index, exc) from exc
+            if on_run_done is not None:
+                on_run_done(run_index)
         rows.append(record.to_dict())
         if log is not None:
             log.append({"kind": "record", "data": rows[-1]})
@@ -251,9 +431,7 @@ def _execute_shard(
 # -- checkpoint replay --------------------------------------------------------
 
 
-def _replay_shard(
-    path: Path, fingerprint: str, spec: ShardSpec
-) -> list[InjectionRecord] | None:
+def _replay_shard(path: Path, fingerprint: str, spec: ShardSpec) -> list[InjectionRecord] | None:
     """Load one shard's records from its checkpoint file.
 
     Returns ``None`` when the shard must be (re-)run: missing file,
@@ -317,9 +495,7 @@ def _validate_checkpoint_dir(checkpoint_dir: Path, fingerprint: str) -> None:
             )
         return
     marker.write_text(
-        json.dumps(
-            {"config_hash": fingerprint, "version": CHECKPOINT_VERSION}, sort_keys=True
-        )
+        json.dumps({"config_hash": fingerprint, "version": CHECKPOINT_VERSION}, sort_keys=True)
         + "\n",
         encoding="utf-8",
     )
@@ -380,22 +556,37 @@ def run_sharded_campaign(
     shard_size: int | None = None,
     progress: ProgressCallback | None = None,
     log_path: str | Path | None = None,
+    isolation: IsolationConfig | None = None,
+    retry: RetryPolicy | None = None,
+    failure_log: str | Path | None = None,
 ) -> CampaignResult:
     """Run a campaign sharded, optionally in parallel and resumable.
 
-    ``workers=1`` executes the shards serially in-process (no
-    subprocess is ever spawned); any other count fans shards out over a
-    ``ProcessPoolExecutor``.  ``workers=None`` resolves via
-    ``REPRO_WORKERS`` then ``os.cpu_count()``.  See the module
-    docstring for the determinism and resume contracts.
+    ``workers=1`` executes the shards serially in the calling process;
+    any other count fans shards out over dedicated worker processes
+    (one disposable process per in-flight shard).  ``workers=None``
+    resolves via ``REPRO_WORKERS`` then ``os.cpu_count()``.
+
+    ``isolation`` selects where each *injection* executes (see
+    :class:`~repro.carolfi.isolation.IsolationConfig`), ``retry``
+    configures the fault-domain policy (backoff, liveness, quarantine)
+    and ``failure_log`` overrides the failure-event JSONL path (default:
+    ``failures.jsonl`` inside the checkpoint directory, or disabled
+    without one).  See the module docstring for the determinism, resume
+    and failure-handling contracts.
     """
     workers = resolve_workers(workers)
+    iso = isolation or IsolationConfig()
+    policy = retry or RetryPolicy()
     shards = plan_shards(config.injections, shard_size)
     fingerprint = campaign_fingerprint(config, shard_size)
     ckpt_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
     if ckpt_dir is not None:
         ckpt_dir.mkdir(parents=True, exist_ok=True)
         _validate_checkpoint_dir(ckpt_dir, fingerprint)
+    if failure_log is None and ckpt_dir is not None:
+        failure_log = ckpt_dir / FAILURE_LOG_NAME
+    sink = _FailureSink(failure_log)
 
     heartbeat = _Heartbeat(progress, len(shards), config.injections)
     replayed: dict[int, list[InjectionRecord]] = {}
@@ -414,28 +605,48 @@ def run_sharded_campaign(
             heartbeat.emit("replayed", spec)
 
     executed: dict[int, list[dict]] = {}
-    if pending:
+    try:
+        if pending:
 
-        def ckpt_file(spec: ShardSpec) -> str | None:
-            if ckpt_dir is None:
-                return None
-            return str(shard_path(ckpt_dir, spec.index))
+            def ckpt_file(spec: ShardSpec) -> str | None:
+                if ckpt_dir is None:
+                    return None
+                return str(shard_path(ckpt_dir, spec.index))
 
-        if workers == 1:
-            _run_serial(config, pending, ckpt_file, fingerprint, heartbeat, executed)
-        else:
-            _run_pool(
-                config, pending, ckpt_file, fingerprint, heartbeat, executed, workers
-            )
+            if workers == 1:
+                _run_serial(
+                    config,
+                    pending,
+                    ckpt_file,
+                    fingerprint,
+                    heartbeat,
+                    executed,
+                    iso,
+                    policy,
+                    sink,
+                )
+            else:
+                _run_pool(
+                    config,
+                    pending,
+                    ckpt_file,
+                    fingerprint,
+                    heartbeat,
+                    executed,
+                    workers,
+                    iso,
+                    policy,
+                    sink,
+                )
+    finally:
+        sink.close()
 
     records_out: list[InjectionRecord] = []
     for spec in shards:
         if spec.index in replayed:
             records_out.extend(replayed[spec.index])
         else:
-            records_out.extend(
-                InjectionRecord.from_dict(row) for row in executed[spec.index]
-            )
+            records_out.extend(InjectionRecord.from_dict(row) for row in executed[spec.index])
     records_out.sort(key=lambda r: r.run_index)
     if [r.run_index for r in records_out] != list(range(config.injections)):
         raise RuntimeError("engine merge produced a non-canonical record sequence")
@@ -445,6 +656,9 @@ def run_sharded_campaign(
     return CampaignResult(config=config, records=records_out)
 
 
+# -- serial fault domain -------------------------------------------------------
+
+
 def _run_serial(
     config: CampaignConfig,
     pending: Iterable[ShardSpec],
@@ -452,23 +666,174 @@ def _run_serial(
     fingerprint: str,
     heartbeat: _Heartbeat,
     executed: dict[int, list[dict]],
+    isolation: IsolationConfig,
+    policy: RetryPolicy,
+    sink: _FailureSink,
 ) -> None:
+    """Serial execution with backoff retries and poison-run quarantine.
+
+    In inproc mode an *uncatchable* condition (``os._exit``, a guard-free
+    spin) still takes the calling process down — subprocess isolation
+    exists for exactly that — but any exception-shaped failure is
+    retried, attributed, and quarantined just like in the pool.
+    """
     for spec in pending:
         heartbeat.emit("started", spec)
-        try:
-            _, rows = _execute_shard(config, spec, ckpt_file(spec), fingerprint)
-        except Exception as exc:  # noqa: BLE001 — retried once, then surfaced
-            heartbeat.emit("retried", spec, detail=f"{type(exc).__name__}: {exc}")
+        deaths: dict[int, int] = {}
+        skip: dict[int, tuple[str, str]] = {}
+        attempts = 0
+        no_progress = 0
+
+        def shard_sink(event: dict[str, Any], _index: int = spec.index) -> None:
+            sink({"shard": _index, **event})
+
+        while True:
             try:
-                _, rows = _execute_shard(config, spec, ckpt_file(spec), fingerprint)
-            except Exception as retry_exc:
-                heartbeat.emit(
-                    "failed", spec, detail=f"{type(retry_exc).__name__}: {retry_exc}"
+                _, rows = _execute_shard(
+                    config,
+                    spec,
+                    ckpt_file(spec),
+                    fingerprint,
+                    isolation=isolation,
+                    skip_runs=skip,
+                    on_failure=shard_sink,
                 )
-                raise ShardFailure(spec.index, retry_exc) from retry_exc
+                break
+            except Exception as exc:  # noqa: BLE001 — classified below
+                attempts += 1
+                detail = f"{type(exc).__name__}: {exc}"
+                progressed = False
+                if isinstance(exc, ShardRunError):
+                    run = exc.run_index
+                    count = deaths[run] = deaths.get(run, 0) + 1
+                    sink(
+                        {
+                            "event": "run_error",
+                            "shard": spec.index,
+                            "run": run,
+                            "attempt": attempts,
+                            "deaths": count,
+                            "detail": detail,
+                        }
+                    )
+                    if count >= policy.max_run_deaths:
+                        skip[run] = (
+                            DueKind.CRASH.value,
+                            f"sandbox: quarantined after {count} failed "
+                            f"executions ({detail})",
+                        )
+                        sink(
+                            {
+                                "event": "quarantine",
+                                "shard": spec.index,
+                                "run": run,
+                                "detail": detail,
+                            }
+                        )
+                        heartbeat.emit("quarantined", spec, detail=f"run {run}: {detail}")
+                        progressed = True
+                if progressed:
+                    no_progress = 0
+                else:
+                    no_progress += 1
+                    if no_progress >= policy.max_attempts:
+                        sink(
+                            {
+                                "event": "shard_failed",
+                                "shard": spec.index,
+                                "attempt": attempts,
+                                "detail": detail,
+                            }
+                        )
+                        heartbeat.emit("failed", spec, detail=detail)
+                        raise ShardFailure(spec.index, attempts, detail) from exc
+                delay = backoff_delay(config.seed, spec.index, attempts, policy)
+                sink(
+                    {
+                        "event": "retry",
+                        "shard": spec.index,
+                        "attempt": attempts,
+                        "delay_s": round(delay, 3),
+                        "detail": detail,
+                    }
+                )
+                heartbeat.emit("retried", spec, detail=detail)
+                time.sleep(delay)
         executed[spec.index] = rows
         heartbeat.record_done(spec.size, live=True)
         heartbeat.emit("finished", spec)
+
+
+# -- parallel fault domains ----------------------------------------------------
+
+
+def _shard_worker_main(
+    config: CampaignConfig,
+    spec: ShardSpec,
+    checkpoint_file: str | None,
+    fingerprint: str,
+    isolation: IsolationConfig,
+    skip_runs: dict[int, tuple[str, str]],
+    conn: "Connection",
+) -> None:
+    """Entry point of one disposable shard worker process."""
+    # Under the fork start method this process inherits the parent's
+    # sandbox cache, whose workers are NOT our children: drop the
+    # handles (keeping cached geometry) and let _sandbox_for build our
+    # own sandbox on first use.
+    for inherited in _SANDBOXES.values():
+        inherited.forget_worker()
+    _SANDBOXES.clear()
+
+    def forward_failure(event: dict[str, Any]) -> None:
+        try:
+            conn.send(("failure", event))
+        except OSError:  # pragma: no cover — parent already gone
+            pass
+
+    try:
+        _, rows = _execute_shard(
+            config,
+            spec,
+            checkpoint_file,
+            fingerprint,
+            isolation=isolation,
+            skip_runs=skip_runs,
+            on_run=lambda k: conn.send(("run", k)),
+            on_run_done=lambda k: conn.send(("ok", k)),
+            on_failure=forward_failure,
+        )
+        conn.send(("done", rows))
+        conn.close()
+    except BaseException as exc:
+        run = exc.run_index if isinstance(exc, ShardRunError) else None
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}", run))
+        except OSError:  # pragma: no cover
+            pass
+        raise SystemExit(1) from exc
+
+
+@dataclass
+class _ShardTask:
+    """Book-keeping for one shard across dispatch attempts."""
+
+    spec: ShardSpec
+    proc: Any = None
+    conn: Any = None
+    started: bool = False
+    attempts: int = 0
+    no_progress: int = 0
+    deaths: dict[int, int] = field(default_factory=dict)
+    skip: dict[int, tuple[str, str]] = field(default_factory=dict)
+    current_run: int | None = None
+    max_ok: int = -1
+    max_ok_at_failure: int = -1
+    last_beat: float = 0.0
+    eligible_at: float = 0.0
+    rows: list[dict] | None = None
+    error_msg: str | None = None
+    error_run: int | None = None
 
 
 def _run_pool(
@@ -479,41 +844,230 @@ def _run_pool(
     heartbeat: _Heartbeat,
     executed: dict[int, list[dict]],
     workers: int,
+    isolation: IsolationConfig,
+    policy: RetryPolicy,
+    sink: _FailureSink,
 ) -> None:
-    max_workers = min(workers, len(pending))
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        attempts: dict[int, int] = {}
-        in_flight: dict[Future, ShardSpec] = {}
+    """Fan shards out over dedicated, individually supervised processes.
 
-        def submit(spec: ShardSpec) -> None:
-            attempts[spec.index] = attempts.get(spec.index, 0) + 1
-            future = pool.submit(
-                _execute_shard, config, spec, ckpt_file(spec), fingerprint
+    Unlike a shared process pool, each in-flight shard owns its worker:
+    the engine observes that worker's exit code directly, reaps it when
+    its heartbeat stalls, and re-dispatches the shard with backoff —
+    one pathological run can never poison a neighbouring shard's
+    executor.
+    """
+    ctx = mp_context()
+    if ctx.get_start_method() == "fork":
+        # Warm the per-process supervisor cache so every forked worker
+        # (and, under subprocess isolation, every sandbox grandchild)
+        # inherits the golden run instead of recomputing it.
+        try:
+            supervisor_for(config)
+        except Exception:  # noqa: BLE001 — let workers report the real failure
+            pass
+
+    tasks = {spec.index: _ShardTask(spec) for spec in pending}
+    queue: deque[int] = deque(sorted(tasks))
+    running: set[int] = set()
+
+    def dispatch(task: _ShardTask, now: float) -> None:
+        task.attempts += 1
+        conn_r, conn_w = ctx.Pipe(duplex=False)
+        # Not a daemon: under subprocess isolation the shard worker must
+        # spawn sandbox children, which daemonic processes may not do.
+        # The engine reaps these workers itself (retire_worker) and the
+        # sandbox children ARE daemons, so a dying worker takes its
+        # sandbox down with it.
+        proc = ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                config,
+                task.spec,
+                ckpt_file(task.spec),
+                fingerprint,
+                isolation,
+                dict(task.skip),
+                conn_w,
+            ),
+            daemon=False,
+            name=f"shard-{task.spec.index:05d}",
+        )
+        proc.start()
+        conn_w.close()
+        task.proc, task.conn = proc, conn_r
+        task.current_run = None
+        task.rows = None
+        task.error_msg = None
+        task.error_run = None
+        task.last_beat = now
+        if not task.started:
+            task.started = True
+            heartbeat.emit("started", task.spec)
+
+    def drain(task: _ShardTask, now: float) -> None:
+        while task.conn is not None:
+            try:
+                if not task.conn.poll(0):
+                    return
+                msg = task.conn.recv()
+            except (EOFError, OSError):
+                return
+            kind = msg[0]
+            task.last_beat = now
+            if kind == "run":
+                task.current_run = int(msg[1])
+            elif kind == "ok":
+                task.current_run = None
+                task.max_ok = max(task.max_ok, int(msg[1]))
+            elif kind == "failure":
+                sink({"shard": task.spec.index, **msg[1]})
+            elif kind == "done":
+                task.rows = msg[1]
+            elif kind == "error":
+                task.error_msg = msg[1]
+                task.error_run = msg[2]
+
+    def retire_worker(task: _ShardTask) -> None:
+        if task.conn is not None:
+            try:
+                task.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if task.proc is not None and task.proc.is_alive():
+            task.proc.kill()
+            task.proc.join(timeout=5.0)
+        task.proc = None
+        task.conn = None
+
+    def handle_failure(task: _ShardTask, detail: str, reaped: bool) -> None:
+        index = task.spec.index
+        if task.error_msg is not None:
+            detail = task.error_msg
+        run = task.error_run if task.error_run is not None else task.current_run
+        due_kind = DueKind.HANG if reaped else DueKind.CRASH
+        progressed = task.max_ok > task.max_ok_at_failure
+        task.max_ok_at_failure = max(task.max_ok, task.max_ok_at_failure)
+        if run is not None:
+            count = task.deaths[run] = task.deaths.get(run, 0) + 1
+            sink(
+                {
+                    "event": "worker_death",
+                    "shard": index,
+                    "run": run,
+                    "attempt": task.attempts,
+                    "deaths": count,
+                    "detail": detail,
+                }
             )
-            in_flight[future] = spec
+            if count >= policy.max_run_deaths:
+                task.skip[run] = (
+                    due_kind.value,
+                    f"sandbox: quarantined after {count} shard-worker "
+                    f"deaths ({detail})",
+                )
+                sink({"event": "quarantine", "shard": index, "run": run, "detail": detail})
+                heartbeat.emit("quarantined", task.spec, detail=f"run {run}: {detail}")
+                progressed = True
+        else:
+            sink(
+                {
+                    "event": "worker_death",
+                    "shard": index,
+                    "run": None,
+                    "attempt": task.attempts,
+                    "detail": detail,
+                }
+            )
+        if progressed:
+            task.no_progress = 0
+        else:
+            task.no_progress += 1
+            if task.no_progress >= policy.max_attempts:
+                sink(
+                    {
+                        "event": "shard_failed",
+                        "shard": index,
+                        "attempt": task.attempts,
+                        "detail": detail,
+                    }
+                )
+                heartbeat.emit("failed", task.spec, detail=detail)
+                raise ShardFailure(index, task.attempts, detail)
+        delay = backoff_delay(config.seed, index, task.attempts, policy)
+        sink(
+            {
+                "event": "retry",
+                "shard": index,
+                "attempt": task.attempts,
+                "delay_s": round(delay, 3),
+                "detail": detail,
+            }
+        )
+        heartbeat.emit("retried", task.spec, detail=detail)
+        task.eligible_at = time.monotonic() + delay
 
-        for spec in pending:
-            heartbeat.emit("started", spec)
-            submit(spec)
-        while in_flight:
-            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
-            for future in done:
-                spec = in_flight.pop(future)
-                exc = future.exception()
-                if exc is None:
-                    index, rows = future.result()
-                    executed[index] = rows
-                    heartbeat.record_done(spec.size, live=True)
-                    heartbeat.emit("finished", spec)
-                elif attempts[spec.index] < 2:
-                    heartbeat.emit(
-                        "retried", spec, detail=f"{type(exc).__name__}: {exc}"
+    try:
+        while queue or running:
+            now = time.monotonic()
+            while len(running) < workers:
+                ready = next((i for i in queue if tasks[i].eligible_at <= now), None)
+                if ready is None:
+                    break
+                queue.remove(ready)
+                dispatch(tasks[ready], now)
+                running.add(ready)
+            for index in sorted(running):
+                task = tasks[index]
+                drain(task, now)
+                if task.rows is not None:
+                    retire_worker(task)
+                    executed[index] = task.rows
+                    running.discard(index)
+                    heartbeat.record_done(task.spec.size, live=True)
+                    heartbeat.emit("finished", task.spec)
+                elif task.proc is not None and not task.proc.is_alive():
+                    task.proc.join(timeout=5.0)
+                    # A final "error"/"done" message may still sit in the
+                    # pipe: drain once more before judging the death.
+                    drain(task, now)
+                    if task.rows is not None:
+                        retire_worker(task)
+                        executed[index] = task.rows
+                        running.discard(index)
+                        heartbeat.record_done(task.spec.size, live=True)
+                        heartbeat.emit("finished", task.spec)
+                        continue
+                    detail = describe_exitcode(task.proc.exitcode)
+                    retire_worker(task)
+                    running.discard(index)
+                    handle_failure(task, f"shard worker {detail}", reaped=False)
+                    queue.append(index)
+                elif now - task.last_beat > policy.liveness_timeout_s:
+                    sink(
+                        {
+                            "event": "reap",
+                            "shard": index,
+                            "run": task.current_run,
+                            "attempt": task.attempts,
+                            "detail": f"no heartbeat for "
+                            f"{policy.liveness_timeout_s:.0f}s; worker killed",
+                        }
                     )
-                    submit(spec)
-                else:
                     heartbeat.emit(
-                        "failed", spec, detail=f"{type(exc).__name__}: {exc}"
+                        "reaped",
+                        task.spec,
+                        detail=f"no heartbeat for {policy.liveness_timeout_s:.0f}s",
                     )
-                    for other in in_flight:
-                        other.cancel()
-                    raise ShardFailure(spec.index, exc) from exc
+                    retire_worker(task)
+                    running.discard(index)
+                    handle_failure(
+                        task,
+                        f"hung: no heartbeat for {policy.liveness_timeout_s:.0f}s; "
+                        "worker reaped",
+                        reaped=True,
+                    )
+                    queue.append(index)
+            time.sleep(0.005)
+    finally:
+        for index in running:
+            retire_worker(tasks[index])

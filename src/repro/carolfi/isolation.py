@@ -1,0 +1,570 @@
+"""Process-isolated injection sandbox.
+
+CAROL-FI runs every injected execution as a separate OS process under
+GDB, so crashes and hangs are *observed* process deaths, never simulated
+exceptions.  This module brings the reproduction to that standard: a
+:class:`InjectionSandbox` executes injections in a disposable worker
+subprocess and maps what it observes onto the DUE taxonomy:
+
+========================  =============================  ==============
+observation               meaning                        classification
+========================  =============================  ==============
+record over the pipe      run completed (any outcome)    worker's record
+wall-clock deadline hit   true hang — sandbox kills      DUE ``hang``
+RSS over the ceiling      runaway allocation — killed    DUE ``oom``
+exit with fatal signal    segfault/abort analogue        DUE ``crash``
+non-zero exit code        hard ``exit()`` analogue       DUE ``crash``
+exit code 0 mid-run       protocol violation             DUE ``crash``
+========================  =============================  ==============
+
+Deadline and RSS kills are the sandbox's *own* deterministic actions, so
+they are recorded immediately.  Self-inflicted worker deaths (signals,
+exit codes, escaped exceptions) are retried in a fresh worker to rule
+out infrastructure flakiness; a run that keeps killing its sandbox is
+**quarantined** — recorded as a DUE with a ``sandbox:`` detail and never
+retried again — so one poisonous injection cannot take down a campaign.
+
+The sandbox prefers the ``fork`` start method where available: a parent
+that has already warmed :func:`supervisor_for`'s cache hands each worker
+the golden run for free, making worker respawn after a death cheap.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import multiprocessing
+import os
+import signal as signal_mod
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.benchmarks.base import window_of_step
+from repro.benchmarks.registry import create
+from repro.carolfi.supervisor import Supervisor
+from repro.faults.models import FaultModel
+from repro.faults.outcome import DueKind, InjectionRecord, Outcome
+from repro.faults.site import FaultSite
+from repro.util.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle: campaign imports us
+    from multiprocessing.connection import Connection
+    from multiprocessing.process import BaseProcess
+
+    from repro.carolfi.campaign import CampaignConfig
+
+__all__ = [
+    "EventCallback",
+    "InjectionSandbox",
+    "IsolationConfig",
+    "IsolationMode",
+    "SandboxError",
+    "describe_exitcode",
+    "make_due_record",
+    "mp_context",
+    "rss_bytes",
+    "supervisor_for",
+    "supervisor_key",
+]
+
+EventCallback = Callable[[dict[str, Any]], None]
+
+
+class IsolationMode(str, enum.Enum):
+    """Where an injected execution runs."""
+
+    INPROC = "inproc"
+    """In the calling process (fast, test-friendly; a pathological run
+    can take the campaign worker down with it)."""
+
+    SUBPROCESS = "subprocess"
+    """In a disposable sandbox worker process (the paper's methodology:
+    DUEs are observed process deaths)."""
+
+
+class SandboxError(RuntimeError):
+    """The sandbox worker could not be started (not a run outcome)."""
+
+
+@dataclass(frozen=True)
+class IsolationConfig:
+    """How injections are isolated from the campaign engine."""
+
+    mode: IsolationMode = IsolationMode.INPROC
+    timeout_s: float | None = None
+    """Hard per-run wall-clock deadline.  ``None`` derives one from the
+    worker's measured golden runtime, comfortably above the cooperative
+    watchdog so guard-detected hangs keep their in-process records."""
+
+    mem_limit_mb: float | None = None
+    """RSS ceiling for the worker process; ``None`` disables the check
+    (it also degrades to disabled where ``/proc`` is unavailable)."""
+
+    startup_timeout_s: float = 300.0
+    """Deadline for a fresh worker to finish its golden run."""
+
+    max_run_deaths: int = 2
+    """Worker deaths attributed to one run before it is quarantined."""
+
+    poll_interval_s: float = 0.01
+    """Supervision tick: pipe poll / liveness / RSS check cadence."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mode", IsolationMode(self.mode))
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.mem_limit_mb is not None and self.mem_limit_mb <= 0:
+            raise ValueError("mem_limit_mb must be positive")
+        if self.max_run_deaths < 1:
+            raise ValueError("max_run_deaths must be at least 1")
+        if self.startup_timeout_s <= 0 or self.poll_interval_s <= 0:
+            raise ValueError("timeouts must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode.value,
+            "timeout_s": self.timeout_s,
+            "mem_limit_mb": self.mem_limit_mb,
+            "startup_timeout_s": self.startup_timeout_s,
+            "max_run_deaths": self.max_run_deaths,
+            "poll_interval_s": self.poll_interval_s,
+        }
+
+
+# -- shared supervisor cache ---------------------------------------------------
+
+#: Per-process Supervisor cache, keyed by everything that determines the
+#: golden run.  Campaign workers are reused across shards and sandbox
+#: workers are respawned after every kill, so the benchmark's input
+#: generation and golden run are paid once per process — or, under the
+#: ``fork`` start method, once per process *tree*.
+_SUPERVISORS: dict[str, Supervisor] = {}
+
+
+def supervisor_key(config: "CampaignConfig") -> str:
+    """Cache key of the Supervisor a config requires."""
+    return json.dumps(
+        {
+            "benchmark": config.benchmark,
+            "seed": config.seed,
+            "policy": config.policy.value,
+            "watchdog_factor": config.watchdog_factor,
+            "benchmark_params": config.benchmark_params,
+        },
+        sort_keys=True,
+    )
+
+
+def supervisor_for(config: "CampaignConfig") -> Supervisor:
+    """The (cached) Supervisor for one campaign config."""
+    key = supervisor_key(config)
+    supervisor = _SUPERVISORS.get(key)
+    if supervisor is None:
+        supervisor = Supervisor(
+            create(config.benchmark, **config.benchmark_params),
+            seed=config.seed,
+            policy=config.policy,
+            watchdog_factor=config.watchdog_factor,
+        )
+        _SUPERVISORS[key] = supervisor
+    return supervisor
+
+
+def mp_context() -> Any:
+    """The multiprocessing context used by all campaign subprocesses.
+
+    Typed ``Any``: typeshed only declares ``Process`` on the concrete
+    context classes, not on their ``BaseContext`` ancestor.
+
+    ``fork`` where available (Linux): children inherit the warmed
+    supervisor cache, so respawning a killed sandbox worker costs
+    milliseconds instead of a golden re-run.  Elsewhere the platform
+    default is used and every worker pays its own golden run.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# -- synthetic DUE records -----------------------------------------------------
+
+
+def make_due_record(
+    config: "CampaignConfig",
+    run_index: int,
+    model: FaultModel,
+    total_steps: int,
+    num_windows: int,
+    kind: DueKind,
+    detail: str,
+) -> InjectionRecord:
+    """A DUE record for a run whose worker process never reported back.
+
+    The interrupt step is re-derived from the run's own random stream
+    exactly as :meth:`Supervisor.run_one` would have drawn it, so the
+    record lands in the correct time window; the fault site is unknown
+    (it died with the worker).
+    """
+    rng = derive_rng(config.seed, "carolfi", config.benchmark, "run", run_index)
+    interrupt_step = int(rng.integers(0, total_steps))
+    return InjectionRecord(
+        benchmark=config.benchmark,
+        run_index=run_index,
+        site=FaultSite(
+            frame="unknown",
+            variable="unknown",
+            flat_index=0,
+            dtype="unknown",
+            var_class="unknown",
+        ),
+        fault_model=FaultModel(model).value,
+        bits=None,
+        interrupt_step=interrupt_step,
+        total_steps=total_steps,
+        time_window=window_of_step(interrupt_step, total_steps, num_windows),
+        num_windows=num_windows,
+        outcome=Outcome.DUE,
+        due_kind=kind,
+        due_detail=detail,
+    )
+
+
+# -- process observation helpers ----------------------------------------------
+
+
+def rss_bytes(pid: int) -> int | None:
+    """Resident set size of ``pid`` in bytes, or ``None`` if unreadable."""
+    try:
+        with open(f"/proc/{pid}/statm", encoding="ascii") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def describe_exitcode(exitcode: int | None) -> str:
+    """Human-readable death cause from a joined process's exit code."""
+    if exitcode is None:
+        return "still running"
+    if exitcode < 0:
+        try:
+            name = signal_mod.Signals(-exitcode).name
+        except ValueError:
+            name = f"signal {-exitcode}"
+        return f"killed by {name}"
+    if exitcode == 0:
+        return "exited cleanly mid-run (protocol violation)"
+    return f"exit code {exitcode}"
+
+
+def _kill(proc: "BaseProcess") -> None:
+    """Hard-kill a worker and reap it."""
+    try:
+        proc.kill()
+    except (OSError, AttributeError, ValueError):  # pragma: no cover
+        pass
+    proc.join(timeout=5.0)
+
+
+# -- the worker side -----------------------------------------------------------
+
+
+def _worker_main(config: "CampaignConfig", conn: "Connection") -> None:
+    """Sandbox worker: build a Supervisor, then serve run requests."""
+    try:
+        supervisor = supervisor_for(config)
+    except BaseException as exc:  # noqa: BLE001 — reported, then re-raised
+        try:
+            conn.send(("startup_error", f"{type(exc).__name__}: {exc}"))
+        except OSError:  # pragma: no cover — parent already gone
+            pass
+        raise
+    conn.send(
+        (
+            "ready",
+            {
+                "total_steps": supervisor.total_steps,
+                "num_windows": supervisor.benchmark.num_windows,
+                "golden_runtime": supervisor.golden_runtime,
+            },
+        )
+    )
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return  # parent is gone; die quietly
+        if msg[0] == "close":
+            return
+        _, run_index, model_value = msg
+        record = supervisor.run_one(run_index, FaultModel(model_value))
+        conn.send(("record", record.to_dict()))
+
+
+# -- the parent side -----------------------------------------------------------
+
+
+class InjectionSandbox:
+    """Runs injections in a supervised, disposable worker subprocess.
+
+    Presents the same ``run_one(run_index, model) -> InjectionRecord``
+    surface as :class:`Supervisor`, but every call is executed in the
+    worker and supervised with a hard wall-clock deadline and an
+    optional RSS ceiling.  Failure events (spawns, deaths, kills,
+    quarantines) are delivered to ``on_event`` as dicts — the campaign
+    engine forwards them into its ``failures.jsonl``.
+    """
+
+    def __init__(
+        self,
+        config: "CampaignConfig",
+        isolation: IsolationConfig | None = None,
+        on_event: EventCallback | None = None,
+    ):
+        self.config = config
+        self.isolation = isolation or IsolationConfig(mode=IsolationMode.SUBPROCESS)
+        self.on_event = on_event
+        self._ctx = mp_context()
+        self._proc: BaseProcess | None = None
+        self._conn: Connection | None = None
+        self._meta: dict[str, Any] | None = None
+        self._deaths: dict[int, int] = {}
+        self._mem_warned = False
+
+    # -- metadata (cached from the most recent worker handshake) ---------------
+
+    def _metadata(self) -> dict[str, Any]:
+        # Survives worker deaths: classification of a killed run needs
+        # the step/window geometry without respawning a worker for it.
+        if self._meta is None:
+            self._ensure_worker()
+        assert self._meta is not None
+        return self._meta
+
+    @property
+    def total_steps(self) -> int:
+        return int(self._metadata()["total_steps"])
+
+    @property
+    def num_windows(self) -> int:
+        return int(self._metadata()["num_windows"])
+
+    @property
+    def hard_deadline_s(self) -> float:
+        """Per-run wall-clock budget before the sandbox kills the worker.
+
+        The derived default sits well above the cooperative watchdog
+        (``watchdog_factor * golden_runtime``) so that any hang the
+        guards *can* see is still classified in-process — keeping those
+        records bit-identical to inproc mode — and only truly
+        uncooperative hangs reach the hard kill.
+        """
+        if self.isolation.timeout_s is not None:
+            return float(self.isolation.timeout_s)
+        golden = float(self._metadata()["golden_runtime"])
+        watchdog = self.config.watchdog_factor * golden + 1.0
+        return 3.0 * watchdog + 5.0
+
+    # -- events ----------------------------------------------------------------
+
+    def _emit(self, event: str, run_index: int | None = None, **extra: Any) -> None:
+        if self.on_event is None:
+            return
+        payload: dict[str, Any] = {
+            "event": event,
+            "benchmark": self.config.benchmark,
+            "run": run_index,
+        }
+        payload.update(extra)
+        self.on_event(payload)
+
+    # -- worker lifecycle ------------------------------------------------------
+
+    def _ensure_worker(self) -> None:
+        if self._proc is not None and self._proc.is_alive():
+            return
+        self._teardown()
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self.config, child_conn),
+            daemon=True,
+            name=f"sandbox-{self.config.benchmark}",
+        )
+        proc.start()
+        child_conn.close()
+        deadline = time.monotonic() + self.isolation.startup_timeout_s
+        startup_error = None
+        while True:
+            if parent_conn.poll(self.isolation.poll_interval_s):
+                try:
+                    msg = parent_conn.recv()
+                except (EOFError, OSError):
+                    break
+                if msg[0] == "ready":
+                    self._proc, self._conn, self._meta = proc, parent_conn, msg[1]
+                    self._emit("sandbox_spawn", pid=proc.pid)
+                    return
+                if msg[0] == "startup_error":
+                    startup_error = msg[1]
+                    break
+            if not proc.is_alive() and not parent_conn.poll():
+                break
+            if time.monotonic() > deadline:
+                startup_error = (
+                    f"worker did not come up within {self.isolation.startup_timeout_s}s"
+                )
+                break
+        _kill(proc)
+        cause = startup_error or describe_exitcode(proc.exitcode)
+        parent_conn.close()
+        self._emit("sandbox_startup_failure", detail=cause)
+        raise SandboxError(f"sandbox worker failed to start: {cause}")
+
+    def _teardown(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._proc is not None and self._proc.is_alive():
+            _kill(self._proc)
+        self._proc = None
+        self._conn = None
+
+    def forget_worker(self) -> None:
+        """Drop inherited worker handles without touching the worker.
+
+        A forked campaign worker inherits this sandbox with handles to a
+        process that is *not its child*: multiprocessing forbids
+        managing it from here, and sharing its pipe across processes
+        would interleave messages.  Closing our copy of the pipe fd and
+        nulling the handles leaves the original parent's sandbox intact
+        while keeping the cached geometry metadata.
+        """
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._proc = None
+        self._conn = None
+
+    def close(self) -> None:
+        """Shut the worker down (politely, then by force)."""
+        if self._proc is not None and self._proc.is_alive() and self._conn is not None:
+            try:
+                self._conn.send(("close",))
+                self._proc.join(timeout=2.0)
+            except (OSError, ValueError):
+                pass
+        self._teardown()
+
+    def __enter__(self) -> "InjectionSandbox":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- one supervised injection ---------------------------------------------
+
+    def run_one(self, run_index: int, model: FaultModel) -> InjectionRecord:
+        """Execute one injection in the sandbox and classify the result.
+
+        Always returns a record: completed runs return the worker's own
+        record; deadline and RSS kills return an immediate DUE; repeated
+        self-inflicted worker deaths return a quarantine DUE.  Only a
+        worker that cannot even *start* raises :class:`SandboxError`.
+        """
+        model = FaultModel(model)
+        while True:
+            self._ensure_worker()
+            assert self._conn is not None and self._proc is not None
+            try:
+                self._conn.send(("run", run_index, model.value))
+            except (OSError, ValueError):
+                # Died between runs: infrastructure, not this run's doing.
+                self._emit("sandbox_death", run_index=None, detail="died while idle")
+                self._teardown()
+                continue
+            verdict = self._await_verdict(run_index)
+            if verdict[0] == "record":
+                return InjectionRecord.from_dict(verdict[1])
+            _, kind, detail = verdict
+            if kind in (DueKind.HANG, DueKind.OOM):
+                # Our own deterministic kill — an observed hang/OOM is
+                # the run's outcome, exactly like a watchdog DUE.
+                return self._due(run_index, model, kind, f"sandbox: {detail}")
+            deaths = self._deaths[run_index] = self._deaths.get(run_index, 0) + 1
+            self._emit("sandbox_death", run_index, detail=detail, deaths=deaths)
+            if deaths >= self.isolation.max_run_deaths:
+                self._emit("sandbox_quarantine", run_index, detail=detail, deaths=deaths)
+                return self._due(
+                    run_index,
+                    model,
+                    kind,
+                    f"sandbox: quarantined after {deaths} worker deaths ({detail})",
+                )
+            # else: respawn and retry the same run to rule out flakiness.
+
+    def _await_verdict(self, run_index: int) -> tuple[str, Any] | tuple[str, DueKind, str]:
+        """Wait for a record, a deadline, an RSS overrun, or a death."""
+        assert self._conn is not None and self._proc is not None
+        budget = self.hard_deadline_s
+        deadline = time.monotonic() + budget
+        limit = self.isolation.mem_limit_mb
+        limit_bytes = None if limit is None else int(limit * (1 << 20))
+        while True:
+            try:
+                if self._conn.poll(self.isolation.poll_interval_s):
+                    msg = self._conn.recv()
+                    if msg[0] == "record":
+                        return ("record", msg[1])
+                    continue  # pragma: no cover — unexpected chatter
+            except (EOFError, OSError):
+                pass  # fall through to the death check
+            if not self._proc.is_alive():
+                self._proc.join(timeout=5.0)
+                detail = describe_exitcode(self._proc.exitcode)
+                self._teardown()
+                return ("death", DueKind.CRASH, detail)
+            if limit_bytes is not None:
+                rss = rss_bytes(self._proc.pid)  # type: ignore[arg-type]
+                if rss is None and not self._mem_warned:
+                    self._mem_warned = True
+                    self._emit(
+                        "sandbox_mem_limit_unenforceable",
+                        run_index,
+                        detail="cannot read worker RSS on this platform",
+                    )
+                    limit_bytes = None
+                elif rss is not None and rss > limit_bytes:
+                    _kill(self._proc)
+                    self._teardown()
+                    detail = (
+                        f"rss {rss / (1 << 20):.0f} MiB exceeded the "
+                        f"{limit:.0f} MiB ceiling; worker killed"
+                    )
+                    self._emit("sandbox_oom_kill", run_index, detail=detail)
+                    return ("death", DueKind.OOM, detail)
+            if time.monotonic() > deadline:
+                _kill(self._proc)
+                self._teardown()
+                detail = f"wall-clock deadline {budget:.1f}s exceeded; worker killed"
+                self._emit("sandbox_timeout_kill", run_index, detail=detail)
+                return ("death", DueKind.HANG, detail)
+
+    def _due(
+        self, run_index: int, model: FaultModel, kind: DueKind, detail: str
+    ) -> InjectionRecord:
+        return make_due_record(
+            self.config,
+            run_index,
+            model,
+            self.total_steps,
+            self.num_windows,
+            kind,
+            detail,
+        )

@@ -21,7 +21,7 @@ from typing import Any
 import numpy as np
 
 from repro.analysis.spatial import classify_mask, max_relative_error, wrong_mask
-from repro.benchmarks.base import Benchmark, BenchmarkHang
+from repro.benchmarks.base import Benchmark, BenchmarkHang, arm_deadline
 from repro.carolfi.flipscript import FlipScript, SitePolicy
 from repro.faults.models import FaultModel
 from repro.faults.outcome import DueKind, InjectionRecord, Outcome
@@ -32,13 +32,17 @@ __all__ = ["Supervisor"]
 
 #: Exceptions out of a resumed, corrupted execution that correspond to a
 #: crashed process (the segfault/abort analogues of our Python substrate).
+#: ``ArithmeticError`` covers Overflow/ZeroDivision/FloatingPointError
+#: plus any other numeric abort; ``MemoryError`` is the malloc-failure
+#: analogue (a corrupted size driving an absurd allocation).  Anything
+#: escaping this tuple would kill the campaign worker, so the net is
+#: deliberately wide — only genuine infrastructure bugs should escape.
 _CRASH_EXCEPTIONS = (
     IndexError,
     ValueError,
     KeyError,
-    OverflowError,
-    ZeroDivisionError,
-    FloatingPointError,
+    ArithmeticError,
+    MemoryError,
     RuntimeError,
 )
 
@@ -61,6 +65,11 @@ class Supervisor:
         # Generate the campaign dataset once and compute the golden copy.
         state = self._fresh_state()
         self.total_steps = benchmark.num_steps(state)
+        # Warm-up run on a throwaway state before the timed baseline:
+        # the first execution pays first-touch allocation and cache
+        # effects, and an inflated golden_runtime would stretch
+        # ``watchdog_factor * golden_time`` enough to mask real hangs.
+        benchmark.run(self._fresh_state())
         start = time.perf_counter()
         self.golden = self._quantize(benchmark.run(state))
         self.golden_runtime = max(time.perf_counter() - start, 1e-4)
@@ -110,6 +119,10 @@ class Supervisor:
         sdc_metrics: dict[str, Any] = {}
 
         try:
+            # Arm the cooperative deadline so guard loops inside a slow
+            # step (bounded_range, explicit deadline_checkpoint calls)
+            # can convert an in-step hang into a watchdog DUE.
+            arm_deadline(deadline)
             for index in range(total):
                 if index == interrupt_step:
                     site, bits = self.flip.inject(bench, state, index, model, rng)
@@ -136,6 +149,8 @@ class Supervisor:
                     "max_rel_err": max_relative_error(self.golden, observed),
                     "pattern": pattern.value,
                 }
+        finally:
+            arm_deadline(None)
 
         if site is None:
             # The flip itself crashed before the site was recorded (it

@@ -22,6 +22,7 @@ from repro.beam.experiment import BeamCampaignResult, BeamExperiment
 from repro.benchmarks.registry import BEAM_BENCHMARKS, INJECTION_BENCHMARKS
 from repro.carolfi.campaign import CampaignConfig, CampaignResult, run_campaign
 from repro.carolfi.engine import ShardProgress
+from repro.carolfi.isolation import IsolationConfig
 
 __all__ = ["ExperimentData"]
 
@@ -39,13 +40,16 @@ class ExperimentData:
     suite) keeps the plain serial path, ``workers=None`` auto-detects
     from ``REPRO_WORKERS`` / cpu count, and a ``checkpoint_root`` gives
     every benchmark campaign its own resumable checkpoint directory
-    under it.
+    under it.  ``isolation`` selects where individual injections run
+    (an :class:`~repro.carolfi.isolation.IsolationConfig`; ``None``
+    keeps the fast in-process default).
     """
 
     seed: int = 2017
     scale: float = 1.0
     workers: int | None = 1
     checkpoint_root: str | Path | None = None
+    isolation: IsolationConfig | None = None
     progress: Callable[[ShardProgress], None] | None = field(default=None, repr=False)
     _beam: dict[str, BeamCampaignResult] = field(default_factory=dict, repr=False)
     _injection: dict[str, CampaignResult] = field(default_factory=dict, repr=False)
@@ -90,6 +94,7 @@ class ExperimentData:
                 workers=self.workers,
                 checkpoint_dir=checkpoint_dir,
                 progress=self.progress,
+                isolation=self.isolation,
             )
         return self._injection[benchmark]
 

@@ -6,6 +6,7 @@ Usage (installed as ``repro-experiments``)::
     repro-experiments --quick         # 10% campaigns, minutes not hours
     repro-experiments figure2 figure3 --seed 7
     repro-experiments --workers 8 --checkpoints /tmp/ckpt figure4
+    repro-experiments --isolation subprocess --timeout 60 figure4
     repro-experiments --list
 
 Campaigns are shared across experiments within one invocation (Figures
@@ -27,6 +28,7 @@ from collections.abc import Callable, Sequence
 from typing import Any
 
 from repro.carolfi.engine import ShardProgress
+from repro.carolfi.isolation import IsolationConfig, IsolationMode
 from repro.experiments import (
     criticality,
     data as data_mod,
@@ -78,6 +80,7 @@ def run_experiments(
     stream: Any = None,
     workers: int | None = 1,
     checkpoint_root: str | None = None,
+    isolation: IsolationConfig | None = None,
     progress: Callable[[ShardProgress], None] | None = None,
 ) -> data_mod.ExperimentData:
     """Run the named experiments, printing each rendered artifact."""
@@ -90,6 +93,7 @@ def run_experiments(
         scale=scale,
         workers=workers,
         checkpoint_root=checkpoint_root,
+        isolation=isolation,
         progress=progress,
     )
     for name in names:
@@ -137,6 +141,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="checkpoint root; campaigns resume from completed shards under it",
     )
     parser.add_argument(
+        "--isolation",
+        choices=[mode.value for mode in IsolationMode],
+        default=None,
+        help="where each injection executes: 'inproc' (default, fast) or "
+        "'subprocess' (disposable sandbox worker per campaign; crashes and "
+        "hangs become observed process deaths, as in the paper)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard per-injection wall-clock deadline; a worker over it is "
+        "killed and the run recorded as a hang DUE (subprocess isolation "
+        "only; default: derived from the golden runtime)",
+    )
+    parser.add_argument(
+        "--mem-limit",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="RSS ceiling for the sandbox worker; a worker over it is killed "
+        "and the run recorded as an OOM DUE (subprocess isolation only)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print per-shard heartbeats (injections/sec, ETA) to stderr",
@@ -148,12 +177,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(name)
         return 0
     scale = 0.1 if args.quick else args.scale
+    isolation = None
+    if (
+        args.isolation == IsolationMode.SUBPROCESS.value
+        or args.timeout is not None
+        or args.mem_limit is not None
+    ):
+        isolation = IsolationConfig(
+            mode=IsolationMode.SUBPROCESS,
+            timeout_s=args.timeout,
+            mem_limit_mb=args.mem_limit,
+        )
     run_experiments(
         args.experiments,
         seed=args.seed,
         scale=scale,
         workers=args.workers,
         checkpoint_root=args.checkpoints,
+        isolation=isolation,
         progress=_print_progress if args.progress else None,
     )
     return 0

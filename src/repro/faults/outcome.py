@@ -36,10 +36,20 @@ class DueKind(str, enum.Enum):
     """How a DUE manifested."""
 
     CRASH = "crash"
-    """Unhandled exception in the benchmark (segfault analogue)."""
+    """Unhandled exception in the benchmark, or an observed worker
+    process death (non-zero exit code / fatal signal) under subprocess
+    isolation (segfault analogue)."""
 
     TIMEOUT = "timeout"
-    """Supervisor watchdog expired (hang analogue)."""
+    """Supervisor watchdog expired (cooperative hang detection)."""
+
+    HANG = "hang"
+    """The isolation sandbox killed the worker at its hard wall-clock
+    deadline — a true observed hang, not a cooperative guard."""
+
+    OOM = "oom"
+    """The isolation sandbox killed the worker for exceeding its RSS
+    memory ceiling (unbounded-allocation analogue)."""
 
     MCA = "mca"
     """Machine-check abort raised by the ECC model (double-bit error)."""

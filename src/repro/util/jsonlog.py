@@ -22,7 +22,7 @@ from typing import IO, Any
 
 import numpy as np
 
-__all__ = ["JsonlLog", "dump_records", "load_records"]
+__all__ = ["JsonlLog", "dump_records", "load_records", "load_records_tolerant"]
 
 
 def _sanitize(value: Any) -> Any:
@@ -116,3 +116,36 @@ def load_records(path: str | Path, strict: bool = False) -> list[dict[str, Any]]
                 raise
             break  # partial trailing line from a killed writer
     return out
+
+
+def load_records_tolerant(path: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """Read JSONL records, skipping corrupt lines but *counting* them.
+
+    Failure-event logs and other diagnostics are appended across worker
+    deaths and hard kills, so interior damage is possible and must not
+    make the whole log unreadable.  Unlike :func:`load_records` this
+    reader never raises on bad content: it returns every parseable
+    record plus the number of non-empty lines it had to skip, so callers
+    can surface "N corrupt lines" instead of silently dropping data.
+    A missing file reads as ``([], 0)``.
+    """
+    target = Path(path)
+    if not target.exists():
+        return [], 0
+    out: list[dict[str, Any]] = []
+    skipped = 0
+    with target.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                out.append(record)
+            else:
+                skipped += 1
+    return out, skipped

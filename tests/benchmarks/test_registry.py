@@ -71,3 +71,14 @@ def test_paper_scale_strictly_larger():
         paper = cls.paper_scale_params()
         size_keys = [k for k in ("n", "rows", "base", "boxes1d") if k in default]
         assert any(paper[k] > default[k] for k in size_keys), name
+
+
+def test_aux_benchmarks_creatable_but_not_in_paper_set():
+    from repro.benchmarks.registry import AUX_BENCHMARKS
+
+    assert "chaos" in AUX_BENCHMARKS
+    bench = create("chaos")
+    assert bench.name == "chaos"
+    # Auxiliary benchmarks must never leak into the paper's sets.
+    assert "chaos" not in names()
+    assert "chaos" not in INJECTION_BENCHMARKS

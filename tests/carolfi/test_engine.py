@@ -11,15 +11,20 @@ import pytest
 
 from repro.carolfi.campaign import CampaignConfig, run_campaign
 from repro.carolfi.engine import (
+    FAILURE_LOG_NAME,
     CheckpointError,
+    RetryPolicy,
     ShardFailure,
     ShardSpec,
+    backoff_delay,
     campaign_fingerprint,
     plan_shards,
+    read_failure_log,
     resolve_workers,
     run_sharded_campaign,
     shard_path,
 )
+from repro.faults.outcome import DueKind, Outcome
 
 #: Small, fast campaign: nw with 4 steps, 24 injections over 4 shards.
 CONFIG = CampaignConfig(
@@ -274,13 +279,151 @@ def test_killed_campaign_resumes_without_rerunning_finished_shards(tmp_path):
 # -- failures and heartbeats --------------------------------------------------
 
 
+#: Near-zero backoff so retry-heavy tests stay fast.
+FAST_RETRY = RetryPolicy(backoff_base_s=0.001, backoff_cap_s=0.002)
+
+
 def test_unknown_benchmark_fails_with_retry(tmp_path):
     bad = CampaignConfig(benchmark="no-such-benchmark", injections=4, seed=1)
     events = []
     with pytest.raises(ShardFailure):
-        run_campaign(bad, workers=1, shard_size=2, progress=events.append)
+        run_campaign(bad, workers=1, shard_size=2, progress=events.append, retry=FAST_RETRY)
     kinds = [e.event for e in events]
     assert "retried" in kinds and "failed" in kinds
+
+
+def test_shard_failure_carries_attempt_count():
+    bad = CampaignConfig(benchmark="no-such-benchmark", injections=2, seed=1)
+    with pytest.raises(ShardFailure) as excinfo:
+        run_campaign(bad, workers=1, shard_size=2, retry=FAST_RETRY)
+    assert excinfo.value.attempts == FAST_RETRY.max_attempts
+    assert excinfo.value.shard_index == 0
+
+
+# -- backoff and retry policy -------------------------------------------------
+
+
+def test_backoff_deterministic_under_fixed_seed():
+    policy = RetryPolicy(backoff_base_s=0.25, backoff_cap_s=8.0)
+    assert backoff_delay(13, 2, 1, policy) == backoff_delay(13, 2, 1, policy)
+    # Jitter streams are keyed by shard and attempt: no stampede.
+    assert backoff_delay(13, 2, 1, policy) != backoff_delay(13, 3, 1, policy)
+    assert backoff_delay(13, 2, 1, policy) != backoff_delay(13, 2, 2, policy)
+    assert backoff_delay(13, 2, 1, policy) != backoff_delay(14, 2, 1, policy)
+
+
+def test_backoff_grows_exponentially_to_cap():
+    policy = RetryPolicy(backoff_base_s=0.25, backoff_cap_s=8.0)
+    for attempt in range(1, 12):
+        expected = min(0.25 * 2 ** (attempt - 1), 8.0)
+        delay = backoff_delay(13, 0, attempt, policy)
+        assert 0.5 * expected <= delay <= 1.5 * expected
+    with pytest.raises(ValueError):
+        backoff_delay(13, 0, 0, policy)
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_base_s=2.0, backoff_cap_s=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(liveness_timeout_s=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_run_deaths=0)
+
+
+# -- failure-event log --------------------------------------------------------
+
+
+def test_checkpoint_dir_gets_failure_log_eagerly(tmp_path):
+    ckpt = tmp_path / "ckpt"
+    run_campaign(CONFIG, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE)
+    log = ckpt / FAILURE_LOG_NAME
+    assert log.exists(), "failure log must exist even for a clean campaign"
+    events, skipped = read_failure_log(log)
+    assert events == [] and skipped == 0
+
+
+def test_read_failure_log_counts_corrupt_lines(tmp_path):
+    log = tmp_path / "failures.jsonl"
+    log.write_text(
+        '{"event": "retry", "shard": 0}\n'
+        "}}corrupt{{\n"
+        '{"event": "quarantine", "shard": 0}\n'
+        "also not json\n",
+        encoding="utf-8",
+    )
+    events, skipped = read_failure_log(log)
+    assert [e["event"] for e in events] == ["retry", "quarantine"]
+    assert skipped == 2
+    assert read_failure_log(tmp_path / "missing.jsonl") == ([], 0)
+
+
+# -- fault domains: quarantine and reaping ------------------------------------
+
+
+def _chaos(failure, injections=8, **extra):
+    params = {"n": 64, "steps": 6, "failure": failure}
+    params.update(extra)
+    return CampaignConfig(benchmark="chaos", injections=injections, seed=5, benchmark_params=params)
+
+
+def test_serial_escaped_exception_quarantined(tmp_path):
+    """OSError escapes the Supervisor's crash net; the engine's fault
+    domain retries, attributes, and quarantines the run as a DUE."""
+    log = tmp_path / "failures.jsonl"
+    events = []
+    result = run_campaign(
+        _chaos("oserror"),
+        workers=1,
+        shard_size=4,
+        retry=FAST_RETRY,
+        failure_log=log,
+        progress=events.append,
+    )
+    twin = run_campaign(_chaos("none"))
+    dues = []
+    for clean, record in zip(twin.records, result.records):
+        if record.outcome is Outcome.DUE and record.due_detail.startswith("sandbox:"):
+            dues.append(record)
+            assert clean.site.variable == "trigger"
+        else:
+            assert record.to_dict() == clean.to_dict()
+    assert dues and all(r.due_kind is DueKind.CRASH for r in dues)
+    assert all("quarantined" in r.due_detail for r in dues)
+    assert "quarantined" in {e.event for e in events}
+    kinds = [e["event"] for e in read_failure_log(log)[0]]
+    assert "run_error" in kinds and "retry" in kinds and "quarantine" in kinds
+
+
+def test_pool_reaps_hung_worker_and_quarantines_run(tmp_path):
+    """A guard-free spin in inproc mode hangs the whole shard worker; the
+    engine's liveness check reaps it and quarantines the run as a HANG."""
+    log = tmp_path / "failures.jsonl"
+    events = []
+    policy = RetryPolicy(backoff_base_s=0.001, backoff_cap_s=0.002, liveness_timeout_s=1.0)
+    result = run_campaign(
+        _chaos("spin", spin_s=60.0),
+        workers=2,
+        shard_size=8,
+        retry=policy,
+        failure_log=log,
+        progress=events.append,
+    )
+    twin = run_campaign(_chaos("none"))
+    dues = []
+    for clean, record in zip(twin.records, result.records):
+        if record.outcome is Outcome.DUE and record.due_detail.startswith("sandbox:"):
+            dues.append(record)
+            assert clean.site.variable == "trigger"
+        else:
+            assert record.to_dict() == clean.to_dict()
+    assert dues and all(r.due_kind is DueKind.HANG for r in dues)
+    kinds = {e.event for e in events}
+    assert "reaped" in kinds and "quarantined" in kinds
+    log_kinds = [e["event"] for e in read_failure_log(log)[0]]
+    assert "reap" in log_kinds and "quarantine" in log_kinds
 
 
 def test_progress_heartbeat_fields():

@@ -96,3 +96,54 @@ def test_window_boundaries_cover_all_windows(supervisor):
         for s in range(supervisor.total_steps)
     }
     assert windows == set(range(5))
+
+
+def test_crash_net_covers_arithmetic_and_memory_errors():
+    """Numeric aborts and allocation failures out of a corrupted run are
+    process-death analogues and must classify as crash DUEs, not escape."""
+    from repro.carolfi.supervisor import _CRASH_EXCEPTIONS
+
+    for exc_type in (ZeroDivisionError, OverflowError, FloatingPointError, MemoryError):
+        assert issubclass(exc_type, _CRASH_EXCEPTIONS)
+
+
+def test_crash_net_classifies_arithmetic_error_as_due():
+    supervisor = Supervisor(create("nw", n=16, rows_per_step=4), seed=3)
+    original = supervisor.benchmark.step
+
+    def explode(state, index):
+        if index == 2:
+            raise ZeroDivisionError("corrupted divisor")
+        original(state, index)
+
+    supervisor.benchmark.step = explode
+    try:
+        record = supervisor.run_one(0, FaultModel.SINGLE, interrupt_step=1)
+    finally:
+        supervisor.benchmark.step = original
+    assert record.outcome is Outcome.DUE
+    assert record.due_kind is not None and record.due_kind.value == "crash"
+    assert "ZeroDivisionError" in record.due_detail
+
+
+def test_golden_baseline_measured_after_warm_up():
+    """The timed golden run must be the second execution: the first pays
+    first-touch costs that would inflate the watchdog budget."""
+    bench = create("nw", n=16, rows_per_step=4)
+    calls = []
+    original_run = bench.run
+
+    def counting_run(state):
+        calls.append(1)
+        return original_run(state)
+
+    bench.run = counting_run
+    supervisor = Supervisor(bench, seed=1)
+    assert len(calls) == 2, "expected one warm-up run plus one timed golden run"
+    assert supervisor.golden_runtime > 0
+
+
+def test_warm_up_does_not_change_golden():
+    a = Supervisor(create("nw", n=16, rows_per_step=4), seed=1)
+    b = Supervisor(create("nw", n=16, rows_per_step=4), seed=1)
+    assert np.array_equal(a.golden, b.golden)

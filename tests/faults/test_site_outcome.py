@@ -36,7 +36,13 @@ def test_outcome_enum():
 
 
 def test_due_kinds():
-    assert {k.value for k in DueKind} == {"crash", "timeout", "mca"}
+    assert {k.value for k in DueKind} == {"crash", "timeout", "hang", "oom", "mca"}
+
+
+def test_sandbox_due_kinds_roundtrip():
+    """The sandbox-observed kinds parse back like the classic ones."""
+    assert DueKind("hang") is DueKind.HANG
+    assert DueKind("oom") is DueKind.OOM
 
 
 def _record(outcome=Outcome.SDC) -> InjectionRecord:

@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.util.jsonlog import JsonlLog, dump_records, load_records
+from repro.util.jsonlog import JsonlLog, dump_records, load_records, load_records_tolerant
 
 
 def test_append_and_iterate(tmp_path):
@@ -108,3 +108,26 @@ def test_append_after_close_reopens(tmp_path):
     log.append({"v": 2})
     log.close()
     assert len(log) == 2
+
+
+def test_tolerant_reader_counts_corrupt_interior_lines(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text(
+        '{"a": 1}\nnot json at all\n{"b": 2}\n[1, 2, 3]\n{"c": 3}\n',
+        encoding="utf-8",
+    )
+    records, skipped = load_records_tolerant(path)
+    assert records == [{"a": 1}, {"b": 2}, {"c": 3}]
+    assert skipped == 2  # one unparseable line, one non-dict record
+
+
+def test_tolerant_reader_missing_file(tmp_path):
+    assert load_records_tolerant(tmp_path / "absent.jsonl") == ([], 0)
+
+
+def test_tolerant_reader_clean_file(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with JsonlLog(path) as log:
+        log.extend([{"i": i} for i in range(3)])
+    records, skipped = load_records_tolerant(path)
+    assert len(records) == 3 and skipped == 0
