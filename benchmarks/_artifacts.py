@@ -2,12 +2,16 @@
 
 Rendered paper artifacts are stored here so the conftest's terminal
 summary hook can print them after the benchmark tables, and written to
-``benchmarks/out/<name>.txt`` for later inspection.
+``benchmarks/out/<name>.txt`` for later inspection.  Machine-readable
+companions go to ``benchmarks/out/BENCH_<name>.json`` so downstream
+tooling (trend dashboards, CI comparisons) need not parse the tables.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any
 
 ARTIFACTS: dict[str, str] = {}
 _OUT_DIR = Path(__file__).parent / "out"
@@ -18,3 +22,11 @@ def register_artifact(name: str, text: str) -> None:
     ARTIFACTS[name] = text
     _OUT_DIR.mkdir(exist_ok=True)
     (_OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def register_artifact_json(name: str, payload: dict[str, Any]) -> Path:
+    """Write a machine-readable artifact to ``benchmarks/out/BENCH_<name>.json``."""
+    _OUT_DIR.mkdir(exist_ok=True)
+    path = _OUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -12,8 +12,9 @@ worth tracking too.
 import time
 
 from repro.carolfi.campaign import CampaignConfig, run_campaign
+from repro.telemetry import Telemetry, TelemetryConfig
 
-from _artifacts import register_artifact
+from _artifacts import register_artifact, register_artifact_json
 
 WORKER_COUNTS = (1, 2, 4)
 
@@ -31,10 +32,13 @@ QUICK_CONFIG = CampaignConfig(
 )
 
 
-def _rate(workers: int) -> float:
+def _rate(workers: int, telemetry: Telemetry | None = None) -> float:
     start = time.perf_counter()
     result = run_campaign(
-        SCALING_CONFIG, workers=workers, shard_size=SCALING_SHARD_SIZE
+        SCALING_CONFIG,
+        workers=workers,
+        shard_size=SCALING_SHARD_SIZE,
+        telemetry=telemetry,
     )
     elapsed = time.perf_counter() - start
     assert len(result) == SCALING_CONFIG.injections
@@ -43,13 +47,32 @@ def _rate(workers: int) -> float:
 
 def test_campaign_scaling(benchmark):
     rates = {w: _rate(w) for w in WORKER_COUNTS}
+    # Same campaign with full metrics collection: the gap against the
+    # plain serial rate is the telemetry overhead, tracked across commits.
+    rate_with_metrics = _rate(1, telemetry=Telemetry(TelemetryConfig()))
     lines = ["workers  injections/sec  speedup"]
     for w in WORKER_COUNTS:
         lines.append(f"{w:>7}  {rates[w]:>14.1f}  {rates[w] / rates[1]:>6.2f}x")
+    lines.append(
+        f"1 (telemetry on)  {rate_with_metrics:>7.1f}  "
+        f"{rate_with_metrics / rates[1]:>6.2f}x"
+    )
     register_artifact("campaign_scaling", "\n".join(lines))
+    register_artifact_json(
+        "campaign_scaling",
+        {
+            "benchmark": SCALING_CONFIG.benchmark,
+            "injections": SCALING_CONFIG.injections,
+            "shard_size": SCALING_SHARD_SIZE,
+            "runs_per_sec": {str(w): rates[w] for w in WORKER_COUNTS},
+            "runs_per_sec_serial_telemetry": rate_with_metrics,
+            "speedup_4_over_1": rates[4] / rates[1],
+        },
+    )
     benchmark.extra_info.update(
         {f"rate_workers_{w}": rates[w] for w in WORKER_COUNTS}
     )
+    benchmark.extra_info["rate_serial_telemetry"] = rate_with_metrics
     benchmark.extra_info["speedup_4_over_1"] = rates[4] / rates[1]
     # Time the parallel path itself (pool start-up included).
     benchmark.pedantic(

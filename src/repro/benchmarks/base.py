@@ -32,6 +32,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.telemetry import current_registry
+
 __all__ = [
     "Benchmark",
     "BenchmarkError",
@@ -75,9 +77,18 @@ def arm_deadline(at: float | None) -> None:
     _DEADLINE = None if at is None else float(at)
 
 
+def _count_guard_trip(guard: str) -> None:
+    """Count one hang-guard trip (no-op when telemetry is disabled)."""
+    current_registry().counter(
+        "repro_guard_trips_total",
+        help="Hang-guard trips converted into BenchmarkHang, by guard.",
+    ).inc(guard=guard)
+
+
 def deadline_checkpoint() -> None:
     """Raise :class:`BenchmarkHang` if the armed run deadline has passed."""
     if _DEADLINE is not None and time.perf_counter() > _DEADLINE:
+        _count_guard_trip("deadline")
         raise BenchmarkHang("cooperative deadline expired mid-step")
 
 
@@ -174,9 +185,11 @@ def bounded_range(start: int, stop: int, step: int = 1) -> range:
     deadline_checkpoint()
     start, stop, step = int(start), int(stop), int(step)
     if step == 0:
+        _count_guard_trip("loop_step_zero")
         raise BenchmarkHang("loop step corrupted to zero")
     trip = max(0, (stop - start + (step - (1 if step > 0 else -1))) // step)
     if trip > MAX_LOOP_ITERATIONS:
+        _count_guard_trip("trip_budget")
         raise BenchmarkHang(f"loop trip count {trip} exceeds budget")
     return range(start, stop, step)
 

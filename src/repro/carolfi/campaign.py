@@ -92,6 +92,7 @@ def run_campaign(
     isolation: Any | None = None,
     retry: Any | None = None,
     failure_log: str | Path | None = None,
+    telemetry: Any | None = None,
 ) -> CampaignResult:
     """Run a full injection campaign.
 
@@ -110,8 +111,11 @@ def run_campaign(
     route the campaign through the sharded engine
     (:mod:`repro.carolfi.engine`), which adds parallel execution,
     resumable per-shard JSONL checkpoints and fault-domain supervision.
-    The default (``workers=1``, no checkpointing, inproc isolation)
-    keeps the plain in-process serial path below.
+    ``telemetry`` (a :class:`~repro.telemetry.Telemetry` bundle) also
+    routes through the engine, which populates the bundle's metrics
+    registry and trace as the campaign runs.  The default (``workers=1``,
+    no checkpointing, inproc isolation) keeps the plain in-process
+    serial path below.
     """
     engine_requested = (
         workers != 1
@@ -121,6 +125,7 @@ def run_campaign(
         or isolation is not None
         or retry is not None
         or failure_log is not None
+        or telemetry is not None
     )
     if engine_requested:
         from repro.carolfi.engine import run_sharded_campaign
@@ -135,6 +140,7 @@ def run_campaign(
             isolation=isolation,
             retry=retry,
             failure_log=failure_log,
+            telemetry=telemetry,
         )
     benchmark = create(config.benchmark, **config.benchmark_params)
     supervisor = Supervisor(

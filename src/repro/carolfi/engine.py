@@ -67,6 +67,15 @@ from repro.carolfi.isolation import (
     supervisor_key,
 )
 from repro.faults.outcome import DueKind, InjectionRecord
+from repro.telemetry import (
+    DISABLED,
+    ShardTelemetry,
+    Telemetry,
+    WorkerTelemetry,
+    current_registry,
+    current_tracer,
+    stamp,
+)
 from repro.util.jsonlog import JsonlLog, load_records, load_records_tolerant
 from repro.util.rng import derive_rng
 
@@ -311,11 +320,22 @@ class _FailureSink:
 
     The file is created eagerly, so "the campaign saw zero failures" is
     distinguishable from "failure logging was off" (and CI can always
-    upload the artifact).
+    upload the artifact).  Events are stamped with a wall/monotonic
+    clock pair (:func:`repro.telemetry.stamp`) so their ordering
+    survives NTP slews, and every event — logged to disk or not — is
+    counted into the campaign's ``repro_failure_events_total`` metric.
+
+    All failure events funnel through the engine-side sink exactly once
+    (worker-side sandbox events are forwarded over the pipe first), so
+    this is the one place the counter can live without double counting.
     """
 
-    def __init__(self, path: str | Path | None):
+    def __init__(self, path: str | Path | None, telemetry: Telemetry | None = None):
         self._log: JsonlLog | None = None
+        self._counter = (telemetry or DISABLED).registry.counter(
+            "repro_failure_events_total",
+            help="Campaign failure events (retries, deaths, reaps, quarantines) by kind.",
+        )
         if path is not None:
             target = Path(path)
             target.parent.mkdir(parents=True, exist_ok=True)
@@ -323,8 +343,9 @@ class _FailureSink:
             self._log = JsonlLog(target)
 
     def __call__(self, event: dict[str, Any]) -> None:
+        self._counter.inc(event=str(event.get("event", "unknown")))
         if self._log is not None:
-            self._log.append({"t": time.time(), **event})
+            self._log.append({**stamp(), **event})
 
     def close(self) -> None:
         if self._log is not None:
@@ -364,8 +385,27 @@ def _execute_shard(
     detail)``: those runs are recorded as synthetic DUEs without being
     executed.  ``on_run``/``on_run_done`` are the heartbeat hooks the
     engine uses for liveness and death attribution.
+
+    Telemetry is ambient (:func:`repro.telemetry.current_registry` /
+    ``current_tracer``): the serial engine activates the campaign
+    bundle, shard workers activate their local accumulator, and this
+    function instruments identically either way — per-outcome run
+    counters, run-duration histogram, a shard span, and a
+    checkpoint-write span.  With telemetry disabled every instrument is
+    a shared no-op.
     """
     iso = isolation or IsolationConfig()
+    registry = current_registry()
+    tracer = current_tracer()
+    runs_total = registry.counter(
+        "repro_runs_total", help="Injection runs executed (including re-executions), by outcome."
+    )
+    dues_total = registry.counter(
+        "repro_runs_due_total", help="Executed runs classified DUE, by due kind."
+    )
+    run_seconds = registry.histogram(
+        "repro_run_duration_seconds", help="Wall-clock duration of one injection run."
+    )
     run_fn: Callable[[int, Any], InjectionRecord]
     if iso.mode is IsolationMode.SUBPROCESS:
         sandbox = _sandbox_for(config, iso)
@@ -395,36 +435,44 @@ def _execute_shard(
         )
     models = config.fault_models
     rows: list[dict] = []
-    for run_index in spec.run_indices():
-        model = models[run_index % len(models)]
-        if run_index in skip:
-            kind, detail = skip[run_index]
-            record = make_due_record(
-                config,
-                run_index,
-                model,
-                total_steps,
-                num_windows,
-                DueKind(kind),
-                detail,
-            )
-        else:
-            if on_run is not None:
-                on_run(run_index)
-            try:
-                record = run_fn(run_index, model)
-            except SandboxError:
-                raise  # worker infrastructure failure: shard-level, not run-level
-            except Exception as exc:
-                raise ShardRunError(spec.index, run_index, exc) from exc
-            if on_run_done is not None:
-                on_run_done(run_index)
-        rows.append(record.to_dict())
+    with tracer.span("shard", shard=spec.index, start=spec.start, stop=spec.stop):
+        for run_index in spec.run_indices():
+            model = models[run_index % len(models)]
+            if run_index in skip:
+                kind, detail = skip[run_index]
+                record = make_due_record(
+                    config,
+                    run_index,
+                    model,
+                    total_steps,
+                    num_windows,
+                    DueKind(kind),
+                    detail,
+                )
+            else:
+                if on_run is not None:
+                    on_run(run_index)
+                began = time.perf_counter()
+                try:
+                    record = run_fn(run_index, model)
+                except SandboxError:
+                    raise  # worker infrastructure failure: shard-level, not run-level
+                except Exception as exc:
+                    raise ShardRunError(spec.index, run_index, exc) from exc
+                if registry.enabled:
+                    run_seconds.observe(time.perf_counter() - began)
+                if on_run_done is not None:
+                    on_run_done(run_index)
+            runs_total.inc(outcome=record.outcome.value)
+            if record.due_kind is not None:
+                dues_total.inc(kind=record.due_kind.value)
+            rows.append(record.to_dict())
+            if log is not None:
+                log.append({"kind": "record", "data": rows[-1]})
         if log is not None:
-            log.append({"kind": "record", "data": rows[-1]})
-    if log is not None:
-        log.append({"kind": "done", "count": len(rows)})
-        log.close()
+            with tracer.span("checkpoint_write", shard=spec.index, records=len(rows)):
+                log.append({"kind": "done", "count": len(rows)})
+                log.close()
     return spec.index, rows
 
 
@@ -559,6 +607,7 @@ def run_sharded_campaign(
     isolation: IsolationConfig | None = None,
     retry: RetryPolicy | None = None,
     failure_log: str | Path | None = None,
+    telemetry: Telemetry | None = None,
 ) -> CampaignResult:
     """Run a campaign sharded, optionally in parallel and resumable.
 
@@ -574,10 +623,19 @@ def run_sharded_campaign(
     ``failures.jsonl`` inside the checkpoint directory, or disabled
     without one).  See the module docstring for the determinism, resume
     and failure-handling contracts.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) adds metrics,
+    phase spans and live progress on top of the heartbeat callback.
+    Workers accumulate metrics/spans locally and the engine merges
+    their deltas over the heartbeat pipe, so a campaign's counter
+    totals are identical for every worker count; the default
+    (:data:`repro.telemetry.DISABLED`) makes every instrument a shared
+    no-op and never perturbs records.
     """
     workers = resolve_workers(workers)
     iso = isolation or IsolationConfig()
     policy = retry or RetryPolicy()
+    tel = telemetry or DISABLED
     shards = plan_shards(config.injections, shard_size)
     fingerprint = campaign_fingerprint(config, shard_size)
     ckpt_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
@@ -586,70 +644,117 @@ def run_sharded_campaign(
         _validate_checkpoint_dir(ckpt_dir, fingerprint)
     if failure_log is None and ckpt_dir is not None:
         failure_log = ckpt_dir / FAILURE_LOG_NAME
-    sink = _FailureSink(failure_log)
+    sink = _FailureSink(failure_log, tel)
+    reporter = tel.progress_reporter(config.injections, label=config.benchmark)
+    replayed_runs = tel.registry.counter(
+        "repro_runs_replayed_total",
+        help="Runs restored from shard checkpoints instead of being re-run.",
+    )
+    shard_planned = tel.registry.gauge(
+        "repro_shard_runs_planned", help="Planned run count of each shard."
+    )
+    shard_done = tel.registry.gauge(
+        "repro_shard_runs_done", help="Runs completed so far within each shard."
+    )
 
     heartbeat = _Heartbeat(progress, len(shards), config.injections)
     replayed: dict[int, list[InjectionRecord]] = {}
     pending: list[ShardSpec] = []
-    for spec in shards:
-        records = (
-            _replay_shard(shard_path(ckpt_dir, spec.index), fingerprint, spec)
-            if ckpt_dir is not None
-            else None
-        )
-        if records is None:
-            pending.append(spec)
-        else:
-            replayed[spec.index] = records
-            heartbeat.record_done(spec.size, live=False)
-            heartbeat.emit("replayed", spec)
-
     executed: dict[int, list[dict]] = {}
     try:
-        if pending:
-
-            def ckpt_file(spec: ShardSpec) -> str | None:
-                if ckpt_dir is None:
-                    return None
-                return str(shard_path(ckpt_dir, spec.index))
-
-            if workers == 1:
-                _run_serial(
-                    config,
-                    pending,
-                    ckpt_file,
-                    fingerprint,
-                    heartbeat,
-                    executed,
-                    iso,
-                    policy,
-                    sink,
+        with tel.activate(), tel.tracer.span(
+            "campaign",
+            benchmark=config.benchmark,
+            injections=config.injections,
+            workers=workers,
+            shards=len(shards),
+        ) as campaign_span:
+            for spec in shards:
+                shard_planned.set(spec.size, shard=spec.index)
+                # Reset stale per-shard progress left by an earlier
+                # campaign sharing this registry.
+                shard_done.set(0, shard=spec.index)
+            for spec in shards:
+                records = (
+                    _replay_shard(shard_path(ckpt_dir, spec.index), fingerprint, spec)
+                    if ckpt_dir is not None
+                    else None
                 )
-            else:
-                _run_pool(
-                    config,
-                    pending,
-                    ckpt_file,
-                    fingerprint,
-                    heartbeat,
-                    executed,
-                    workers,
-                    iso,
-                    policy,
-                    sink,
-                )
+                if records is None:
+                    pending.append(spec)
+                else:
+                    replayed[spec.index] = records
+                    replayed_runs.inc(spec.size)
+                    shard_done.set(spec.size, shard=spec.index)
+                    heartbeat.record_done(spec.size, live=False)
+                    heartbeat.emit("replayed", spec)
+
+            if pending:
+
+                def ckpt_file(spec: ShardSpec) -> str | None:
+                    if ckpt_dir is None:
+                        return None
+                    return str(shard_path(ckpt_dir, spec.index))
+
+                if workers == 1:
+                    _run_serial(
+                        config,
+                        pending,
+                        ckpt_file,
+                        fingerprint,
+                        heartbeat,
+                        executed,
+                        iso,
+                        policy,
+                        sink,
+                        tel,
+                        reporter,
+                    )
+                else:
+                    _run_pool(
+                        config,
+                        pending,
+                        ckpt_file,
+                        fingerprint,
+                        heartbeat,
+                        executed,
+                        workers,
+                        iso,
+                        policy,
+                        sink,
+                        tel,
+                        reporter,
+                    )
+
+            records_out: list[InjectionRecord] = []
+            for spec in shards:
+                if spec.index in replayed:
+                    records_out.extend(replayed[spec.index])
+                else:
+                    records_out.extend(
+                        InjectionRecord.from_dict(row) for row in executed[spec.index]
+                    )
+            records_out.sort(key=lambda r: r.run_index)
+            if [r.run_index for r in records_out] != list(range(config.injections)):
+                raise RuntimeError("engine merge produced a non-canonical record sequence")
+            # Final-record counters are derived from the merged result —
+            # by construction they always equal what lands in the
+            # campaign log, whatever the execution topology did.
+            records_total = tel.registry.counter(
+                "repro_records_total", help="Final merged campaign records, by outcome."
+            )
+            records_due = tel.registry.counter(
+                "repro_records_due_total", help="Final merged DUE records, by due kind."
+            )
+            for record in records_out:
+                records_total.inc(outcome=record.outcome.value)
+                if record.due_kind is not None:
+                    records_due.inc(kind=record.due_kind.value)
+            campaign_span.set_attr("records", len(records_out))
+            reporter.tick(force=True)
     finally:
         sink.close()
 
-    records_out: list[InjectionRecord] = []
-    for spec in shards:
-        if spec.index in replayed:
-            records_out.extend(replayed[spec.index])
-        else:
-            records_out.extend(InjectionRecord.from_dict(row) for row in executed[spec.index])
-    records_out.sort(key=lambda r: r.run_index)
-    if [r.run_index for r in records_out] != list(range(config.injections)):
-        raise RuntimeError("engine merge produced a non-canonical record sequence")
     if log_path is not None:
         with JsonlLog(log_path) as log:
             log.extend(r.to_dict() for r in records_out)
@@ -669,6 +774,8 @@ def _run_serial(
     isolation: IsolationConfig,
     policy: RetryPolicy,
     sink: _FailureSink,
+    tel: Telemetry,
+    reporter: Any,
 ) -> None:
     """Serial execution with backoff retries and poison-run quarantine.
 
@@ -677,15 +784,24 @@ def _run_serial(
     exists for exactly that — but any exception-shaped failure is
     retried, attributed, and quarantined just like in the pool.
     """
+    shard_done = tel.registry.gauge("repro_shard_runs_done")
+    shard_seconds = tel.registry.histogram(
+        "repro_shard_duration_seconds", help="Wall-clock duration of one completed shard."
+    )
     for spec in pending:
         heartbeat.emit("started", spec)
         deaths: dict[int, int] = {}
         skip: dict[int, tuple[str, str]] = {}
         attempts = 0
         no_progress = 0
+        shard_started = time.perf_counter()
 
         def shard_sink(event: dict[str, Any], _index: int = spec.index) -> None:
             sink({"shard": _index, **event})
+
+        def run_done(run_index: int, _spec: ShardSpec = spec) -> None:
+            shard_done.set(run_index - _spec.start + 1, shard=_spec.index)
+            reporter.tick()
 
         while True:
             try:
@@ -696,6 +812,7 @@ def _run_serial(
                     fingerprint,
                     isolation=isolation,
                     skip_runs=skip,
+                    on_run_done=run_done,
                     on_failure=shard_sink,
                 )
                 break
@@ -760,6 +877,9 @@ def _run_serial(
                 heartbeat.emit("retried", spec, detail=detail)
                 time.sleep(delay)
         executed[spec.index] = rows
+        shard_done.set(spec.size, shard=spec.index)
+        if tel.registry.enabled:
+            shard_seconds.observe(time.perf_counter() - shard_started)
         heartbeat.record_done(spec.size, live=True)
         heartbeat.emit("finished", spec)
 
@@ -774,9 +894,18 @@ def _shard_worker_main(
     fingerprint: str,
     isolation: IsolationConfig,
     skip_runs: dict[int, tuple[str, str]],
+    shard_tel: ShardTelemetry,
     conn: "Connection",
 ) -> None:
-    """Entry point of one disposable shard worker process."""
+    """Entry point of one disposable shard worker process.
+
+    Telemetry is rebuilt locally from the picklable ``shard_tel``
+    coordinates: metrics accumulate in a worker-private registry and
+    spans buffer in memory, and both are drained over the pipe after
+    every run (``("metrics", delta)`` / ``("spans", batch)`` messages).
+    Draining before the final ``done`` keeps merging at-most-once: a
+    killed worker loses only its undrained tail, never double-counts.
+    """
     # Under the fork start method this process inherits the parent's
     # sandbox cache, whose workers are NOT our children: drop the
     # handles (keeping cached geometry) and let _sandbox_for build our
@@ -785,6 +914,22 @@ def _shard_worker_main(
         inherited.forget_worker()
     _SANDBOXES.clear()
 
+    worker_tel = WorkerTelemetry(shard_tel)
+
+    def flush_telemetry() -> None:
+        delta, spans = worker_tel.drain()
+        try:
+            if delta:
+                conn.send(("metrics", delta))
+            if spans:
+                conn.send(("spans", spans))
+        except OSError:  # pragma: no cover — parent already gone
+            pass
+
+    def run_done(k: int) -> None:
+        conn.send(("ok", k))
+        flush_telemetry()
+
     def forward_failure(event: dict[str, Any]) -> None:
         try:
             conn.send(("failure", event))
@@ -792,17 +937,19 @@ def _shard_worker_main(
             pass
 
     try:
-        _, rows = _execute_shard(
-            config,
-            spec,
-            checkpoint_file,
-            fingerprint,
-            isolation=isolation,
-            skip_runs=skip_runs,
-            on_run=lambda k: conn.send(("run", k)),
-            on_run_done=lambda k: conn.send(("ok", k)),
-            on_failure=forward_failure,
-        )
+        with worker_tel.activate():
+            _, rows = _execute_shard(
+                config,
+                spec,
+                checkpoint_file,
+                fingerprint,
+                isolation=isolation,
+                skip_runs=skip_runs,
+                on_run=lambda k: conn.send(("run", k)),
+                on_run_done=run_done,
+                on_failure=forward_failure,
+            )
+        flush_telemetry()  # tail: skip-run counters, shard + checkpoint spans
         conn.send(("done", rows))
         conn.close()
     except BaseException as exc:
@@ -831,6 +978,7 @@ class _ShardTask:
     max_ok_at_failure: int = -1
     last_beat: float = 0.0
     eligible_at: float = 0.0
+    dispatched_at: float = 0.0
     rows: list[dict] | None = None
     error_msg: str | None = None
     error_run: int | None = None
@@ -847,6 +995,8 @@ def _run_pool(
     isolation: IsolationConfig,
     policy: RetryPolicy,
     sink: _FailureSink,
+    tel: Telemetry,
+    reporter: Any,
 ) -> None:
     """Fan shards out over dedicated, individually supervised processes.
 
@@ -855,7 +1005,20 @@ def _run_pool(
     its heartbeat stalls, and re-dispatches the shard with backoff —
     one pathological run can never poison a neighbouring shard's
     executor.
+
+    Workers ship their telemetry over the same pipe as heartbeats
+    (``("metrics", delta)`` / ``("spans", batch)``): deltas merge into
+    the engine's registry as they arrive, so the live progress line and
+    the final export read one registry whether the campaign ran serial
+    or parallel.
     """
+    shard_done = tel.registry.gauge(
+        "repro_shard_runs_done", help="Runs completed so far, by shard."
+    )
+    shard_seconds = tel.registry.histogram(
+        "repro_shard_duration_seconds",
+        help="Wall time of one shard execution (successful attempt).",
+    )
     ctx = mp_context()
     if ctx.get_start_method() == "fork":
         # Warm the per-process supervisor cache so every forked worker
@@ -887,6 +1050,7 @@ def _run_pool(
                 fingerprint,
                 isolation,
                 dict(task.skip),
+                tel.shard_telemetry(),
                 conn_w,
             ),
             daemon=False,
@@ -900,6 +1064,7 @@ def _run_pool(
         task.error_msg = None
         task.error_run = None
         task.last_beat = now
+        task.dispatched_at = time.perf_counter()
         if not task.started:
             task.started = True
             heartbeat.emit("started", task.spec)
@@ -919,6 +1084,14 @@ def _run_pool(
             elif kind == "ok":
                 task.current_run = None
                 task.max_ok = max(task.max_ok, int(msg[1]))
+                shard_done.set(
+                    int(msg[1]) - task.spec.start + 1, shard=task.spec.index
+                )
+            elif kind == "metrics":
+                tel.registry.merge(msg[1])
+            elif kind == "spans":
+                for record in msg[1]:
+                    tel.trace_write(record)
             elif kind == "failure":
                 sink({"shard": task.spec.index, **msg[1]})
             elif kind == "done":
@@ -1006,9 +1179,20 @@ def _run_pool(
         heartbeat.emit("retried", task.spec, detail=detail)
         task.eligible_at = time.monotonic() + delay
 
+    def finish_shard(task: _ShardTask) -> None:
+        retire_worker(task)
+        assert task.rows is not None
+        executed[task.spec.index] = task.rows
+        heartbeat.record_done(task.spec.size, live=True)
+        heartbeat.emit("finished", task.spec)
+        shard_done.set(task.spec.size, shard=task.spec.index)
+        if tel.registry.enabled:
+            shard_seconds.observe(time.perf_counter() - task.dispatched_at)
+
     try:
         while queue or running:
             now = time.monotonic()
+            reporter.tick()
             while len(running) < workers:
                 ready = next((i for i in queue if tasks[i].eligible_at <= now), None)
                 if ready is None:
@@ -1020,22 +1204,16 @@ def _run_pool(
                 task = tasks[index]
                 drain(task, now)
                 if task.rows is not None:
-                    retire_worker(task)
-                    executed[index] = task.rows
+                    finish_shard(task)
                     running.discard(index)
-                    heartbeat.record_done(task.spec.size, live=True)
-                    heartbeat.emit("finished", task.spec)
                 elif task.proc is not None and not task.proc.is_alive():
                     task.proc.join(timeout=5.0)
                     # A final "error"/"done" message may still sit in the
                     # pipe: drain once more before judging the death.
                     drain(task, now)
                     if task.rows is not None:
-                        retire_worker(task)
-                        executed[index] = task.rows
+                        finish_shard(task)
                         running.discard(index)
-                        heartbeat.record_done(task.spec.size, live=True)
-                        heartbeat.emit("finished", task.spec)
                         continue
                     detail = describe_exitcode(task.proc.exitcode)
                     retire_worker(task)

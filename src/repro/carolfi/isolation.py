@@ -47,6 +47,7 @@ from repro.carolfi.supervisor import Supervisor
 from repro.faults.models import FaultModel
 from repro.faults.outcome import DueKind, InjectionRecord, Outcome
 from repro.faults.site import FaultSite
+from repro.telemetry import current_registry, deactivate
 from repro.util.rng import derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle: campaign imports us
@@ -273,6 +274,12 @@ def _kill(proc: "BaseProcess") -> None:
 
 def _worker_main(config: "CampaignConfig", conn: "Connection") -> None:
     """Sandbox worker: build a Supervisor, then serve run requests."""
+    # Under fork this grandchild inherits the shard worker's active
+    # telemetry scope, but its spans/metrics could never be merged back
+    # (records travel over the verdict pipe, telemetry over the shard
+    # pipe we don't hold) — reset to disabled rather than buffer them
+    # into a sink nobody drains.
+    deactivate()
     try:
         supervisor = supervisor_for(config)
     except BaseException as exc:  # noqa: BLE001 — reported, then re-raised
@@ -405,6 +412,10 @@ class InjectionSandbox:
                     break
                 if msg[0] == "ready":
                     self._proc, self._conn, self._meta = proc, parent_conn, msg[1]
+                    current_registry().counter(
+                        "repro_sandbox_spawns_total",
+                        help="Sandbox worker processes spawned, by benchmark.",
+                    ).inc(benchmark=self.config.benchmark)
                     self._emit("sandbox_spawn", pid=proc.pid)
                     return
                 if msg[0] == "startup_error":

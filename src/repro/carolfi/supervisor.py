@@ -26,6 +26,7 @@ from repro.carolfi.flipscript import FlipScript, SitePolicy
 from repro.faults.models import FaultModel
 from repro.faults.outcome import DueKind, InjectionRecord, Outcome
 from repro.faults.site import FaultSite
+from repro.telemetry import current_tracer
 from repro.util.rng import derive_rng
 
 __all__ = ["Supervisor"]
@@ -70,9 +71,10 @@ class Supervisor:
         # effects, and an inflated golden_runtime would stretch
         # ``watchdog_factor * golden_time`` enough to mask real hangs.
         benchmark.run(self._fresh_state())
-        start = time.perf_counter()
-        self.golden = self._quantize(benchmark.run(state))
-        self.golden_runtime = max(time.perf_counter() - start, 1e-4)
+        with current_tracer().span("golden_run", benchmark=benchmark.name):
+            start = time.perf_counter()
+            self.golden = self._quantize(benchmark.run(state))
+            self.golden_runtime = max(time.perf_counter() - start, 1e-4)
 
     def _quantize(self, output: np.ndarray) -> np.ndarray:
         """Round to the precision the benchmark's output file carries.
@@ -117,40 +119,49 @@ class Supervisor:
         due_kind: DueKind | None = None
         due_detail = ""
         sdc_metrics: dict[str, Any] = {}
+        tracer = current_tracer()
+        run_span = tracer.span("run", run=run_index, model=FaultModel(model).value)
 
-        try:
-            # Arm the cooperative deadline so guard loops inside a slow
-            # step (bounded_range, explicit deadline_checkpoint calls)
-            # can convert an in-step hang into a watchdog DUE.
-            arm_deadline(deadline)
-            for index in range(total):
-                if index == interrupt_step:
-                    site, bits = self.flip.inject(bench, state, index, model, rng)
-                bench.step(state, index)
-                if time.perf_counter() > deadline:
-                    raise BenchmarkHang("supervisor watchdog expired")
-            observed = self._quantize(bench.output(state))
-        except BenchmarkHang as exc:
-            outcome = Outcome.DUE
-            due_kind = DueKind.TIMEOUT
-            due_detail = str(exc)
-        except _CRASH_EXCEPTIONS as exc:
-            outcome = Outcome.DUE
-            due_kind = DueKind.CRASH
-            due_detail = f"{type(exc).__name__}: {exc}"
-        else:
-            mask = wrong_mask(self.golden, observed)
-            if mask.any():
-                outcome = Outcome.SDC
-                pattern = classify_mask(mask, bench.output_dims)
-                sdc_metrics = {
-                    "wrong_elements": int(mask.sum()),
-                    "wrong_fraction": float(mask.mean()),
-                    "max_rel_err": max_relative_error(self.golden, observed),
-                    "pattern": pattern.value,
-                }
-        finally:
-            arm_deadline(None)
+        with run_span:
+            try:
+                # Arm the cooperative deadline so guard loops inside a slow
+                # step (bounded_range, explicit deadline_checkpoint calls)
+                # can convert an in-step hang into a watchdog DUE.
+                arm_deadline(deadline)
+                with tracer.span("execute", interrupt_step=interrupt_step):
+                    for index in range(total):
+                        if index == interrupt_step:
+                            with tracer.span("corrupt", step=index):
+                                site, bits = self.flip.inject(
+                                    bench, state, index, model, rng
+                                )
+                        bench.step(state, index)
+                        if time.perf_counter() > deadline:
+                            raise BenchmarkHang("supervisor watchdog expired")
+                    observed = self._quantize(bench.output(state))
+            except BenchmarkHang as exc:
+                outcome = Outcome.DUE
+                due_kind = DueKind.TIMEOUT
+                due_detail = str(exc)
+            except _CRASH_EXCEPTIONS as exc:
+                outcome = Outcome.DUE
+                due_kind = DueKind.CRASH
+                due_detail = f"{type(exc).__name__}: {exc}"
+            else:
+                with tracer.span("compare"):
+                    mask = wrong_mask(self.golden, observed)
+                    if mask.any():
+                        outcome = Outcome.SDC
+                        pattern = classify_mask(mask, bench.output_dims)
+                        sdc_metrics = {
+                            "wrong_elements": int(mask.sum()),
+                            "wrong_fraction": float(mask.mean()),
+                            "max_rel_err": max_relative_error(self.golden, observed),
+                            "pattern": pattern.value,
+                        }
+            finally:
+                arm_deadline(None)
+                run_span.set_attr("outcome", outcome.value)
 
         if site is None:
             # The flip itself crashed before the site was recorded (it

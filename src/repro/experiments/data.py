@@ -23,6 +23,7 @@ from repro.benchmarks.registry import BEAM_BENCHMARKS, INJECTION_BENCHMARKS
 from repro.carolfi.campaign import CampaignConfig, CampaignResult, run_campaign
 from repro.carolfi.engine import ShardProgress
 from repro.carolfi.isolation import IsolationConfig
+from repro.telemetry import Telemetry
 
 __all__ = ["ExperimentData"]
 
@@ -42,7 +43,9 @@ class ExperimentData:
     every benchmark campaign its own resumable checkpoint directory
     under it.  ``isolation`` selects where individual injections run
     (an :class:`~repro.carolfi.isolation.IsolationConfig`; ``None``
-    keeps the fast in-process default).
+    keeps the fast in-process default).  ``telemetry`` (a
+    :class:`~repro.telemetry.Telemetry` bundle) is shared by every
+    injection campaign, so one exported registry covers the session.
     """
 
     seed: int = 2017
@@ -50,6 +53,7 @@ class ExperimentData:
     workers: int | None = 1
     checkpoint_root: str | Path | None = None
     isolation: IsolationConfig | None = None
+    telemetry: Telemetry | None = field(default=None, repr=False)
     progress: Callable[[ShardProgress], None] | None = field(default=None, repr=False)
     _beam: dict[str, BeamCampaignResult] = field(default_factory=dict, repr=False)
     _injection: dict[str, CampaignResult] = field(default_factory=dict, repr=False)
@@ -95,6 +99,7 @@ class ExperimentData:
                 checkpoint_dir=checkpoint_dir,
                 progress=self.progress,
                 isolation=self.isolation,
+                telemetry=self.telemetry,
             )
         return self._injection[benchmark]
 

@@ -16,6 +16,13 @@ campaigns run on the sharded parallel engine: ``--workers`` (or the
 ``REPRO_WORKERS`` environment variable) sets the process count, and
 ``--checkpoints DIR`` makes campaigns resumable — re-invoking with the
 same directory replays finished shards instead of re-running them.
+
+Observability (:mod:`repro.telemetry`): ``--metrics-out PATH`` exports
+campaign metrics on exit (Prometheus text, or a JSONL snapshot for a
+``.json``/``.jsonl`` suffix) and prints the metric summary table to
+stderr; ``--trace PATH`` records phase-timing spans as ``trace.jsonl``;
+``--progress-interval SECONDS`` prints a periodic one-line campaign
+status (runs/s, ETA, outcome mix, retries/quarantines, slowest shard).
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ from repro.experiments import (
     mitigation,
     propagation,
 )
+from repro.telemetry import Telemetry, TelemetryConfig, summary_table
 
 __all__ = ["EXPERIMENTS", "main", "run_experiments"]
 
@@ -82,6 +90,7 @@ def run_experiments(
     checkpoint_root: str | None = None,
     isolation: IsolationConfig | None = None,
     progress: Callable[[ShardProgress], None] | None = None,
+    telemetry: Telemetry | None = None,
 ) -> data_mod.ExperimentData:
     """Run the named experiments, printing each rendered artifact."""
     stream = stream or sys.stdout
@@ -94,6 +103,7 @@ def run_experiments(
         workers=workers,
         checkpoint_root=checkpoint_root,
         isolation=isolation,
+        telemetry=telemetry,
         progress=progress,
     )
     for name in names:
@@ -170,6 +180,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="print per-shard heartbeats (injections/sec, ETA) to stderr",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="export campaign metrics on exit: Prometheus text, or an "
+        "appended JSONL snapshot for a .json/.jsonl suffix; also prints "
+        "the metric summary table to stderr",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record phase-timing spans (campaign, shard, run, corrupt, "
+        "compare, checkpoint_write...) as JSONL trace events",
+    )
+    parser.add_argument(
+        "--progress-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="print a one-line campaign status (runs/s, ETA, outcome mix, "
+        "retries, slowest shard) to stderr at most this often",
+    )
     parser.add_argument("--list", action="store_true", help="list experiments and exit")
     args = parser.parse_args(argv)
     if args.list:
@@ -188,15 +221,36 @@ def main(argv: Sequence[str] | None = None) -> int:
             timeout_s=args.timeout,
             mem_limit_mb=args.mem_limit,
         )
-    run_experiments(
-        args.experiments,
-        seed=args.seed,
-        scale=scale,
-        workers=args.workers,
-        checkpoint_root=args.checkpoints,
-        isolation=isolation,
-        progress=_print_progress if args.progress else None,
-    )
+    telemetry = None
+    if (
+        args.metrics_out is not None
+        or args.trace is not None
+        or args.progress_interval is not None
+    ):
+        telemetry = Telemetry(
+            TelemetryConfig(
+                metrics_path=args.metrics_out,
+                trace_path=args.trace,
+                progress_interval_s=args.progress_interval,
+            )
+        )
+    try:
+        run_experiments(
+            args.experiments,
+            seed=args.seed,
+            scale=scale,
+            workers=args.workers,
+            checkpoint_root=args.checkpoints,
+            isolation=isolation,
+            progress=_print_progress if args.progress else None,
+            telemetry=telemetry,
+        )
+    finally:
+        if telemetry is not None:
+            exported = telemetry.finalize()
+            print(summary_table(telemetry.registry), file=sys.stderr)
+            if exported is not None:
+                print(f"metrics written to {exported}", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,25 @@
+"""Wall/monotonic timestamp pairs for telemetry events.
+
+Campaign artifacts are written across process boundaries and survive
+NTP slews, suspend/resume and manual clock changes, so a single
+``time.time()`` stamp is not enough to order events reliably.  Every
+telemetry event therefore carries *both* clocks:
+
+* ``t_wall`` — ``time.time()``: human-readable, comparable across
+  machines, but not monotonic;
+* ``t_mono`` — ``time.monotonic()``: strictly ordered within one boot,
+  immune to clock adjustments, but meaningless across hosts.
+
+Readers order events by ``t_mono`` (same host) and display ``t_wall``.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["stamp"]
+
+
+def stamp() -> dict[str, float]:
+    """A fresh ``{"t_wall": ..., "t_mono": ...}`` pair for one event."""
+    return {"t_wall": time.time(), "t_mono": time.monotonic()}

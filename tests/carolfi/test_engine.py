@@ -1,5 +1,6 @@
 """Sharded parallel campaign engine: determinism, resume, corruption."""
 
+import io
 import json
 import os
 import signal
@@ -24,7 +25,10 @@ from repro.carolfi.engine import (
     run_sharded_campaign,
     shard_path,
 )
+from repro.carolfi.isolation import IsolationConfig, IsolationMode
 from repro.faults.outcome import DueKind, Outcome
+from repro.telemetry import Telemetry, TelemetryConfig
+from repro.util.jsonlog import load_records_tolerant
 
 #: Small, fast campaign: nw with 4 steps, 24 injections over 4 shards.
 CONFIG = CampaignConfig(
@@ -438,3 +442,128 @@ def test_progress_heartbeat_fields():
     assert all(e.shard_count == 4 for e in events)
     done = [e.done_runs for e in finished]
     assert done == sorted(done)
+
+
+# -- telemetry (observability subsystem) --------------------------------------
+
+
+def collected(workers, **kwargs):
+    tel = Telemetry(TelemetryConfig())
+    result = run_campaign(
+        CONFIG, workers=workers, shard_size=SHARD_SIZE, telemetry=tel, **kwargs
+    )
+    return result, tel
+
+
+def test_heartbeat_done_counts_monotonic_with_telemetry():
+    events = []
+    _, tel = collected(workers=2, progress=events.append)
+    done = [e.done_runs for e in events]
+    assert done == sorted(done), "heartbeat done_runs must never move backwards"
+    assert done[-1] == CONFIG.injections
+    assert tel.registry.gauge("repro_shard_runs_done").value(shard=0) == SHARD_SIZE
+
+
+def test_final_heartbeat_totals_equal_merged_metric_totals():
+    events = []
+    result, tel = collected(workers=3, progress=events.append)
+    finished = [e for e in events if e.event == "finished"]
+    counters = tel.registry.counter_values()
+    runs_total = sum(counters["repro_runs_total"].values())
+    records_total = sum(counters["repro_records_total"].values())
+    assert finished[-1].done_runs == runs_total == records_total == CONFIG.injections
+    assert records_total == len(result.records)
+    # Outcome mix in the registry matches the records themselves.
+    for outcome in Outcome.all():
+        assert counters["repro_records_total"].get(
+            f"outcome={outcome.value}", 0.0
+        ) == sum(1 for r in result.records if r.outcome is outcome)
+
+
+def test_parallel_telemetry_counters_match_serial_twin(serial_result):
+    serial, tel_serial = collected(workers=1)
+    parallel, tel_parallel = collected(
+        workers=3,
+        isolation=IsolationConfig(mode=IsolationMode.SUBPROCESS),
+    )
+    assert dicts(serial) == dicts(serial_result)
+    assert dicts(parallel) == dicts(serial_result)
+    serial_counters = tel_serial.registry.counter_values()
+    parallel_counters = tel_parallel.registry.counter_values()
+    # Sandbox spawn counts depend on worker topology (one sandbox per
+    # shard worker, not per run): drop them before comparing.
+    for counters in (serial_counters, parallel_counters):
+        counters.pop("repro_sandbox_spawns_total", None)
+        counters.get("repro_failure_events_total", {}).pop("event=sandbox_spawn", None)
+    assert parallel_counters == serial_counters
+
+
+def test_disabled_telemetry_leaves_records_bit_identical(serial_result):
+    enabled, tel = collected(workers=2)
+    disabled = run_campaign(
+        CONFIG, workers=2, shard_size=SHARD_SIZE, telemetry=Telemetry(enabled=False)
+    )
+    assert dicts(enabled) == dicts(serial_result)
+    assert dicts(disabled) == dicts(serial_result)
+    assert sum(tel.registry.counter_values()["repro_runs_total"].values()) > 0
+
+
+def test_trace_jsonl_parses_and_shares_one_trace(tmp_path):
+    tel = Telemetry(TelemetryConfig(trace_path=tmp_path / "trace.jsonl"))
+    run_campaign(CONFIG, workers=2, shard_size=SHARD_SIZE, telemetry=tel)
+    tel.finalize()
+    records, skipped = load_records_tolerant(tmp_path / "trace.jsonl")
+    assert skipped == 0 and records
+    assert all(r["kind"] == "span" for r in records)
+    assert len({r["trace"] for r in records}) == 1, "one campaign, one trace"
+    names = {r["name"] for r in records}
+    assert {"campaign", "shard", "run", "execute", "corrupt"} <= names
+    by_id = {r["span"]: r for r in records}
+    roots = [r for r in records if r["parent"] is None]
+    assert [r["name"] for r in roots] == ["campaign"]
+    # Worker-side spans chain back to the engine's campaign span.
+    for record in records:
+        if record["parent"] is not None:
+            assert record["parent"] in by_id
+    (campaign,) = roots
+    assert campaign["attrs"]["records"] == CONFIG.injections
+
+
+def test_run_replays_also_counted(tmp_path):
+    ckpt = tmp_path / "ckpt"
+    run_campaign(CONFIG, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE)
+    tel = Telemetry(TelemetryConfig())
+    resumed = run_campaign(
+        CONFIG, workers=1, checkpoint_dir=ckpt, shard_size=SHARD_SIZE, telemetry=tel
+    )
+    counters = tel.registry.counter_values()
+    assert counters["repro_runs_replayed_total"][""] == CONFIG.injections
+    assert "repro_runs_total" not in counters or not counters["repro_runs_total"]
+    assert sum(counters["repro_records_total"].values()) == len(resumed.records)
+
+
+def test_progress_reporter_emits_status_lines():
+    stream = io.StringIO()
+    tel = Telemetry(
+        TelemetryConfig(progress_interval_s=0.001, progress_stream=stream)
+    )
+    run_campaign(CONFIG, workers=2, shard_size=SHARD_SIZE, telemetry=tel)
+    lines = stream.getvalue().splitlines()
+    assert lines, "an interval this short must emit at least one line"
+    assert lines[-1].startswith(f"[nw] {CONFIG.injections}/{CONFIG.injections} runs")
+    assert "masked" in lines[-1] and "eta" in lines[-1]
+
+
+def test_failure_events_counted_by_kind(tmp_path):
+    tel = Telemetry(TelemetryConfig())
+    run_campaign(
+        _chaos("oserror"),
+        workers=1,
+        shard_size=4,
+        retry=FAST_RETRY,
+        failure_log=tmp_path / "failures.jsonl",
+        telemetry=tel,
+    )
+    events = tel.registry.counter_values()["repro_failure_events_total"]
+    assert events.get("event=retry", 0.0) > 0
+    assert events.get("event=quarantine", 0.0) > 0

@@ -1,0 +1,98 @@
+"""Progress reporter: rendering, rate limiting, noop behaviour."""
+
+import io
+
+import pytest
+
+from repro.telemetry import Telemetry, TelemetryConfig
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.progress import NOOP_REPORTER, ProgressReporter
+
+
+def populate_campaign(reg: MetricsRegistry) -> None:
+    runs = reg.counter("repro_runs_total")
+    for _ in range(6):
+        runs.inc(outcome="masked")
+    runs.inc(outcome="sdc")
+    runs.inc(outcome="due")
+    reg.counter("repro_failure_events_total").inc(event="retry")
+    planned = reg.gauge("repro_shard_runs_planned")
+    done = reg.gauge("repro_shard_runs_done")
+    for shard, (p, d) in enumerate([(8, 8), (8, 2), (8, 5)]):
+        planned.set(p, shard=shard)
+        done.set(d, shard=shard)
+
+
+def campaign_reporter(**kwargs) -> ProgressReporter:
+    reg = MetricsRegistry()
+    reporter = ProgressReporter(reg, total_runs=24, **kwargs)
+    populate_campaign(reg)
+    return reporter
+
+
+def test_render_line_contents():
+    line = campaign_reporter(label="nw").render()
+    assert line.startswith("[nw] 8/24 runs 33.3%")
+    assert "masked 6 sdc 1 due 1" in line
+    assert "retries 1 quarantined 0 reaped 0" in line
+    # Shard 1 is the least-finished in-flight shard (2/8 < 5/8; 8/8 done).
+    assert "slowest shard 1 (2/8)" in line
+    assert "eta" in line
+
+
+def test_render_includes_replays():
+    reg = MetricsRegistry()
+    reporter = ProgressReporter(reg, total_runs=24)
+    reg.counter("repro_runs_replayed_total").inc(12)
+    line = reporter.render()
+    assert "12/24 runs 50.0%" in line
+    assert "replayed 12" in line
+
+
+def test_reporter_baselines_preexisting_counts():
+    """A registry shared across campaigns: earlier totals don't count."""
+    reg = MetricsRegistry()
+    populate_campaign(reg)  # a previous campaign's worth of counts
+    reg.counter("repro_runs_replayed_total").inc(12)
+    reporter = ProgressReporter(reg, total_runs=24, label="second")
+    line = reporter.render()
+    assert line.startswith("[second] 0/24 runs 0.0%")
+    assert "masked 0 sdc 0 due 0" in line
+    assert "retries 0" in line and "replayed" not in line
+    reg.counter("repro_runs_total").inc(outcome="masked")
+    assert "masked 1" in reporter.render()
+
+
+def test_tick_is_rate_limited():
+    stream = io.StringIO()
+    reporter = campaign_reporter(interval_s=3600.0, stream=stream)
+    assert reporter.tick() is None  # inside the interval: suppressed
+    line = reporter.tick(force=True)
+    assert line is not None
+    assert stream.getvalue() == line + "\n"
+    assert reporter.tick() is None
+
+
+def test_validation():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        ProgressReporter(reg, total_runs=0)
+    with pytest.raises(ValueError):
+        ProgressReporter(reg, total_runs=10, interval_s=0.0)
+
+
+def test_noop_reporter():
+    assert NOOP_REPORTER.tick() is None
+    assert NOOP_REPORTER.tick(force=True) is None
+    assert NOOP_REPORTER.render() == ""
+
+
+def test_telemetry_reporter_selection():
+    assert Telemetry(TelemetryConfig()).progress_reporter(10) is NOOP_REPORTER
+    enabled = Telemetry(TelemetryConfig(progress_interval_s=5.0))
+    reporter = enabled.progress_reporter(10, label="dgemm")
+    assert isinstance(reporter, ProgressReporter)
+    assert reporter.label == "dgemm"
+    assert reporter.interval_s == 5.0
+    disabled = Telemetry(TelemetryConfig(progress_interval_s=5.0), enabled=False)
+    assert disabled.progress_reporter(10) is NOOP_REPORTER

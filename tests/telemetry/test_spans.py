@@ -1,0 +1,118 @@
+"""Spans: nesting, error capture, cross-process context propagation."""
+
+import os
+
+import pytest
+
+from repro.telemetry import ShardTelemetry, WorkerTelemetry
+from repro.telemetry.spans import NOOP_TRACER, SpanContext, Tracer
+
+
+def test_span_records_timing_and_attrs():
+    out = []
+    tracer = Tracer(out.append, trace_id="t1")
+    with tracer.span("golden_run", benchmark="nw") as span:
+        span.set_attr("steps", 4)
+    (record,) = out
+    assert record["kind"] == "span"
+    assert record["trace"] == "t1"
+    assert record["name"] == "golden_run"
+    assert record["parent"] is None
+    assert record["pid"] == os.getpid()
+    assert record["dur_s"] >= 0.0
+    assert record["t_wall"] > 0 and record["t_mono"] > 0
+    assert record["attrs"] == {"benchmark": "nw", "steps": 4}
+    assert "error" not in record
+
+
+def test_spans_nest_and_emit_inner_first():
+    out = []
+    tracer = Tracer(out.append)
+    with tracer.span("campaign") as outer:
+        with tracer.span("shard") as inner:
+            assert inner.parent_id == outer.span_id
+    assert [r["name"] for r in out] == ["shard", "campaign"]
+    shard, campaign = out
+    assert shard["parent"] == campaign["span"]
+    assert shard["trace"] == campaign["trace"]
+
+
+def test_span_ids_unique_without_randomness():
+    tracer = Tracer(lambda r: None)
+    ids = set()
+    for _ in range(50):
+        with tracer.span("x") as span:
+            ids.add(span.span_id)
+    assert len(ids) == 50
+    assert all(i.startswith(f"{os.getpid():x}.") for i in ids)
+
+
+def test_exception_marks_span_and_propagates():
+    out = []
+    tracer = Tracer(out.append)
+    with pytest.raises(ValueError):
+        with tracer.span("corrupt"):
+            raise ValueError("boom")
+    assert out[0]["error"] == "ValueError"
+
+
+def test_exception_unwinds_leaked_inner_spans():
+    out = []
+    tracer = Tracer(out.append)
+    with pytest.raises(RuntimeError):
+        with tracer.span("outer"):
+            tracer.span("leaked")  # never exited explicitly
+            raise RuntimeError
+    # The outer exit popped the leaked inner span; the stack is clean.
+    assert tracer.current_context() is None
+    assert [r["name"] for r in out] == ["outer"]
+
+
+def test_cross_process_context_continues_the_trace():
+    parent_out = []
+    parent = Tracer(parent_out.append, trace_id="campaign-1")
+    with parent.span("campaign") as campaign_span:
+        ctx = parent.current_context()
+        assert ctx == SpanContext("campaign-1", campaign_span.span_id)
+        # "worker side": a fresh tracer rebuilt from the pickled context.
+        child_out = []
+        child = Tracer(child_out.append, parent=ctx)
+        with child.span("shard"):
+            pass
+    assert child_out[0]["trace"] == "campaign-1"
+    assert child_out[0]["parent"] == campaign_span.span_id
+
+
+def test_current_context_outside_spans():
+    assert Tracer(lambda r: None).current_context() is None
+    rooted = Tracer(lambda r: None, parent=SpanContext("t", "s"))
+    assert rooted.current_context() == SpanContext("t", "s")
+
+
+def test_noop_tracer_costs_nothing_and_yields_nothing():
+    assert not NOOP_TRACER.enabled
+    with NOOP_TRACER.span("anything", attr=1) as span:
+        span.set_attr("k", "v")
+    assert NOOP_TRACER.current_context() is None
+
+
+def test_worker_telemetry_drain_keeps_sink_attached():
+    """Regression: draining must not detach the tracer from its buffer."""
+    wtel = WorkerTelemetry(ShardTelemetry(metrics=True, trace=True))
+    with wtel.tracer.span("run"):
+        pass
+    _, first = wtel.drain()
+    assert [r["name"] for r in first] == ["run"]
+    with wtel.tracer.span("run"):
+        pass
+    _, second = wtel.drain()
+    assert [r["name"] for r in second] == ["run"]
+
+
+def test_worker_telemetry_disabled_sides():
+    wtel = WorkerTelemetry(ShardTelemetry())
+    assert not wtel.registry.enabled
+    assert wtel.tracer is NOOP_TRACER
+    assert wtel.drain() == ({}, [])
+    assert not ShardTelemetry().enabled
+    assert ShardTelemetry(metrics=True).enabled
