@@ -1,0 +1,92 @@
+"""Injection fast path — runs/sec with the prefix snapshot cache on vs off.
+
+Times ``Supervisor.run_one`` directly (construction, and hence the
+golden run and snapshot-capture pass, stays outside the timed region)
+for every registered injection benchmark at its default parameters.
+The per-benchmark rates and the aggregate speedup land in
+``benchmarks/out/BENCH_injection_throughput.json`` via
+``register_artifact_json`` so CI can chart the fast path's win across
+commits; ``benchmark.extra_info`` mirrors them into the pytest-benchmark
+export.
+
+The aggregate gate is deliberately below the ~1.5-2x measured locally:
+the bench must flag a regression that disables the cache without
+flaking on a loaded CI runner.
+"""
+
+import time
+
+from repro.benchmarks.registry import INJECTION_BENCHMARKS, create
+from repro.carolfi.supervisor import Supervisor
+from repro.faults.models import FaultModel
+
+from _artifacts import register_artifact, register_artifact_json
+
+#: Injections timed per (benchmark, mode).  Heavy kernels (clamr) run
+#: ~10ms/injection on the slow path, so the sweep stays under a minute.
+RUNS_PER_MODE = 40
+
+SEED = 2017
+
+#: The bench fails if disabling the cache costs less than this overall:
+#: a silent fall-back to full replays is a performance regression.
+MIN_AGGREGATE_SPEEDUP = 1.2
+
+
+def _rate(supervisor: Supervisor) -> float:
+    models = FaultModel.all()
+    start = time.perf_counter()
+    for run in range(RUNS_PER_MODE):
+        supervisor.run_one(run, models[run % len(models)])
+    return RUNS_PER_MODE / (time.perf_counter() - start)
+
+
+def test_injection_throughput(benchmark):
+    per_bench: dict[str, dict[str, float]] = {}
+    for name in INJECTION_BENCHMARKS:
+        fast = Supervisor(create(name), seed=SEED, snapshots=True)
+        slow = Supervisor(create(name), seed=SEED, snapshots=False)
+        rate_fast = _rate(fast)
+        rate_slow = _rate(slow)
+        per_bench[name] = {
+            "runs_per_sec_cache_on": rate_fast,
+            "runs_per_sec_cache_off": rate_slow,
+            "speedup": rate_fast / rate_slow,
+            "snapshots": float(len(fast.prefix)),
+            "total_steps": float(fast.total_steps),
+        }
+
+    total_fast = sum(1.0 / row["runs_per_sec_cache_on"] for row in per_bench.values())
+    total_slow = sum(1.0 / row["runs_per_sec_cache_off"] for row in per_bench.values())
+    aggregate = total_slow / total_fast
+
+    lines = ["benchmark  cache on/s  cache off/s  speedup  snapshots"]
+    for name, row in sorted(per_bench.items()):
+        lines.append(
+            f"{name:>9}  {row['runs_per_sec_cache_on']:>10.1f}  "
+            f"{row['runs_per_sec_cache_off']:>11.1f}  "
+            f"{row['speedup']:>6.2f}x  {int(row['snapshots']):>9}"
+        )
+    lines.append(f"aggregate wall-clock speedup: {aggregate:.2f}x")
+    register_artifact("injection_throughput", "\n".join(lines))
+    register_artifact_json(
+        "injection_throughput",
+        {
+            "runs_per_mode": RUNS_PER_MODE,
+            "seed": SEED,
+            "per_benchmark": per_bench,
+            "aggregate_speedup": aggregate,
+        },
+    )
+    for name, row in per_bench.items():
+        benchmark.extra_info[f"speedup_{name}"] = row["speedup"]
+    benchmark.extra_info["aggregate_speedup"] = aggregate
+
+    assert aggregate >= MIN_AGGREGATE_SPEEDUP, (
+        f"prefix cache speedup {aggregate:.2f}x below the "
+        f"{MIN_AGGREGATE_SPEEDUP}x floor — fast path regressed"
+    )
+
+    # Time one cache-on injection sweep as the tracked number.
+    supervisor = Supervisor(create("dgemm"), seed=SEED, snapshots=True)
+    benchmark.pedantic(lambda: _rate(supervisor), rounds=3, iterations=1)

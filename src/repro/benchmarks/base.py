@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import abc
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass
 from typing import Any
 
 import numpy as np
@@ -45,7 +45,9 @@ __all__ = [
     "arm_deadline",
     "bounded_range",
     "checked_index",
+    "clone_state",
     "deadline_checkpoint",
+    "state_nbytes",
     "window_of_step",
 ]
 
@@ -106,6 +108,61 @@ def window_of_step(step: int, total_steps: int, num_windows: int) -> int:
     return min(num_windows - 1, step * num_windows // total_steps)
 
 
+def clone_state(obj: Any) -> Any:
+    """Bit-exact deep copy of a benchmark state tree.
+
+    The snapshot/restore protocol (:meth:`Benchmark.snapshot` /
+    :meth:`Benchmark.restore`) rests on this being *exact*: the fault
+    models flip bits of existing values, so a restored prefix must be
+    indistinguishable — down to the last mantissa bit — from one that
+    was recomputed from step 0.  NumPy arrays are copied, immutable
+    scalars shared, containers and state dataclasses rebuilt
+    recursively, and any object exposing a ``clone()`` method (e.g.
+    :class:`PointerTable`, CLAMR's ``AmrMesh``) delegates to it.  An
+    unrecognised type is a hard error: silently sharing mutable state
+    between runs would corrupt every later injection.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if obj is None or isinstance(obj, (bool, int, float, complex, str, bytes)):
+        return obj
+    clone = getattr(obj, "clone", None)
+    if callable(clone):
+        return clone()
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return type(obj)(**{f.name: clone_state(getattr(obj, f.name)) for f in fields(obj)})
+    if isinstance(obj, dict):
+        return {key: clone_state(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return type(obj)(clone_state(value) for value in obj)
+    raise TypeError(
+        f"cannot snapshot state component of type {type(obj).__name__}; "
+        "give it a clone() method or use arrays/dataclasses/containers"
+    )
+
+
+def state_nbytes(obj: Any) -> int:
+    """Approximate heap footprint of a state tree (array bytes only).
+
+    Used by the prefix-snapshot store to enforce its byte budget; the
+    traversal mirrors :func:`clone_state`, falling back to an object's
+    ``__dict__`` where no cheaper structure is known.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if obj is None or isinstance(obj, (bool, int, float, complex, str, bytes)):
+        return 0
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return sum(state_nbytes(getattr(obj, f.name)) for f in fields(obj))
+    if isinstance(obj, dict):
+        return sum(state_nbytes(value) for value in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return sum(state_nbytes(value) for value in obj)
+    if hasattr(obj, "__dict__"):
+        return sum(state_nbytes(value) for value in vars(obj).values())
+    return 0
+
+
 class BenchmarkError(RuntimeError):
     """Base class for in-benchmark failures (classified as DUE-crash)."""
 
@@ -157,6 +214,21 @@ class PointerTable:
             cursor += span + (-span) % self._PAGE
         self.addresses = np.array(addresses, dtype=np.int64)
         self._orig = self.addresses.copy()
+
+    def clone(self) -> "PointerTable":
+        """Independent copy (same fake addresses, separate backing stores).
+
+        ``__init__`` re-derives addresses from sizes, which would be
+        correct here but wasteful; more importantly a clone must also
+        preserve *corrupted* ``addresses`` values bit-for-bit, which
+        re-derivation would silently repair.
+        """
+        dup = object.__new__(PointerTable)
+        dup.names = list(self.names)
+        dup._sizes = dict(self._sizes)
+        dup.addresses = self.addresses.copy()
+        dup._orig = self._orig.copy()
+        return dup
 
     def resolve(self, name: str, arr: np.ndarray) -> np.ndarray:
         """Dereference ``name``'s pointer against its backing array."""
@@ -314,6 +386,26 @@ class Benchmark(abc.ABC):
         for index in range(self.num_steps(state)):
             self.step(state, index)
         return self.output(state)
+
+    def snapshot(self, state: Any) -> Any:
+        """Frozen, bit-exact copy of ``state`` for later :meth:`restore`.
+
+        The default deep-copies via :func:`clone_state`, which covers
+        every benchmark in the suite (states are dataclasses of NumPy
+        arrays plus ``clone()``-able helpers).  A benchmark whose state
+        holds resources that cannot be cloned generically overrides
+        this pair.
+        """
+        return clone_state(state)
+
+    def restore(self, snapshot: Any) -> Any:
+        """Fresh mutable state from a :meth:`snapshot`.
+
+        Returns a *new* deep copy every call — the snapshot itself stays
+        pristine, so one captured prefix can seed any number of injected
+        executions.
+        """
+        return clone_state(snapshot)
 
     def golden(self, rng: np.random.Generator) -> np.ndarray:
         """Fault-free reference output for the inputs drawn from ``rng``."""

@@ -42,6 +42,22 @@ class AmrMesh:
         self.ncells = np.array(0, dtype=np.int64)
         self.next_parent = np.array(0, dtype=np.int64)
 
+    def clone(self) -> "AmrMesh":
+        """Bit-exact copy for the snapshot/restore protocol.
+
+        Bypasses ``__init__`` deliberately: construction validates and
+        zero-fills, while a clone must reproduce the live (possibly
+        corrupted) arrays and counters exactly as they are.
+        """
+        dup = object.__new__(AmrMesh)
+        dup.base = self.base
+        dup.max_level = self.max_level
+        dup.capacity = self.capacity
+        for name in ("x", "y", "lev", "h", "hu", "hv", "parent", "slot",
+                     "ncells", "next_parent"):
+            setattr(dup, name, getattr(self, name).copy())
+        return dup
+
     # -- construction --------------------------------------------------------
 
     def init_dam_break(self, h_inside: float = 10.0, h_outside: float = 2.0,

@@ -32,12 +32,14 @@ from repro.carolfi.engine import (
     run_sharded_campaign,
 )
 from repro.carolfi.flipscript import FlipScript, SitePolicy
+from repro.carolfi.goldencache import GoldenCache, GoldenEntry, golden_cache_key
 from repro.carolfi.isolation import (
     InjectionSandbox,
     IsolationConfig,
     IsolationMode,
     SandboxError,
 )
+from repro.carolfi.prefixcache import PrefixStore, Snapshot, snapshot_interval
 from repro.carolfi.supervisor import Supervisor
 
 __all__ = [
@@ -45,22 +47,28 @@ __all__ = [
     "CampaignResult",
     "CheckpointError",
     "FlipScript",
+    "GoldenCache",
+    "GoldenEntry",
     "InjectionSandbox",
     "IsolationConfig",
     "IsolationMode",
+    "PrefixStore",
     "RetryPolicy",
     "SandboxError",
     "ShardFailure",
     "ShardProgress",
     "ShardRunError",
     "ShardSpec",
+    "Snapshot",
     "backoff_delay",
+    "golden_cache_key",
     "load_config",
     "plan_shards",
     "read_failure_log",
     "run_from_config",
     "run_sharded_campaign",
     "SitePolicy",
+    "snapshot_interval",
     "Supervisor",
     "run_campaign",
 ]

@@ -34,6 +34,12 @@ class CampaignConfig:
     policy: SitePolicy = SitePolicy.WEIGHTED
     watchdog_factor: float = 10.0
     benchmark_params: dict[str, Any] = field(default_factory=dict)
+    snapshots: bool = True
+    """Enable the execution-prefix snapshot fast path (see
+    :mod:`repro.carolfi.prefixcache`).  Pure execution strategy: records
+    are bit-identical either way, so the flag is excluded from the
+    checkpoint fingerprint — a campaign checkpointed with snapshots on
+    may resume with them off, and vice versa."""
 
     def __post_init__(self) -> None:
         if self.injections < 1:
@@ -93,6 +99,7 @@ def run_campaign(
     retry: Any | None = None,
     failure_log: str | Path | None = None,
     telemetry: Any | None = None,
+    golden_cache: str | Path | None = None,
 ) -> CampaignResult:
     """Run a full injection campaign.
 
@@ -116,6 +123,10 @@ def run_campaign(
     registry and trace as the campaign runs.  The default (``workers=1``,
     no checkpointing, inproc isolation) keeps the plain in-process
     serial path below.
+
+    ``golden_cache`` points at an on-disk golden-run cache directory
+    (:mod:`repro.carolfi.goldencache`); it is an execution accelerator
+    usable on both paths and never changes records.
     """
     engine_requested = (
         workers != 1
@@ -141,6 +152,7 @@ def run_campaign(
             retry=retry,
             failure_log=failure_log,
             telemetry=telemetry,
+            golden_cache=golden_cache,
         )
     benchmark = create(config.benchmark, **config.benchmark_params)
     supervisor = Supervisor(
@@ -148,6 +160,8 @@ def run_campaign(
         seed=config.seed,
         policy=config.policy,
         watchdog_factor=config.watchdog_factor,
+        snapshots=config.snapshots,
+        golden_cache=golden_cache,
     )
     log = JsonlLog(log_path) if log_path is not None else None
     records: list[InjectionRecord] = []

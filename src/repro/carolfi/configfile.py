@@ -29,6 +29,7 @@ import argparse
 import configparser
 import sys
 from collections.abc import Sequence
+from dataclasses import replace
 from pathlib import Path
 
 from repro.analysis.pvf import outcome_shares
@@ -87,6 +88,7 @@ def load_config(path: str | Path) -> tuple[CampaignConfig, Path | None]:
         policy=SitePolicy(section.get("policy", "weighted").strip().lower()),
         watchdog_factor=section.getfloat("watchdog_factor", 10.0),
         benchmark_params=params,
+        snapshots=section.getboolean("snapshots", True),
     )
     log_value = section.get("log", "").strip()
     return config, (Path(log_value) if log_value else None)
@@ -104,15 +106,10 @@ def run_from_config(
     if repetitions is not None:
         if repetitions < 1:
             raise ValueError("repetitions must be positive")
-        config = CampaignConfig(
-            benchmark=config.benchmark,
-            injections=repetitions,
-            seed=config.seed,
-            fault_models=config.fault_models,
-            policy=config.policy,
-            watchdog_factor=config.watchdog_factor,
-            benchmark_params=config.benchmark_params,
-        )
+        # dataclasses.replace keeps every other field — including ones
+        # added after this code was written — instead of a hand-copied
+        # constructor call silently resetting them to defaults.
+        config = replace(config, injections=repetitions)
     return run_campaign(config, log_path=log_path)
 
 

@@ -265,10 +265,12 @@ def campaign_fingerprint(config: CampaignConfig, shard_size: int | None = None) 
 
     Stored in every checkpoint header; a resume with a different
     benchmark, seed, size, fault-model set, policy or shard plan is
-    detected before any stale record is trusted.  Isolation mode and
-    retry policy are deliberately *excluded*: they change how runs are
-    executed and supervised, never what their records contain, so a
-    campaign checkpointed in one mode may resume in another.
+    detected before any stale record is trusted.  Isolation mode, retry
+    policy and the ``snapshots`` fast-path flag are deliberately
+    *excluded*: they change how runs are executed and supervised, never
+    what their records contain, so a campaign checkpointed in one mode
+    may resume in another (the payload lists fields explicitly for
+    exactly this reason).
     """
     payload = {
         "version": CHECKPOINT_VERSION,
@@ -359,11 +361,15 @@ class _FailureSink:
 _SANDBOXES: dict[str, InjectionSandbox] = {}
 
 
-def _sandbox_for(config: CampaignConfig, isolation: IsolationConfig) -> InjectionSandbox:
+def _sandbox_for(
+    config: CampaignConfig,
+    isolation: IsolationConfig,
+    golden_cache: str | None = None,
+) -> InjectionSandbox:
     key = supervisor_key(config) + "|" + json.dumps(isolation.to_dict(), sort_keys=True)
     sandbox = _SANDBOXES.get(key)
     if sandbox is None:
-        sandbox = InjectionSandbox(config, isolation)
+        sandbox = InjectionSandbox(config, isolation, golden_cache=golden_cache)
         _SANDBOXES[key] = sandbox
     return sandbox
 
@@ -378,6 +384,7 @@ def _execute_shard(
     on_run: Callable[[int], None] | None = None,
     on_run_done: Callable[[int], None] | None = None,
     on_failure: Callable[[dict], None] | None = None,
+    golden_cache: str | None = None,
 ) -> tuple[int, list[dict]]:
     """Run one shard, checkpointing each record; returns record dicts.
 
@@ -408,12 +415,12 @@ def _execute_shard(
     )
     run_fn: Callable[[int, Any], InjectionRecord]
     if iso.mode is IsolationMode.SUBPROCESS:
-        sandbox = _sandbox_for(config, iso)
+        sandbox = _sandbox_for(config, iso, golden_cache)
         sandbox.on_event = on_failure
         run_fn = sandbox.run_one
         total_steps, num_windows = sandbox.total_steps, sandbox.num_windows
     else:
-        supervisor = supervisor_for(config)
+        supervisor = supervisor_for(config, golden_cache=golden_cache)
         run_fn = supervisor.run_one
         total_steps = supervisor.total_steps
         num_windows = supervisor.benchmark.num_windows
@@ -608,6 +615,7 @@ def run_sharded_campaign(
     retry: RetryPolicy | None = None,
     failure_log: str | Path | None = None,
     telemetry: Telemetry | None = None,
+    golden_cache: str | Path | None = None,
 ) -> CampaignResult:
     """Run a campaign sharded, optionally in parallel and resumable.
 
@@ -631,6 +639,11 @@ def run_sharded_campaign(
     totals are identical for every worker count; the default
     (:data:`repro.telemetry.DISABLED`) makes every instrument a shared
     no-op and never perturbs records.
+
+    ``golden_cache`` names an on-disk golden-run cache directory
+    (:mod:`repro.carolfi.goldencache`); with a ``checkpoint_dir`` it
+    defaults to ``<checkpoint_dir>/golden-cache``, so resumed campaigns
+    and spawn-started workers skip the golden re-run.
     """
     workers = resolve_workers(workers)
     iso = isolation or IsolationConfig()
@@ -644,6 +657,9 @@ def run_sharded_campaign(
         _validate_checkpoint_dir(ckpt_dir, fingerprint)
     if failure_log is None and ckpt_dir is not None:
         failure_log = ckpt_dir / FAILURE_LOG_NAME
+    if golden_cache is None and ckpt_dir is not None:
+        golden_cache = ckpt_dir / "golden-cache"
+    cache_dir = str(golden_cache) if golden_cache is not None else None
     sink = _FailureSink(failure_log, tel)
     reporter = tel.progress_reporter(config.injections, label=config.benchmark)
     replayed_runs = tel.registry.counter(
@@ -709,6 +725,7 @@ def run_sharded_campaign(
                         sink,
                         tel,
                         reporter,
+                        cache_dir,
                     )
                 else:
                     _run_pool(
@@ -724,6 +741,7 @@ def run_sharded_campaign(
                         sink,
                         tel,
                         reporter,
+                        cache_dir,
                     )
 
             records_out: list[InjectionRecord] = []
@@ -776,6 +794,7 @@ def _run_serial(
     sink: _FailureSink,
     tel: Telemetry,
     reporter: Any,
+    golden_cache: str | None = None,
 ) -> None:
     """Serial execution with backoff retries and poison-run quarantine.
 
@@ -814,6 +833,7 @@ def _run_serial(
                     skip_runs=skip,
                     on_run_done=run_done,
                     on_failure=shard_sink,
+                    golden_cache=golden_cache,
                 )
                 break
             except Exception as exc:  # noqa: BLE001 — classified below
@@ -896,6 +916,7 @@ def _shard_worker_main(
     skip_runs: dict[int, tuple[str, str]],
     shard_tel: ShardTelemetry,
     conn: "Connection",
+    golden_cache: str | None = None,
 ) -> None:
     """Entry point of one disposable shard worker process.
 
@@ -948,6 +969,7 @@ def _shard_worker_main(
                 on_run=lambda k: conn.send(("run", k)),
                 on_run_done=run_done,
                 on_failure=forward_failure,
+                golden_cache=golden_cache,
             )
         flush_telemetry()  # tail: skip-run counters, shard + checkpoint spans
         conn.send(("done", rows))
@@ -997,6 +1019,7 @@ def _run_pool(
     sink: _FailureSink,
     tel: Telemetry,
     reporter: Any,
+    golden_cache: str | None = None,
 ) -> None:
     """Fan shards out over dedicated, individually supervised processes.
 
@@ -1020,12 +1043,16 @@ def _run_pool(
         help="Wall time of one shard execution (successful attempt).",
     )
     ctx = mp_context()
-    if ctx.get_start_method() == "fork":
+    if ctx.get_start_method() == "fork" or golden_cache is not None:
         # Warm the per-process supervisor cache so every forked worker
         # (and, under subprocess isolation, every sandbox grandchild)
-        # inherits the golden run instead of recomputing it.
+        # inherits the golden run — prefix-snapshot store included —
+        # instead of recomputing it.  With an on-disk golden cache the
+        # warm-up pays off under *any* start method: the parent computes
+        # and persists the golden run once and spawn-started workers
+        # load it from disk instead of re-executing it.
         try:
-            supervisor_for(config)
+            supervisor_for(config, golden_cache=golden_cache)
         except Exception:  # noqa: BLE001 — let workers report the real failure
             pass
 
@@ -1052,6 +1079,7 @@ def _run_pool(
                 dict(task.skip),
                 tel.shard_telemetry(),
                 conn_w,
+                golden_cache,
             ),
             daemon=False,
             name=f"shard-{task.spec.index:05d}",

@@ -145,7 +145,13 @@ _SUPERVISORS: dict[str, Supervisor] = {}
 
 
 def supervisor_key(config: "CampaignConfig") -> str:
-    """Cache key of the Supervisor a config requires."""
+    """Cache key of the Supervisor a config requires.
+
+    ``snapshots`` is part of the key even though it never changes
+    records: a snapshots-off campaign must not silently reuse (or be
+    reused by) a snapshots-on Supervisor, or the fastpath-vs-slowpath
+    equivalence tests would compare one path to itself.
+    """
     return json.dumps(
         {
             "benchmark": config.benchmark,
@@ -153,13 +159,21 @@ def supervisor_key(config: "CampaignConfig") -> str:
             "policy": config.policy.value,
             "watchdog_factor": config.watchdog_factor,
             "benchmark_params": config.benchmark_params,
+            "snapshots": config.snapshots,
         },
         sort_keys=True,
     )
 
 
-def supervisor_for(config: "CampaignConfig") -> Supervisor:
-    """The (cached) Supervisor for one campaign config."""
+def supervisor_for(
+    config: "CampaignConfig", golden_cache: "str | None" = None
+) -> Supervisor:
+    """The (cached) Supervisor for one campaign config.
+
+    ``golden_cache`` (a directory path) only matters on a cache miss —
+    an already-built Supervisor is returned as-is, since the cache is an
+    accelerator for construction, not part of the supervisor's identity.
+    """
     key = supervisor_key(config)
     supervisor = _SUPERVISORS.get(key)
     if supervisor is None:
@@ -168,6 +182,8 @@ def supervisor_for(config: "CampaignConfig") -> Supervisor:
             seed=config.seed,
             policy=config.policy,
             watchdog_factor=config.watchdog_factor,
+            snapshots=config.snapshots,
+            golden_cache=golden_cache,
         )
         _SUPERVISORS[key] = supervisor
     return supervisor
@@ -272,8 +288,18 @@ def _kill(proc: "BaseProcess") -> None:
 # -- the worker side -----------------------------------------------------------
 
 
-def _worker_main(config: "CampaignConfig", conn: "Connection") -> None:
-    """Sandbox worker: build a Supervisor, then serve run requests."""
+def _worker_main(
+    config: "CampaignConfig",
+    conn: "Connection",
+    golden_cache: "str | None" = None,
+) -> None:
+    """Sandbox worker: build a Supervisor, then serve run requests.
+
+    Under the fork start method the worker inherits the parent's warmed
+    supervisor cache — golden run *and* prefix-snapshot store included —
+    so ``supervisor_for`` is free; under spawn, ``golden_cache`` lets it
+    at least skip the golden re-run.
+    """
     # Under fork this grandchild inherits the shard worker's active
     # telemetry scope, but its spans/metrics could never be merged back
     # (records travel over the verdict pipe, telemetry over the shard
@@ -281,7 +307,7 @@ def _worker_main(config: "CampaignConfig", conn: "Connection") -> None:
     # into a sink nobody drains.
     deactivate()
     try:
-        supervisor = supervisor_for(config)
+        supervisor = supervisor_for(config, golden_cache=golden_cache)
     except BaseException as exc:  # noqa: BLE001 — reported, then re-raised
         try:
             conn.send(("startup_error", f"{type(exc).__name__}: {exc}"))
@@ -329,10 +355,12 @@ class InjectionSandbox:
         config: "CampaignConfig",
         isolation: IsolationConfig | None = None,
         on_event: EventCallback | None = None,
+        golden_cache: "str | None" = None,
     ):
         self.config = config
         self.isolation = isolation or IsolationConfig(mode=IsolationMode.SUBPROCESS)
         self.on_event = on_event
+        self.golden_cache = golden_cache
         self._ctx = mp_context()
         self._proc: BaseProcess | None = None
         self._conn: Connection | None = None
@@ -396,7 +424,7 @@ class InjectionSandbox:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(self.config, child_conn),
+            args=(self.config, child_conn, self.golden_cache),
             daemon=True,
             name=f"sandbox-{self.config.benchmark}",
         )

@@ -1,0 +1,139 @@
+"""Execution-prefix snapshot store for the CAROL-FI fast path.
+
+Every injected run executes the exact same instruction stream as the
+golden run up to its interrupt step — the fault models flip bits of
+*existing* values, so the pre-injection prefix is bit-identical by
+construction.  Re-executing that prefix for each of the campaign's
+thousands of runs is the reproduction's single largest cost (the paper's
+§6.1 checkpoint-frequency framing: recomputation versus restore).
+
+:class:`PrefixStore` holds periodic state snapshots captured during the
+one golden execution, keyed by the step they were taken *at the entry
+of*.  ``Supervisor.run_one`` restores the latest snapshot at or below
+its interrupt step and replays only the remaining few steps, turning
+``O(total_steps)`` per-run work into ``O(interval + suffix)``.
+
+Snapshot cadence is derived from the benchmark's window geometry:
+``interval = max(1, total_steps // (SNAPSHOT_DENSITY * num_windows))``
+puts :data:`SNAPSHOT_DENSITY` snapshots in every execution-time window,
+so the expected replay is a small fraction of a window regardless of
+where the interrupt lands.  Step 0 is deliberately *not* stored: the
+Supervisor's memoised pristine input state already is the step-0
+snapshot.
+
+A byte budget caps memory: once the stored snapshots exceed it, capture
+stops and runs interrupted beyond the last snapshot simply replay a
+longer prefix — graceful degradation, never an error.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any
+
+from repro.benchmarks.base import Benchmark, state_nbytes
+
+__all__ = [
+    "DEFAULT_SNAPSHOT_BUDGET",
+    "PrefixStore",
+    "Snapshot",
+    "snapshot_interval",
+]
+
+#: Snapshots per execution-time window.  Higher density shortens the
+#: replayed prefix (expected replay ~ interval/2 steps) at the cost of
+#: proportionally more resident copies of the benchmark state.
+SNAPSHOT_DENSITY = 4
+
+#: Default cap on the total bytes of state a store may hold.  Default
+#: campaign states are well under a megabyte each, so the cap only
+#: engages for paper-scale parameter studies.
+DEFAULT_SNAPSHOT_BUDGET = 256 << 20
+
+
+def snapshot_interval(total_steps: int, num_windows: int) -> int:
+    """Steps between snapshots for a benchmark's window geometry."""
+    if total_steps < 1:
+        raise ValueError("total_steps must be positive")
+    if num_windows < 1:
+        raise ValueError("num_windows must be positive")
+    return max(1, total_steps // (SNAPSHOT_DENSITY * num_windows))
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One captured prefix: the state at the *entry* of ``step``."""
+
+    step: int
+    state: Any
+    nbytes: int
+
+
+class PrefixStore:
+    """Per-window execution snapshots of one benchmark's golden prefix.
+
+    The store never mutates or hands out its states directly: callers
+    capture with :meth:`capture` (which deep-copies via
+    :meth:`~repro.benchmarks.base.Benchmark.snapshot`) and rehydrate
+    with ``benchmark.restore(snap.state)``, so every stored prefix can
+    seed any number of runs.
+    """
+
+    def __init__(
+        self,
+        benchmark: Benchmark,
+        total_steps: int,
+        byte_budget: int = DEFAULT_SNAPSHOT_BUDGET,
+    ):
+        if byte_budget < 0:
+            raise ValueError("byte_budget must be non-negative")
+        self.benchmark = benchmark
+        self.total_steps = int(total_steps)
+        self.interval = snapshot_interval(self.total_steps, benchmark.num_windows)
+        self.byte_budget = int(byte_budget)
+        self.used_bytes = 0
+        self._snapshots: dict[int, Snapshot] = {}
+        self._steps_sorted: list[int] = []
+
+    def capture_points(self) -> range:
+        """The steps this store wants a snapshot at (step 0 excluded)."""
+        return range(self.interval, self.total_steps, self.interval)
+
+    def wants(self, step: int) -> bool:
+        """Should the caller capture the state at the entry of ``step``?
+
+        True only for an uncaptured capture point while the byte budget
+        lasts — callers sprinkle ``if store.wants(i): store.capture(i,
+        state)`` into their step loops at near-zero cost.
+        """
+        return (
+            step > 0
+            and step < self.total_steps
+            and step % self.interval == 0
+            and step not in self._snapshots
+            and self.used_bytes < self.byte_budget
+        )
+
+    def capture(self, step: int, state: Any) -> None:
+        """Snapshot ``state`` as the prefix ending at the entry of ``step``."""
+        if not 0 < step < self.total_steps:
+            raise ValueError(f"capture step {step} out of range")
+        if step in self._snapshots:
+            return
+        nbytes = state_nbytes(state)
+        self._snapshots[step] = Snapshot(
+            step=step, state=self.benchmark.snapshot(state), nbytes=nbytes
+        )
+        self.used_bytes += nbytes
+        bisect.insort(self._steps_sorted, step)
+
+    def latest(self, interrupt_step: int) -> Snapshot | None:
+        """The deepest snapshot at or before ``interrupt_step``, if any."""
+        pos = bisect.bisect_right(self._steps_sorted, interrupt_step)
+        if pos == 0:
+            return None
+        return self._snapshots[self._steps_sorted[pos - 1]]
+
+    def __len__(self) -> int:
+        return len(self._snapshots)

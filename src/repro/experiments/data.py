@@ -46,6 +46,10 @@ class ExperimentData:
     keeps the fast in-process default).  ``telemetry`` (a
     :class:`~repro.telemetry.Telemetry` bundle) is shared by every
     injection campaign, so one exported registry covers the session.
+    ``snapshots`` toggles the execution-prefix fast path (on by
+    default; records are identical either way) and ``golden_cache``
+    names an on-disk golden-run cache directory shared by all
+    campaigns.
     """
 
     seed: int = 2017
@@ -53,6 +57,8 @@ class ExperimentData:
     workers: int | None = 1
     checkpoint_root: str | Path | None = None
     isolation: IsolationConfig | None = None
+    snapshots: bool = True
+    golden_cache: str | Path | None = None
     telemetry: Telemetry | None = field(default=None, repr=False)
     progress: Callable[[ShardProgress], None] | None = field(default=None, repr=False)
     _beam: dict[str, BeamCampaignResult] = field(default_factory=dict, repr=False)
@@ -85,7 +91,10 @@ class ExperimentData:
             raise KeyError(f"{benchmark!r} is not in the injection study")
         if benchmark not in self._injection:
             config = CampaignConfig(
-                benchmark=benchmark, injections=self.injections, seed=self.seed
+                benchmark=benchmark,
+                injections=self.injections,
+                seed=self.seed,
+                snapshots=self.snapshots,
             )
             checkpoint_dir = None
             if self.checkpoint_root is not None:
@@ -100,6 +109,7 @@ class ExperimentData:
                 progress=self.progress,
                 isolation=self.isolation,
                 telemetry=self.telemetry,
+                golden_cache=self.golden_cache,
             )
         return self._injection[benchmark]
 

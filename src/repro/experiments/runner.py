@@ -23,6 +23,11 @@ campaign metrics on exit (Prometheus text, or a JSONL snapshot for a
 stderr; ``--trace PATH`` records phase-timing spans as ``trace.jsonl``;
 ``--progress-interval SECONDS`` prints a periodic one-line campaign
 status (runs/s, ETA, outcome mix, retries/quarantines, slowest shard).
+
+Injection fast path: campaigns run with the execution-prefix snapshot
+cache on by default (``--no-snapshots`` disables it; records are
+bit-identical either way) and ``--golden-cache DIR`` persists golden
+runs on disk so repeated or spawn-based sessions skip them.
 """
 
 from __future__ import annotations
@@ -91,6 +96,8 @@ def run_experiments(
     isolation: IsolationConfig | None = None,
     progress: Callable[[ShardProgress], None] | None = None,
     telemetry: Telemetry | None = None,
+    snapshots: bool = True,
+    golden_cache: str | None = None,
 ) -> data_mod.ExperimentData:
     """Run the named experiments, printing each rendered artifact."""
     stream = stream or sys.stdout
@@ -105,6 +112,8 @@ def run_experiments(
         isolation=isolation,
         telemetry=telemetry,
         progress=progress,
+        snapshots=snapshots,
+        golden_cache=golden_cache,
     )
     for name in names:
         run, render = EXPERIMENTS[name]
@@ -176,6 +185,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         "and the run recorded as an OOM DUE (subprocess isolation only)",
     )
     parser.add_argument(
+        "--no-snapshots",
+        action="store_true",
+        help="disable the execution-prefix snapshot fast path (every run "
+        "replays from step 0; records are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--golden-cache",
+        metavar="DIR",
+        default=None,
+        help="on-disk golden-run cache directory shared across processes "
+        "and sessions (default: $REPRO_GOLDEN_CACHE if set, else "
+        "<checkpoints>/golden-cache when checkpointing)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print per-shard heartbeats (injections/sec, ETA) to stderr",
@@ -244,6 +267,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             isolation=isolation,
             progress=_print_progress if args.progress else None,
             telemetry=telemetry,
+            snapshots=not args.no_snapshots,
+            golden_cache=args.golden_cache,
         )
     finally:
         if telemetry is not None:

@@ -491,10 +491,22 @@ def test_parallel_telemetry_counters_match_serial_twin(serial_result):
     serial_counters = tel_serial.registry.counter_values()
     parallel_counters = tel_parallel.registry.counter_values()
     # Sandbox spawn counts depend on worker topology (one sandbox per
-    # shard worker, not per run): drop them before comparing.
+    # shard worker, not per run): drop them before comparing.  The
+    # prefix/golden-cache efficiency counters are likewise topology
+    # dependent — each sandbox grandchild builds its own snapshot store
+    # and its counters die with it — so they are dropped too.
+    cache_families = (
+        "repro_snapshot_restores_total",
+        "repro_snapshot_captures_total",
+        "repro_steps_skipped_total",
+        "repro_compare_fastpath_total",
+        "repro_golden_cache_total",
+    )
     for counters in (serial_counters, parallel_counters):
         counters.pop("repro_sandbox_spawns_total", None)
         counters.get("repro_failure_events_total", {}).pop("event=sandbox_spawn", None)
+        for family in cache_families:
+            counters.pop(family, None)
     assert parallel_counters == serial_counters
 
 

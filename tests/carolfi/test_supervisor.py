@@ -128,18 +128,22 @@ def test_crash_net_classifies_arithmetic_error_as_due():
 
 def test_golden_baseline_measured_after_warm_up():
     """The timed golden run must be the second execution: the first pays
-    first-touch costs that would inflate the watchdog budget."""
+    first-touch costs that would inflate the watchdog budget.  The
+    warm-up is now a manual step loop (it doubles as the snapshot
+    capture pass), so count ``step`` calls rather than ``run`` calls."""
     bench = create("nw", n=16, rows_per_step=4)
-    calls = []
-    original_run = bench.run
+    steps = []
+    original_step = bench.step
 
-    def counting_run(state):
-        calls.append(1)
-        return original_run(state)
+    def counting_step(state, index):
+        steps.append(index)
+        return original_step(state, index)
 
-    bench.run = counting_run
+    bench.step = counting_step
     supervisor = Supervisor(bench, seed=1)
-    assert len(calls) == 2, "expected one warm-up run plus one timed golden run"
+    assert len(steps) == 2 * supervisor.total_steps, (
+        "expected one warm-up pass plus one timed golden pass"
+    )
     assert supervisor.golden_runtime > 0
 
 
