@@ -41,11 +41,26 @@ class CampaignConfig:
     checkpoint fingerprint — a campaign checkpointed with snapshots on
     may resume with them off, and vice versa."""
 
+    target_ci: float | None = None
+    """Optional early-stopping precision target: stop the campaign at
+    the first shard-merge boundary where every ``(benchmark,
+    fault_model)`` cell's SDC and DUE confidence-interval half-width is
+    at or below this value (see
+    :class:`repro.telemetry.convergence.ConvergenceMonitor`).
+    ``injections`` remains the run-budget cap.  Deliberately excluded
+    from the checkpoint fingerprint: the target changes *where the
+    campaign stops*, never what any record contains, so a checkpointed
+    campaign may resume with a different target (or none) and the
+    records stay bit-identical — a stopped campaign is always a prefix
+    of the uncapped one."""
+
     def __post_init__(self) -> None:
         if self.injections < 1:
             raise ValueError("injections must be positive")
         if not self.fault_models:
             raise ValueError("at least one fault model is required")
+        if self.target_ci is not None and not 0 < self.target_ci < 1:
+            raise ValueError("target_ci must be in (0, 1)")
 
 
 @dataclass
@@ -54,6 +69,10 @@ class CampaignResult:
 
     config: CampaignConfig
     records: list[InjectionRecord]
+    stopped_early: bool = False
+    """True when a ``target_ci`` convergence target stopped the
+    campaign before exhausting ``config.injections``; the records are
+    then a bit-identical prefix of the uncapped campaign's."""
 
     def __len__(self) -> int:
         return len(self.records)
@@ -137,6 +156,7 @@ def run_campaign(
         or retry is not None
         or failure_log is not None
         or telemetry is not None
+        or config.target_ci is not None
     )
     if engine_requested:
         from repro.carolfi.engine import run_sharded_campaign

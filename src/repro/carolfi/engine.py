@@ -76,6 +76,7 @@ from repro.telemetry import (
     current_tracer,
     stamp,
 )
+from repro.telemetry.convergence import ConvergenceMonitor
 from repro.util.jsonlog import JsonlLog, load_records, load_records_tolerant
 from repro.util.rng import derive_rng
 
@@ -84,6 +85,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "CheckpointError",
+    "EARLY_STOP_MIN_CELL_RUNS",
     "FAILURE_LOG_NAME",
     "RetryPolicy",
     "ShardFailure",
@@ -603,6 +605,69 @@ class _Heartbeat:
         )
 
 
+#: Minimum records per (benchmark, fault_model) cell before an early
+#: stop is even considered — guards the first merges, where a
+#: degenerate all-one-outcome cell can have a deceptively narrow CI.
+EARLY_STOP_MIN_CELL_RUNS = 10
+
+
+class _ConvergenceGate:
+    """Feeds merged shards to a :class:`ConvergenceMonitor` in order.
+
+    Early stopping must be **topology-independent**: the same campaign
+    must stop at the same record whether it ran serial, on 8 workers,
+    or resumed from checkpoints.  Shard *completion* order is none of
+    those things, so the gate only evaluates convergence at contiguous
+    prefix boundaries — shard ``k`` is considered only once shards
+    ``0..k`` have all completed, and the monitor sees their records in
+    canonical shard order.  The stop decision is then a pure function
+    of the (deterministic) record contents, and the stopped campaign's
+    records are a bit-identical prefix of the uncapped campaign's.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        shards: tuple[ShardSpec, ...],
+        monitor: ConvergenceMonitor,
+        get_records: Callable[[int], Iterable[Any]],
+    ):
+        self.monitor = monitor
+        self._get_records = get_records
+        self._shard_count = len(shards)
+        self._target = config.target_ci
+        self._expected_cells = len(config.fault_models)
+        self._complete: set[int] = set()
+        self._fed = 0
+        self.stop_after: int | None = None
+
+    @property
+    def stopped(self) -> bool:
+        return self.stop_after is not None
+
+    def mark_complete(self, shard_index: int) -> bool:
+        """Record one finished shard; True once the campaign may stop."""
+        if self.stopped:
+            return True
+        self._complete.add(shard_index)
+        advanced = False
+        while self._fed < self._shard_count and self._fed in self._complete:
+            for row in self._get_records(self._fed):
+                self.monitor.observe(row, shard=self._fed)
+            self._fed += 1
+            advanced = True
+        if (
+            advanced
+            and self._target is not None
+            and self._fed < self._shard_count  # finishing everything is not "early"
+            and len(self.monitor.cells()) >= self._expected_cells
+            and self.monitor.converged(self._target, min_cell_runs=EARLY_STOP_MIN_CELL_RUNS)
+        ):
+            self.stop_after = self._fed - 1
+            return True
+        return False
+
+
 def run_sharded_campaign(
     config: CampaignConfig,
     *,
@@ -644,6 +709,18 @@ def run_sharded_campaign(
     (:mod:`repro.carolfi.goldencache`); with a ``checkpoint_dir`` it
     defaults to ``<checkpoint_dir>/golden-cache``, so resumed campaigns
     and spawn-started workers skip the golden re-run.
+
+    Statistical observability: every merged shard streams through a
+    :class:`~repro.telemetry.convergence.ConvergenceMonitor`.  With
+    ``config.target_ci`` set the campaign **stops early** at the first
+    contiguous shard boundary where every ``(benchmark, fault_model)``
+    cell's SDC/DUE CI half-width meets the target — deterministically,
+    so the stopped records are a bit-identical prefix of the uncapped
+    campaign for any worker count.  Independently, the cross-shard
+    drift detector z-tests each shard's outcome rates against the rest
+    of the campaign; statistically incompatible shards (seed bugs,
+    nondeterminism) are flagged into ``failures.jsonl`` and the
+    ``repro_drift_flags_total`` counter.
     """
     workers = resolve_workers(workers)
     iso = isolation or IsolationConfig()
@@ -677,6 +754,12 @@ def run_sharded_campaign(
     replayed: dict[int, list[InjectionRecord]] = {}
     pending: list[ShardSpec] = []
     executed: dict[int, list[dict]] = {}
+
+    def _shard_rows(index: int) -> Iterable[Any]:
+        return replayed[index] if index in replayed else executed[index]
+
+    monitor = ConvergenceMonitor()
+    gate = _ConvergenceGate(config, shards, monitor, _shard_rows)
     try:
         with tel.activate(), tel.tracer.span(
             "campaign",
@@ -704,6 +787,11 @@ def run_sharded_campaign(
                     shard_done.set(spec.size, shard=spec.index)
                     heartbeat.record_done(spec.size, live=False)
                     heartbeat.emit("replayed", spec)
+                    gate.mark_complete(spec.index)
+            if gate.stopped:
+                # The replayed prefix alone already meets the target;
+                # every pending shard lies beyond the stop point.
+                pending.clear()
 
             if pending:
 
@@ -725,6 +813,7 @@ def run_sharded_campaign(
                         sink,
                         tel,
                         reporter,
+                        gate,
                         cache_dir,
                     )
                 else:
@@ -741,11 +830,14 @@ def run_sharded_campaign(
                         sink,
                         tel,
                         reporter,
+                        gate,
                         cache_dir,
                     )
 
+            included = shards if gate.stop_after is None else shards[: gate.stop_after + 1]
+            expected_runs = included[-1].stop
             records_out: list[InjectionRecord] = []
-            for spec in shards:
+            for spec in included:
                 if spec.index in replayed:
                     records_out.extend(replayed[spec.index])
                 else:
@@ -753,8 +845,38 @@ def run_sharded_campaign(
                         InjectionRecord.from_dict(row) for row in executed[spec.index]
                     )
             records_out.sort(key=lambda r: r.run_index)
-            if [r.run_index for r in records_out] != list(range(config.injections)):
+            if [r.run_index for r in records_out] != list(range(expected_runs)):
                 raise RuntimeError("engine merge produced a non-canonical record sequence")
+            if gate.stopped:
+                sink(
+                    {
+                        "event": "early_stop",
+                        "target_ci": config.target_ci,
+                        "runs": expected_runs,
+                        "budget": config.injections,
+                        "max_half_width": round(monitor.max_half_width(), 6),
+                        "shards_skipped": len(shards) - len(included),
+                    }
+                )
+                campaign_span.set_attr("early_stop_runs", expected_runs)
+            # Cross-shard drift: under the determinism contract every
+            # shard samples the same outcome distribution, so any shard
+            # that is statistically incompatible with its peers means a
+            # seed bug or nondeterminism — flag it, loudly.
+            drift_flags = monitor.drift_flags()
+            if drift_flags:
+                drift_counter = tel.registry.counter(
+                    "repro_drift_flags_total",
+                    help="Shards whose outcome rates are statistically "
+                    "incompatible with the rest of the campaign.",
+                )
+                for flag in drift_flags:
+                    drift_counter.inc(
+                        benchmark=flag.benchmark,
+                        fault_model=flag.fault_model,
+                        outcome=flag.outcome,
+                    )
+                    sink(flag.to_dict())
             # Final-record counters are derived from the merged result —
             # by construction they always equal what lands in the
             # campaign log, whatever the execution topology did.
@@ -776,7 +898,7 @@ def run_sharded_campaign(
     if log_path is not None:
         with JsonlLog(log_path) as log:
             log.extend(r.to_dict() for r in records_out)
-    return CampaignResult(config=config, records=records_out)
+    return CampaignResult(config=config, records=records_out, stopped_early=gate.stopped)
 
 
 # -- serial fault domain -------------------------------------------------------
@@ -794,6 +916,7 @@ def _run_serial(
     sink: _FailureSink,
     tel: Telemetry,
     reporter: Any,
+    gate: _ConvergenceGate,
     golden_cache: str | None = None,
 ) -> None:
     """Serial execution with backoff retries and poison-run quarantine.
@@ -902,6 +1025,8 @@ def _run_serial(
             shard_seconds.observe(time.perf_counter() - shard_started)
         heartbeat.record_done(spec.size, live=True)
         heartbeat.emit("finished", spec)
+        if gate.mark_complete(spec.index):
+            break
 
 
 # -- parallel fault domains ----------------------------------------------------
@@ -1019,6 +1144,7 @@ def _run_pool(
     sink: _FailureSink,
     tel: Telemetry,
     reporter: Any,
+    gate: _ConvergenceGate,
     golden_cache: str | None = None,
 ) -> None:
     """Fan shards out over dedicated, individually supervised processes.
@@ -1216,9 +1342,13 @@ def _run_pool(
         shard_done.set(task.spec.size, shard=task.spec.index)
         if tel.registry.enabled:
             shard_seconds.observe(time.perf_counter() - task.dispatched_at)
+        gate.mark_complete(task.spec.index)
 
     try:
-        while queue or running:
+        # A converged gate ends the campaign: in-flight shards beyond
+        # the stop point are abandoned (their partial checkpoints are
+        # simply re-run on a later resume without a target).
+        while (queue or running) and not gate.stopped:
             now = time.monotonic()
             reporter.tick()
             while len(running) < workers:

@@ -49,7 +49,10 @@ class ExperimentData:
     ``snapshots`` toggles the execution-prefix fast path (on by
     default; records are identical either way) and ``golden_cache``
     names an on-disk golden-run cache directory shared by all
-    campaigns.
+    campaigns.  ``target_ci`` forwards the statistical early-stopping
+    target (CI half-width) to every injection campaign; stopped
+    campaigns keep a byte-identical prefix of the uncapped record
+    stream, so downstream figures stay deterministic.
     """
 
     seed: int = 2017
@@ -59,6 +62,7 @@ class ExperimentData:
     isolation: IsolationConfig | None = None
     snapshots: bool = True
     golden_cache: str | Path | None = None
+    target_ci: float | None = None
     telemetry: Telemetry | None = field(default=None, repr=False)
     progress: Callable[[ShardProgress], None] | None = field(default=None, repr=False)
     _beam: dict[str, BeamCampaignResult] = field(default_factory=dict, repr=False)
@@ -95,6 +99,7 @@ class ExperimentData:
                 injections=self.injections,
                 seed=self.seed,
                 snapshots=self.snapshots,
+                target_ci=self.target_ci,
             )
             checkpoint_dir = None
             if self.checkpoint_root is not None:

@@ -98,6 +98,7 @@ def run_experiments(
     telemetry: Telemetry | None = None,
     snapshots: bool = True,
     golden_cache: str | None = None,
+    target_ci: float | None = None,
 ) -> data_mod.ExperimentData:
     """Run the named experiments, printing each rendered artifact."""
     stream = stream or sys.stdout
@@ -114,6 +115,7 @@ def run_experiments(
         progress=progress,
         snapshots=snapshots,
         golden_cache=golden_cache,
+        target_ci=target_ci,
     )
     for name in names:
         run, render = EXPERIMENTS[name]
@@ -199,6 +201,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         "<checkpoints>/golden-cache when checkpointing)",
     )
     parser.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        metavar="HALFWIDTH",
+        help="stop each injection campaign at the first shard-merge "
+        "boundary where every (benchmark, fault model) cell's SDC and "
+        "DUE confidence intervals are at most this half-width; stopped "
+        "records are a byte-identical prefix of the uncapped campaign "
+        "(excluded from the checkpoint fingerprint, so resumes stay valid)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print per-shard heartbeats (injections/sec, ETA) to stderr",
@@ -269,6 +282,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             telemetry=telemetry,
             snapshots=not args.no_snapshots,
             golden_cache=args.golden_cache,
+            target_ci=args.target_ci,
         )
     finally:
         if telemetry is not None:

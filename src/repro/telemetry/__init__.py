@@ -37,8 +37,16 @@ from pathlib import Path
 from typing import IO, Any, Iterator
 
 from repro.telemetry.clock import stamp
+from repro.telemetry.convergence import (
+    CellStats,
+    ConvergenceMonitor,
+    DriftFlag,
+    PVF_OUTCOMES,
+)
 from repro.telemetry.exporters import (
     append_snapshot,
+    parse_prometheus_samples,
+    parse_prometheus_series,
     parse_prometheus_text,
     prometheus_text,
     snapshot_record,
@@ -59,13 +67,17 @@ from repro.telemetry.spans import NOOP_TRACER, NoopTracer, Span, SpanContext, Tr
 from repro.util.jsonlog import JsonlLog
 
 __all__ = [
+    "CellStats",
+    "ConvergenceMonitor",
     "Counter",
     "DEFAULT_BUCKETS",
     "DISABLED",
+    "DriftFlag",
     "Gauge",
     "Histogram",
     "JsonlLog",
     "MetricsRegistry",
+    "PVF_OUTCOMES",
     "NOOP_REPORTER",
     "NOOP_TRACER",
     "NULL_REGISTRY",
@@ -85,6 +97,8 @@ __all__ = [
     "current_registry",
     "current_tracer",
     "deactivate",
+    "parse_prometheus_samples",
+    "parse_prometheus_series",
     "parse_prometheus_text",
     "prometheus_text",
     "snapshot_record",

@@ -26,6 +26,8 @@ from repro.util.tables import format_table
 
 __all__ = [
     "append_snapshot",
+    "parse_prometheus_samples",
+    "parse_prometheus_series",
     "parse_prometheus_text",
     "prometheus_text",
     "snapshot_record",
@@ -35,7 +37,32 @@ __all__ = [
 
 
 def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, LF."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    """Escape HELP text per the exposition format (``\\`` and LF only).
+
+    A help string containing a raw newline would otherwise split the
+    comment mid-line and corrupt the sample that follows it.
+    """
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _unescape(value: str) -> str:
+    """Invert :func:`_escape_label` (handles ``\\\\``, ``\\"``, ``\\n``)."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value) and value[i + 1] in ('\\', '"', "n"):
+            out.append("\n" if value[i + 1] == "n" else value[i + 1])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
 
 
 def _series(name: str, labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
@@ -60,7 +87,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     for metric in registry.metrics():
         if metric.help:
-            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         if isinstance(metric, Histogram):
             for labels, slot in metric.items():
@@ -102,6 +129,71 @@ def parse_prometheus_text(text: str) -> dict[str, float]:
         if not series:
             raise ValueError(f"malformed sample line: {raw!r}")
         out[series] = float(value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+    return out
+
+
+def parse_prometheus_series(series: str) -> tuple[str, dict[str, str]]:
+    """Split a sample's series key into ``(name, labels)``, unescaping.
+
+    The inverse of the series rendering in :func:`prometheus_text`:
+    label values written with ``\\\\``/``\\"``/``\\n`` escapes come back
+    as the original strings, so
+    ``parse_prometheus_series(render(name, labels)) == (name, labels)``
+    for every legal label set — including values holding backslashes,
+    double quotes and newlines.
+    """
+    brace = series.find("{")
+    if brace == -1:
+        return series, {}
+    if not series.endswith("}"):
+        raise ValueError(f"malformed series key: {series!r}")
+    name, inner = series[:brace], series[brace + 1 : -1]
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(inner):
+        if inner[i] in (",", " "):
+            i += 1
+            continue
+        try:
+            eq = inner.index("=", i)
+        except ValueError:
+            raise ValueError(f"malformed label block in {series!r}") from None
+        key = inner[i:eq].strip()
+        if eq + 1 >= len(inner) or inner[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {series!r}")
+        j = eq + 2
+        raw: list[str] = []
+        while True:
+            if j >= len(inner):
+                raise ValueError(f"unterminated label value in {series!r}")
+            ch = inner[j]
+            if ch == "\\" and j + 1 < len(inner):
+                raw.append(inner[j : j + 2])
+                j += 2
+            elif ch == '"':
+                break
+            else:
+                raw.append(ch)
+                j += 1
+        labels[key] = _unescape("".join(raw))
+        i = j + 1
+    return name, labels
+
+
+def parse_prometheus_samples(
+    text: str,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Structured samples: ``{(name, sorted label items): value}``.
+
+    Unlike :func:`parse_prometheus_text` (whose keys keep the label
+    block verbatim, escapes included), this view unescapes every label
+    value, so exporting a registry and parsing the text round-trips the
+    exact label strings.
+    """
+    out: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for series, value in parse_prometheus_text(text).items():
+        name, labels = parse_prometheus_series(series)
+        out[(name, tuple(sorted(labels.items())))] = value
     return out
 
 

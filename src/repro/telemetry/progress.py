@@ -36,7 +36,20 @@ _EVENT_LABELS = (
 
 
 class ProgressReporter:
-    """Periodic one-line status renderer over a metrics registry."""
+    """Periodic one-line status renderer over a metrics registry.
+
+    ETA discipline: the rate is estimated from *live* runs only
+    (checkpoint replays complete thousands of runs in milliseconds and
+    would make any blended rate meaningless), and no finite ETA is
+    shown until at least ``eta_warmup_s`` of wall clock and one live
+    run have accumulated — a resumed campaign's first ticks otherwise
+    extrapolate a near-zero elapsed window into an absurdly optimistic
+    ETA.  All counter deltas are clamped at zero so a baseline taken
+    against a shared registry can never render negative progress.
+    """
+
+    #: Minimum observation window before a finite ETA is trusted.
+    eta_warmup_s = 1.0
 
     def __init__(
         self,
@@ -81,12 +94,13 @@ class ProgressReporter:
     def _counter_by_label(self, name: str, label: str) -> dict[str, float]:
         current = self._raw_counter_by_label(name, label)
         base = self._base.get((name, label), {})
-        return {k: v - base.get(k, 0.0) for k, v in current.items()}
+        return {k: max(0.0, v - base.get(k, 0.0)) for k, v in current.items()}
 
     def _replayed(self) -> float:
-        return (
+        return max(
+            0.0,
             float(self.registry.counter("repro_runs_replayed_total").value())
-            - self._base_replayed
+            - self._base_replayed,
         )
 
     def _slowest_shard(self) -> tuple[int, int, int] | None:
@@ -118,7 +132,7 @@ class ProgressReporter:
     def render(self) -> str:
         """The status line for the registry's current state."""
         outcomes = self._counter_by_label("repro_runs_total", "outcome")
-        executed = sum(outcomes.values())
+        executed = max(0.0, sum(outcomes.values()))
         replayed = self._replayed()
         done = min(executed + replayed, float(self.total_runs))
         elapsed = max(time.monotonic() - self._started, 1e-9)
@@ -126,10 +140,14 @@ class ProgressReporter:
         remaining = max(self.total_runs - done, 0.0)
         if remaining == 0:
             eta = "0s"
-        elif rate > 0:
-            eta = f"{remaining / rate:.0f}s"
-        else:
+        elif rate <= 0 or elapsed < self.eta_warmup_s:
+            # No live runs yet, or too small a window to extrapolate —
+            # a resumed campaign's burst of replays plus a few quick
+            # runs is not a rate.
             eta = "?"
+        else:
+            projected = remaining / rate
+            eta = f"{projected:.0f}s" if math.isfinite(projected) and projected >= 0 else "?"
         parts = [
             f"[{self.label}] {done:.0f}/{self.total_runs} runs "
             f"{100.0 * done / self.total_runs:.1f}% | {rate:.1f}/s eta {eta}",

@@ -16,9 +16,11 @@ from scipy import stats as sps
 
 __all__ = [
     "CountEstimate",
+    "anytime_proportion_ci",
     "poisson_ci",
     "proportion_ci",
     "required_events_for_relative_ci",
+    "two_proportion_z",
     "wilson_ci",
     "half_width_for_proportion",
 ]
@@ -90,6 +92,63 @@ def proportion_ci(successes: int, trials: int, confidence: float = 0.95) -> Coun
     p = successes / trials
     half = z * math.sqrt(p * (1 - p) / trials)
     return CountEstimate(p, max(0.0, p - half), min(1.0, p + half), confidence)
+
+
+def anytime_proportion_ci(
+    successes: int, trials: int, confidence: float = 0.95
+) -> CountEstimate:
+    """Anytime-valid confidence interval for a binomial proportion.
+
+    A Wilson interval is only valid at a *pre-registered* sample size;
+    checking it after every merged shard (as the campaign convergence
+    monitor does) inflates the error rate.  This interval uses the
+    law-of-the-iterated-logarithm "stitched" boundary for bounded
+    variables (Howard et al., 2021, eq. (11) specialised to the [0, 1]
+    case), which holds *simultaneously at every sample size*: a
+    campaign may peek after every record and stop the first time the
+    interval is narrow enough without biasing the coverage guarantee.
+
+    The price of anytime validity is width: the half-width carries an
+    extra ``log log n`` factor over the fixed-n interval, so early
+    stopping on this interval is conservative, never optimistic.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    alpha = 1.0 - confidence
+    n = float(trials)
+    p = successes / trials
+    # Stitched LIL boundary for 1/2-sub-Gaussian increments (any
+    # variable bounded in [0, 1]); valid uniformly over n >= 1.
+    half = 1.7 * math.sqrt((math.log(math.log(2 * max(n, 2.0))) + 0.72 * math.log(5.2 / alpha)) / n)
+    return CountEstimate(p, max(0.0, p - half), min(1.0, p + half), confidence)
+
+
+def two_proportion_z(
+    successes_a: int, trials_a: int, successes_b: int, trials_b: int
+) -> tuple[float, float]:
+    """Pooled two-proportion z-test: ``(z, two_sided_p_value)``.
+
+    The cross-shard drift detector's primitive: is shard A's outcome
+    rate compatible with the rest of the campaign's?  Under H0 (both
+    samples share one proportion) the pooled statistic is ~N(0, 1).
+    Degenerate pools (all successes or none, or an empty sample) carry
+    no evidence either way and return ``(0.0, 1.0)``.
+    """
+    for successes, trials in ((successes_a, trials_a), (successes_b, trials_b)):
+        if trials < 0 or not 0 <= successes <= max(trials, 0):
+            raise ValueError("successes must be within [0, trials]")
+    if trials_a == 0 or trials_b == 0:
+        return 0.0, 1.0
+    pooled = (successes_a + successes_b) / (trials_a + trials_b)
+    if pooled <= 0.0 or pooled >= 1.0:
+        return 0.0, 1.0
+    se = math.sqrt(pooled * (1.0 - pooled) * (1.0 / trials_a + 1.0 / trials_b))
+    z = (successes_a / trials_a - successes_b / trials_b) / se
+    return float(z), float(2.0 * sps.norm.sf(abs(z)))
 
 
 def half_width_for_proportion(trials: int, p: float = 0.5, confidence: float = 0.95) -> float:

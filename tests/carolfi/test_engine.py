@@ -7,6 +7,7 @@ import signal
 import subprocess
 import sys
 import time
+from dataclasses import replace
 
 import pytest
 
@@ -26,6 +27,7 @@ from repro.carolfi.engine import (
     shard_path,
 )
 from repro.carolfi.isolation import IsolationConfig, IsolationMode
+from repro.faults.models import FaultModel
 from repro.faults.outcome import DueKind, Outcome
 from repro.telemetry import Telemetry, TelemetryConfig
 from repro.util.jsonlog import load_records_tolerant
@@ -579,3 +581,159 @@ def test_failure_events_counted_by_kind(tmp_path):
     events = tel.registry.counter_values()["repro_failure_events_total"]
     assert events.get("event=retry", 0.0) > 0
     assert events.get("event=quarantine", 0.0) > 0
+
+
+# -- statistical early stopping (config.target_ci) ----------------------------
+
+#: Single-model twin of CONFIG: one statistical cell, so a loose CI
+#: target is reachable inside 24 injections.
+STOP_CONFIG = CampaignConfig(
+    benchmark="nw",
+    injections=24,
+    seed=13,
+    fault_models=(FaultModel.SINGLE,),
+    benchmark_params={"n": 16, "rows_per_step": 4},
+)
+STOP_TARGET = 0.45
+
+
+def test_target_ci_excluded_from_fingerprint():
+    capped = replace(STOP_CONFIG, target_ci=STOP_TARGET)
+    assert campaign_fingerprint(capped, SHARD_SIZE) == campaign_fingerprint(
+        STOP_CONFIG, SHARD_SIZE
+    )
+
+
+def test_target_ci_validation():
+    with pytest.raises(ValueError):
+        CampaignConfig(benchmark="nw", injections=8, target_ci=0.0)
+    with pytest.raises(ValueError):
+        CampaignConfig(benchmark="nw", injections=8, target_ci=1.5)
+
+
+def test_target_ci_stops_early_with_prefix_records():
+    full = run_sharded_campaign(STOP_CONFIG, workers=1, shard_size=SHARD_SIZE)
+    capped = run_sharded_campaign(
+        replace(STOP_CONFIG, target_ci=STOP_TARGET), workers=1, shard_size=SHARD_SIZE
+    )
+    assert capped.stopped_early and not full.stopped_early
+    stopped = len(capped.records)
+    assert 0 < stopped < len(full.records)
+    assert stopped % SHARD_SIZE == 0  # stops only at shard boundaries
+    assert dicts(capped) == dicts(full)[:stopped]
+
+
+def test_target_ci_stop_point_is_worker_independent():
+    capped = replace(STOP_CONFIG, target_ci=STOP_TARGET)
+    serial = run_sharded_campaign(capped, workers=1, shard_size=SHARD_SIZE)
+    parallel = run_sharded_campaign(capped, workers=2, shard_size=SHARD_SIZE)
+    assert serial.stopped_early and parallel.stopped_early
+    assert dicts(serial) == dicts(parallel)
+
+
+def test_target_ci_campaign_log_is_byte_prefix(tmp_path):
+    run_sharded_campaign(
+        STOP_CONFIG, workers=1, shard_size=SHARD_SIZE, log_path=tmp_path / "full.jsonl"
+    )
+    run_sharded_campaign(
+        replace(STOP_CONFIG, target_ci=STOP_TARGET),
+        workers=1,
+        shard_size=SHARD_SIZE,
+        log_path=tmp_path / "capped.jsonl",
+    )
+    full_bytes = (tmp_path / "full.jsonl").read_bytes()
+    capped_bytes = (tmp_path / "capped.jsonl").read_bytes()
+    assert 0 < len(capped_bytes) < len(full_bytes)
+    assert full_bytes.startswith(capped_bytes)
+
+
+def test_target_ci_logs_early_stop_event_and_resumes_clean(tmp_path):
+    capped = replace(STOP_CONFIG, target_ci=STOP_TARGET)
+    tel = Telemetry(TelemetryConfig())
+    stopped = run_sharded_campaign(
+        capped, workers=1, shard_size=SHARD_SIZE, checkpoint_dir=tmp_path, telemetry=tel
+    )
+    assert stopped.stopped_early
+    events, corrupt = read_failure_log(tmp_path / FAILURE_LOG_NAME)
+    assert corrupt == 0
+    (stop_event,) = [e for e in events if e.get("event") == "early_stop"]
+    assert stop_event["runs"] == len(stopped.records)
+    assert stop_event["target_ci"] == STOP_TARGET
+    assert stop_event["max_half_width"] <= STOP_TARGET
+    assert stop_event["shards_skipped"] > 0
+    # The same checkpoint dir finishes the uncapped campaign: the
+    # stopped prefix is replayed, only the skipped shards run live.
+    finished = run_sharded_campaign(
+        STOP_CONFIG, workers=1, shard_size=SHARD_SIZE, checkpoint_dir=tmp_path
+    )
+    assert not finished.stopped_early
+    assert len(finished.records) == STOP_CONFIG.injections
+    assert dicts(finished)[: len(stopped.records)] == dicts(stopped)
+
+
+def test_target_ci_noop_when_target_never_met():
+    capped = replace(STOP_CONFIG, target_ci=0.001)
+    result = run_sharded_campaign(capped, workers=1, shard_size=SHARD_SIZE)
+    assert not result.stopped_early
+    assert len(result.records) == STOP_CONFIG.injections
+
+
+# -- cross-shard drift detection ----------------------------------------------
+
+
+DRIFT_CONFIG = CampaignConfig(
+    benchmark="nw",
+    injections=64,
+    seed=13,
+    fault_models=(FaultModel.SINGLE,),
+    benchmark_params={"n": 16, "rows_per_step": 4},
+)
+
+
+def test_healthy_campaign_raises_no_drift_flags(tmp_path):
+    tel = Telemetry(TelemetryConfig())
+    run_sharded_campaign(
+        DRIFT_CONFIG, workers=1, shard_size=16, checkpoint_dir=tmp_path / "s", telemetry=tel
+    )
+    events, _ = read_failure_log(tmp_path / "s" / FAILURE_LOG_NAME)
+    assert [e for e in events if e.get("event") == "drift"] == []
+    # Healthy serial and parallel twins must also export identical
+    # registries, so the drift counter may not exist merely as a zero.
+    assert "repro_drift_flags_total" not in tel.registry.snapshot()
+    tel_par = Telemetry(TelemetryConfig())
+    run_sharded_campaign(
+        DRIFT_CONFIG, workers=2, shard_size=16, checkpoint_dir=tmp_path / "p", telemetry=tel_par
+    )
+    events_par, _ = read_failure_log(tmp_path / "p" / FAILURE_LOG_NAME)
+    assert [e for e in events_par if e.get("event") == "drift"] == []
+
+
+def test_drift_flags_doctored_shard_checkpoint(tmp_path):
+    """A checkpoint whose outcomes were tampered with is statistically visible.
+
+    The checkpoint fingerprint covers the campaign *plan*, not the
+    outcomes, so a rewritten shard replays as trusted data — exactly
+    the class of corruption (or seed bug) only the drift detector can
+    catch.  Flipping every masked record of shard 1 to SDC makes its
+    SDC rate incompatible with its three peers.
+    """
+    run_sharded_campaign(DRIFT_CONFIG, workers=1, shard_size=16, checkpoint_dir=tmp_path)
+    doctored = shard_path(tmp_path, 1)
+    rows = [json.loads(line) for line in doctored.read_text().splitlines()]
+    for row in rows:
+        if row.get("kind") == "record" and row["data"]["outcome"] == "masked":
+            row["data"]["outcome"] = "sdc"
+    doctored.write_text("".join(json.dumps(row) + "\n" for row in rows))
+
+    tel = Telemetry(TelemetryConfig())
+    resumed = run_sharded_campaign(
+        DRIFT_CONFIG, workers=1, shard_size=16, checkpoint_dir=tmp_path, telemetry=tel
+    )
+    assert len(resumed.records) == DRIFT_CONFIG.injections
+    events, _ = read_failure_log(tmp_path / FAILURE_LOG_NAME)
+    drift = [e for e in events if e.get("event") == "drift"]
+    assert drift, "tampered shard must be flagged"
+    assert {e["shard"] for e in drift} == {1}
+    assert all(e["p_value"] < e["alpha_per_test"] for e in drift)
+    counter = tel.registry.counter("repro_drift_flags_total")
+    assert sum(value for _, value in counter.items()) == len(drift)

@@ -6,6 +6,8 @@ import pytest
 
 from repro.telemetry import Telemetry, TelemetryConfig
 from repro.telemetry.exporters import (
+    parse_prometheus_samples,
+    parse_prometheus_series,
     parse_prometheus_text,
     prometheus_text,
     snapshot_record,
@@ -117,3 +119,70 @@ def test_telemetry_finalize_exports(tmp_path):
     assert parse_prometheus_text(exported.read_text(encoding="utf-8"))["c"] == 1.0
     disabled = Telemetry(enabled=False)
     assert disabled.finalize() is None
+
+
+# -- exposition-format escaping (label values, HELP text) -----------------------
+
+
+NASTY_VALUES = (
+    'back\\slash',
+    'quo"te',
+    "new\nline",
+    'all\\of"them\ntogether',
+    "trailing\\",
+    "",
+)
+
+
+def test_label_value_escaping_round_trips():
+    reg = MetricsRegistry()
+    counter = reg.counter("c", help="nasty labels")
+    for value in NASTY_VALUES:
+        counter.inc(path=value)
+    samples = parse_prometheus_samples(prometheus_text(reg))
+    parsed_values = {dict(labels)["path"] for (name, labels) in samples if name == "c"}
+    assert parsed_values == set(NASTY_VALUES)
+    assert all(v == 1.0 for v in samples.values())
+
+
+def test_escaped_text_has_no_raw_newlines_inside_samples():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(path="a\nb")
+    text = prometheus_text(reg)
+    sample_lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+    assert sample_lines == [r'c{path="a\nb"} 1']
+
+
+def test_help_text_newline_does_not_corrupt_samples():
+    reg = MetricsRegistry()
+    reg.counter("c", help="line one\nline two \\ slash").inc()
+    text = prometheus_text(reg)
+    assert "# HELP c line one\\nline two \\\\ slash" in text
+    assert parse_prometheus_text(text)["c"] == 1.0
+
+
+def test_parse_prometheus_series_plain_and_labeled():
+    assert parse_prometheus_series("up") == ("up", {})
+    name, labels = parse_prometheus_series('c{a="1",b="x y"}')
+    assert name == "c" and labels == {"a": "1", "b": "x y"}
+    with pytest.raises(ValueError):
+        parse_prometheus_series('c{a="unterminated')
+    with pytest.raises(ValueError):
+        parse_prometheus_series('c{a=unquoted}')
+
+
+def test_histogram_always_exports_inf_bucket():
+    reg = MetricsRegistry()
+    reg.histogram("h", buckets=(0.5, 2.0)).observe(10.0)  # beyond every bound
+    parsed = parse_prometheus_text(prometheus_text(reg))
+    assert parsed['h_bucket{le="+Inf"}'] == 1.0
+    assert parsed['h_bucket{le="2"}'] == 0.0
+    assert parsed["h_count"] == 1.0
+
+
+def test_parse_prometheus_samples_unescapes_while_text_keys_do_not():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(path='a"b')
+    text = prometheus_text(reg)
+    assert 'c{path="a\\"b"}' in parse_prometheus_text(text)
+    assert (("c", (("path", 'a"b'),))) in parse_prometheus_samples(text)

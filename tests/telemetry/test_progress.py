@@ -96,3 +96,60 @@ def test_telemetry_reporter_selection():
     assert reporter.interval_s == 5.0
     disabled = Telemetry(TelemetryConfig(progress_interval_s=5.0), enabled=False)
     assert disabled.progress_reporter(10) is NOOP_REPORTER
+
+
+# -- ETA discipline (resumed campaigns, shared registries) ----------------------
+
+
+def test_eta_warmup_suppresses_projection():
+    """A fresh reporter refuses to extrapolate a tiny elapsed window."""
+    reporter = campaign_reporter()
+    reporter.eta_warmup_s = 3600.0  # freshly constructed: elapsed << warm-up
+    assert "eta ?" in reporter.render()
+
+
+def test_eta_finite_after_warmup():
+    reporter = campaign_reporter()
+    reporter.eta_warmup_s = 0.0
+    line = reporter.render()
+    assert "eta ?" not in line
+    assert "eta " in line and "eta -" not in line
+
+
+def test_eta_zero_when_complete():
+    reg = MetricsRegistry()
+    reporter = ProgressReporter(reg, total_runs=4)
+    reporter.eta_warmup_s = 0.0
+    reg.counter("repro_runs_total").inc(4, outcome="masked")
+    assert "4/4 runs 100.0%" in reporter.render()
+    assert "eta 0s" in reporter.render()
+
+
+def test_eta_unknown_when_only_replays():
+    """A resumed campaign's replay burst is not a rate."""
+    reg = MetricsRegistry()
+    reporter = ProgressReporter(reg, total_runs=24)
+    reporter.eta_warmup_s = 0.0
+    reg.counter("repro_runs_replayed_total").inc(12)
+    line = reporter.render()
+    assert "12/24" in line
+    assert "eta ?" in line  # zero live runs: no basis for an ETA
+
+
+def test_negative_counter_deltas_clamped():
+    """A doctored baseline must never render negative progress."""
+    reporter = campaign_reporter()
+    reporter._base[("repro_runs_total", "outcome")]["masked"] = 1e6
+    reporter._base_replayed = 1e6
+    line = reporter.render()
+    assert "masked 0" in line
+    assert "-" not in line.split("|")[0]  # done/percent never negative
+
+
+def test_shared_registry_baseline_isolates_campaigns():
+    """A second campaign's reporter starts from zero on a shared registry."""
+    reg = MetricsRegistry()
+    reg.counter("repro_runs_total").inc(20, outcome="sdc")
+    reg.counter("repro_runs_replayed_total").inc(4)
+    reporter = ProgressReporter(reg, total_runs=24, label="second")
+    assert reporter.render().startswith("[second] 0/24 runs 0.0%")

@@ -8,11 +8,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.util.stats import (
+    anytime_proportion_ci,
     half_width_for_proportion,
     mean_and_sem,
     poisson_ci,
     proportion_ci,
     required_events_for_relative_ci,
+    two_proportion_z,
     wilson_ci,
 )
 
@@ -129,3 +131,82 @@ def test_wilson_within_unit_interval(successes, extra):
     trials = successes + extra
     ci = wilson_ci(successes, trials)
     assert 0.0 <= ci.lower <= ci.value <= ci.upper <= 1.0
+
+
+# -- anytime-valid proportion CI -------------------------------------------------
+
+
+def test_anytime_ci_contains_point_and_unit_interval():
+    ci = anytime_proportion_ci(30, 100)
+    assert 0.0 <= ci.lower <= ci.value <= ci.upper <= 1.0
+    assert ci.value == pytest.approx(0.3)
+
+
+def test_anytime_ci_wider_than_wilson():
+    # The price of validity under continuous monitoring: at any fixed n
+    # the anytime interval is strictly more conservative.
+    for n in (20, 200, 2000):
+        anytime = anytime_proportion_ci(n // 4, n)
+        wilson = wilson_ci(n // 4, n)
+        assert (anytime.upper - anytime.lower) > (wilson.upper - wilson.lower)
+
+
+def test_anytime_ci_shrinks_with_n():
+    widths = [
+        anytime_proportion_ci(n // 2, n).upper - anytime_proportion_ci(n // 2, n).lower
+        for n in (10, 100, 1000, 10000)
+    ]
+    assert widths == sorted(widths, reverse=True)
+
+
+def test_anytime_ci_validates():
+    with pytest.raises(ValueError):
+        anytime_proportion_ci(1, 0)
+    with pytest.raises(ValueError):
+        anytime_proportion_ci(5, 4)
+    with pytest.raises(ValueError):
+        anytime_proportion_ci(1, 10, confidence=0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(successes=st.integers(0, 100), extra=st.integers(1, 100))
+def test_anytime_within_unit_interval(successes, extra):
+    trials = successes + extra
+    ci = anytime_proportion_ci(successes, trials)
+    assert 0.0 <= ci.lower <= ci.value <= ci.upper <= 1.0
+
+
+# -- two-proportion z-test --------------------------------------------------------
+
+
+def test_two_proportion_z_identical_rates():
+    z, p = two_proportion_z(30, 100, 30, 100)
+    assert z == pytest.approx(0.0)
+    assert p == pytest.approx(1.0)
+
+
+def test_two_proportion_z_detects_difference():
+    z, p = two_proportion_z(80, 100, 20, 100)
+    assert z > 5.0
+    assert p < 1e-8
+
+
+def test_two_proportion_z_antisymmetric():
+    z_ab, p_ab = two_proportion_z(10, 50, 25, 50)
+    z_ba, p_ba = two_proportion_z(25, 50, 10, 50)
+    assert z_ab == pytest.approx(-z_ba)
+    assert p_ab == pytest.approx(p_ba)
+
+
+def test_two_proportion_z_degenerate_pool_is_null():
+    # All successes (or all failures) in both samples: zero pooled
+    # variance, no evidence of difference.
+    assert two_proportion_z(50, 50, 30, 30) == (0.0, 1.0)
+    assert two_proportion_z(0, 50, 0, 30) == (0.0, 1.0)
+
+
+def test_two_proportion_z_validates():
+    with pytest.raises(ValueError):
+        two_proportion_z(1, 0, 1, 10)
+    with pytest.raises(ValueError):
+        two_proportion_z(11, 10, 1, 10)
