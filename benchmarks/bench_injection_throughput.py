@@ -1,47 +1,90 @@
-"""Injection fast path — runs/sec with the prefix snapshot cache on vs off.
+"""Injection fast paths — prefix-cache and vectorized-batch throughput.
 
-Times ``Supervisor.run_one`` directly (construction, and hence the
-golden run and snapshot-capture pass, stays outside the timed region)
-for every registered injection benchmark at its default parameters.
-The per-benchmark rates and the aggregate speedup land in
+Two gated measurements share this module:
+
+* **Scalar prefix cache** — ``Supervisor.run_one`` with the snapshot
+  cache on vs off for every registered injection benchmark, exactly the
+  PR-4 bench.  Disabling the cache must cost at least
+  ``MIN_SCALAR_SPEEDUP`` overall.
+* **Vectorized batching** — ``BatchRunner.run_many`` (plus the scalar
+  fallback for members it declines) vs a pure ``run_one`` loop over the
+  same runs, for every benchmark with ``supports_batching``.  The
+  batched path must deliver at least ``MIN_BATCHED_SPEEDUP`` aggregate
+  over the scalar baseline; both paths use the prefix cache, so the
+  ratio isolates the batching win.
+
+Timings use ``time.process_time`` with the two sides interleaved and a
+median over ``REPS`` so a loaded runner inflates neither side: CPU time
+ignores scheduling gaps, interleaving exposes both paths to the same
+frequency-boost phases, and the median discards the odd perturbed rep.
+The numbers land in
 ``benchmarks/out/BENCH_injection_throughput.json`` via
-``register_artifact_json`` so CI can chart the fast path's win across
-commits; ``benchmark.extra_info`` mirrors them into the pytest-benchmark
-export.
+``register_artifact_json`` so CI can chart both fast paths across
+commits.
 
-The aggregate gate is deliberately below the ~1.5-2x measured locally:
-the bench must flag a regression that disables the cache without
-flaking on a loaded CI runner.
+Run as a script to enforce the floors from CI::
+
+    python benchmarks/bench_injection_throughput.py --floor 3.0 --scalar-floor 1.2
+
+The process exits nonzero when either aggregate lands below its floor.
 """
 
+import argparse
+import sys
 import time
+from collections.abc import Sequence
 
 from repro.benchmarks.registry import INJECTION_BENCHMARKS, create
+from repro.carolfi.batchrunner import BatchRunner
 from repro.carolfi.supervisor import Supervisor
 from repro.faults.models import FaultModel
 
 from _artifacts import register_artifact, register_artifact_json
 
-#: Injections timed per (benchmark, mode).  Heavy kernels (clamr) run
-#: ~10ms/injection on the slow path, so the sweep stays under a minute.
+#: Injections timed per (benchmark, mode) in the scalar cache sweep.
+#: Heavy kernels (clamr) run ~10ms/injection on the slow path, so the
+#: sweep stays under a minute.
 RUNS_PER_MODE = 40
+
+#: Injections per benchmark in the batched sweep.  Large enough for
+#: three full-width groups at ``BATCH_SIZE`` so the stacked kernels
+#: amortise their setup, small enough to keep the sweep under a minute.
+BATCHED_RUNS = 192
+
+#: Batch width for the throughput measurement.  Wider than the
+#: campaign default (8): the bench measures the kernels' amortisation
+#: ceiling, not a shard-friendly operating point.
+BATCH_SIZE = 64
+
+#: Median-of reps per timed side.
+REPS = 3
 
 SEED = 2017
 
 #: The bench fails if disabling the cache costs less than this overall:
-#: a silent fall-back to full replays is a performance regression.
-MIN_AGGREGATE_SPEEDUP = 1.2
+#: a silent fall-back to full replays is a performance regression.  The
+#: gate is deliberately below the ~1.5-2x measured locally so it flags
+#: the regression without flaking on a loaded CI runner.
+MIN_SCALAR_SPEEDUP = 1.2
+
+#: Aggregate floor for the vectorized batch path (issue acceptance:
+#: >= 3x over the scalar injection loop).  Locally the sweep measures
+#: ~3.0-3.4x under load and more on a quiet machine; interleaved
+#: process-time medians keep the measurement stable.
+MIN_BATCHED_SPEEDUP = 3.0
+
+_MODELS = FaultModel.all()
 
 
 def _rate(supervisor: Supervisor) -> float:
-    models = FaultModel.all()
     start = time.perf_counter()
     for run in range(RUNS_PER_MODE):
-        supervisor.run_one(run, models[run % len(models)])
+        supervisor.run_one(run, _MODELS[run % len(_MODELS)])
     return RUNS_PER_MODE / (time.perf_counter() - start)
 
 
-def test_injection_throughput(benchmark):
+def scalar_sweep() -> tuple[dict[str, dict[str, float]], float]:
+    """Cache-on vs cache-off rates for every injection benchmark."""
     per_bench: dict[str, dict[str, float]] = {}
     for name in INJECTION_BENCHMARKS:
         fast = Supervisor(create(name), seed=SEED, snapshots=True)
@@ -55,38 +98,191 @@ def test_injection_throughput(benchmark):
             "snapshots": float(len(fast.prefix)),
             "total_steps": float(fast.total_steps),
         }
-
     total_fast = sum(1.0 / row["runs_per_sec_cache_on"] for row in per_bench.values())
     total_slow = sum(1.0 / row["runs_per_sec_cache_off"] for row in per_bench.values())
-    aggregate = total_slow / total_fast
+    return per_bench, total_slow / total_fast
 
+
+def _batched_runs() -> list[tuple[int, FaultModel]]:
+    return [(run, _MODELS[run % len(_MODELS)]) for run in range(BATCHED_RUNS)]
+
+
+def _median(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def _time_scalar_once(supervisor: Supervisor) -> float:
+    start = time.process_time()
+    for run, model in _batched_runs():
+        supervisor.run_one(run, model)
+    return time.process_time() - start
+
+
+def _time_batched_once(supervisor: Supervisor) -> tuple[float, int]:
+    start = time.process_time()
+    runner = BatchRunner(supervisor, BATCH_SIZE)
+    records = runner.run_many(_batched_runs())
+    fallbacks = 0
+    for run, model in _batched_runs():
+        if run not in records:
+            supervisor.run_one(run, model)
+            fallbacks += 1
+    return time.process_time() - start, fallbacks
+
+
+def batched_sweep() -> tuple[dict[str, dict[str, float]], float]:
+    """Batched vs scalar injection suffixes, prefix cache on for both."""
+    per_bench: dict[str, dict[str, float]] = {}
+    total_scalar = 0.0
+    total_batched = 0.0
+    for name in INJECTION_BENCHMARKS:
+        bench = create(name)
+        if not bench.supports_batching:
+            continue
+        supervisor = Supervisor(bench, seed=SEED, snapshots=True)
+        # Warm the snapshot store the way a campaign's golden pass would.
+        for run, model in _batched_runs()[:4]:
+            supervisor.run_one(run, model)
+        # Alternate the two sides inside each rep so frequency-boost
+        # phases and cache state hit both equally, then take medians:
+        # one boosted rep skews a best-of measurement toward whichever
+        # side it happened to land on.
+        scalar_reps: list[float] = []
+        batched_reps: list[float] = []
+        fallbacks = 0
+        for _ in range(REPS):
+            scalar_reps.append(_time_scalar_once(supervisor))
+            rep, fallbacks = _time_batched_once(supervisor)
+            batched_reps.append(rep)
+        scalar = _median(scalar_reps)
+        batched = _median(batched_reps)
+        total_scalar += scalar
+        total_batched += batched
+        per_bench[name] = {
+            "scalar_seconds": scalar,
+            "batched_seconds": batched,
+            "speedup": scalar / batched,
+            "fallback_runs": float(fallbacks),
+            "runs": float(BATCHED_RUNS),
+        }
+    return per_bench, total_scalar / total_batched
+
+
+def _render(
+    scalar: dict[str, dict[str, float]],
+    scalar_aggregate: float,
+    batched: dict[str, dict[str, float]],
+    batched_aggregate: float,
+) -> str:
     lines = ["benchmark  cache on/s  cache off/s  speedup  snapshots"]
-    for name, row in sorted(per_bench.items()):
+    for name, row in sorted(scalar.items()):
         lines.append(
             f"{name:>9}  {row['runs_per_sec_cache_on']:>10.1f}  "
             f"{row['runs_per_sec_cache_off']:>11.1f}  "
             f"{row['speedup']:>6.2f}x  {int(row['snapshots']):>9}"
         )
-    lines.append(f"aggregate wall-clock speedup: {aggregate:.2f}x")
-    register_artifact("injection_throughput", "\n".join(lines))
+    lines.append(f"aggregate prefix-cache speedup: {scalar_aggregate:.2f}x")
+    lines.append("")
+    lines.append("benchmark  scalar s  batched s  speedup  fallbacks")
+    for name, row in sorted(batched.items()):
+        lines.append(
+            f"{name:>9}  {row['scalar_seconds']:>8.3f}  {row['batched_seconds']:>9.3f}  "
+            f"{row['speedup']:>6.2f}x  {int(row['fallback_runs']):>4}/{int(row['runs'])}"
+        )
+    lines.append(
+        f"aggregate batched speedup (batch {BATCH_SIZE}, median of {REPS}): "
+        f"{batched_aggregate:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def _publish(
+    scalar: dict[str, dict[str, float]],
+    scalar_aggregate: float,
+    batched: dict[str, dict[str, float]],
+    batched_aggregate: float,
+) -> str:
+    text = _render(scalar, scalar_aggregate, batched, batched_aggregate)
+    register_artifact("injection_throughput", text)
     register_artifact_json(
         "injection_throughput",
         {
             "runs_per_mode": RUNS_PER_MODE,
+            "batched_runs": BATCHED_RUNS,
+            "batch_size": BATCH_SIZE,
+            "reps": REPS,
             "seed": SEED,
-            "per_benchmark": per_bench,
-            "aggregate_speedup": aggregate,
+            "per_benchmark": scalar,
+            "aggregate_speedup": scalar_aggregate,
+            "batched_per_benchmark": batched,
+            "batched_aggregate_speedup": batched_aggregate,
         },
     )
-    for name, row in per_bench.items():
-        benchmark.extra_info[f"speedup_{name}"] = row["speedup"]
-    benchmark.extra_info["aggregate_speedup"] = aggregate
+    return text
 
-    assert aggregate >= MIN_AGGREGATE_SPEEDUP, (
-        f"prefix cache speedup {aggregate:.2f}x below the "
-        f"{MIN_AGGREGATE_SPEEDUP}x floor — fast path regressed"
+
+def test_injection_throughput(benchmark):
+    scalar, scalar_aggregate = scalar_sweep()
+    batched, batched_aggregate = batched_sweep()
+    _publish(scalar, scalar_aggregate, batched, batched_aggregate)
+
+    for name, row in scalar.items():
+        benchmark.extra_info[f"speedup_{name}"] = row["speedup"]
+    for name, row in batched.items():
+        benchmark.extra_info[f"batched_speedup_{name}"] = row["speedup"]
+    benchmark.extra_info["aggregate_speedup"] = scalar_aggregate
+    benchmark.extra_info["batched_aggregate_speedup"] = batched_aggregate
+
+    assert scalar_aggregate >= MIN_SCALAR_SPEEDUP, (
+        f"prefix cache speedup {scalar_aggregate:.2f}x below the "
+        f"{MIN_SCALAR_SPEEDUP}x floor — fast path regressed"
+    )
+    assert batched_aggregate >= MIN_BATCHED_SPEEDUP, (
+        f"batched speedup {batched_aggregate:.2f}x below the "
+        f"{MIN_BATCHED_SPEEDUP}x floor — vectorized path regressed"
     )
 
     # Time one cache-on injection sweep as the tracked number.
     supervisor = Supervisor(create("dgemm"), seed=SEED, snapshots=True)
     benchmark.pedantic(lambda: _rate(supervisor), rounds=3, iterations=1)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=MIN_BATCHED_SPEEDUP,
+        help="minimum aggregate batched-vs-scalar speedup (default %(default)s)",
+    )
+    parser.add_argument(
+        "--scalar-floor",
+        type=float,
+        default=MIN_SCALAR_SPEEDUP,
+        help="minimum aggregate cache-on-vs-off speedup (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    scalar, scalar_aggregate = scalar_sweep()
+    batched, batched_aggregate = batched_sweep()
+    print(_publish(scalar, scalar_aggregate, batched, batched_aggregate))
+
+    status = 0
+    if scalar_aggregate < args.scalar_floor:
+        print(
+            f"FAIL: prefix cache speedup {scalar_aggregate:.2f}x "
+            f"below the {args.scalar_floor}x floor"
+        )
+        status = 1
+    if batched_aggregate < args.floor:
+        print(
+            f"FAIL: batched speedup {batched_aggregate:.2f}x "
+            f"below the {args.floor}x floor"
+        )
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

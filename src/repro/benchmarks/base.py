@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import abc
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any
 
@@ -332,6 +333,12 @@ class Benchmark(abc.ABC):
     #: Flip-script's WEIGHTED site policy.
     stack_share: float = 0.25
 
+    #: Whether this benchmark implements the vectorized batch protocol
+    #: (:meth:`step_batch` / :meth:`batch_coherent`).  ``False`` keeps
+    #: every run on the scalar :meth:`step` path; the batch runner then
+    #: falls back run by run, so correctness never depends on this flag.
+    supports_batching: bool = False
+
     def __init__(self, **params: Any):
         defaults = dict(self.default_params())
         unknown = set(params) - set(defaults)
@@ -386,6 +393,64 @@ class Benchmark(abc.ABC):
         for index in range(self.num_steps(state)):
             self.step(state, index)
         return self.output(state)
+
+    # -- vectorized batch protocol ------------------------------------------
+
+    def batch_coherent(self, state: Any, golden: Any, index: int) -> bool:
+        """May ``state`` take step ``index`` on the vectorized batch path?
+
+        ``golden`` is an uncorrupted state at the entry of the same step.
+        An implementation returns True only when every value *any
+        remaining step's control flow* consumes (loop bounds, cursors,
+        dimensions, pointers, indices) matches the golden execution —
+        data values are free to differ, that is what the batch computes.
+        The contract is one-sided: a False merely routes the run to the
+        bit-identical scalar fallback, so implementations must be
+        strict, never clever.  The default refuses everything.
+
+        The check runs **once**, at the member's injection step, never
+        again: :meth:`step_batch` must not derive control state from
+        member data, so a state coherent at injection stays on the
+        golden control trajectory for the rest of the run.
+        """
+        return False
+
+    def step_batch(self, states: Sequence[Any], index: int, carry: Any = None) -> Any:
+        """Advance every state in ``states`` by step ``index`` at once.
+
+        All states must have passed :meth:`batch_coherent` against the
+        same golden state at this step, so their control flow is the
+        shared golden trajectory and only data differs; implementations
+        stack the data arrays along a leading batch axis and execute the
+        step's arithmetic once.  The post-step *outputs and control
+        state* of each member must be bit-identical to what a scalar
+        :meth:`step` would have produced; pure scratch buffers that no
+        later step reads before overwriting are exempt.  Only called
+        when :attr:`supports_batching` is True.
+
+        Returns an opaque *carry*.  A caller stepping the same batch
+        repeatedly may pass the previous call's carry back — legal only
+        when it came from the same ``states`` (same objects, same
+        order) at step ``index - 1`` — and the implementation may then
+        keep member data *and evolving control state* inside the carry
+        instead of writing every state back each step.  Member states
+        may therefore be arbitrarily stale while a carry is live; the
+        one obligation is that :meth:`batch_flush` restores full
+        bit-exact member states.  Callers must flush before reading
+        anything from a member state and must never reuse a carry
+        across a membership change.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support batching")
+
+    def batch_flush(self, states: Sequence[Any], carry: Any) -> None:
+        """Write state held in ``carry`` back into ``states``.
+
+        After this, every state — data and control alike — is
+        bit-identical to what the scalar path would hold (scratch
+        exemption aside).  The default is a no-op for implementations
+        whose ``step_batch`` writes members back eagerly (returns no
+        carry).
+        """
 
     def snapshot(self, state: Any) -> Any:
         """Frozen, bit-exact copy of ``state`` for later :meth:`restore`.

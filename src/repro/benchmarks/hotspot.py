@@ -20,12 +20,15 @@ Reproduction-relevant structure:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from repro.benchmarks.base import Benchmark, PointerTable, Variable
+
+_CHUNK_BUDGET = 1 << 19  # scratch bytes per member-chunk (L2-resident)
 
 __all__ = ["HotSpot", "HotSpotState"]
 
@@ -62,6 +65,7 @@ class HotSpot(Benchmark):
     num_windows = 5
     float_output = True
     output_decimals = 4
+    supports_batching = True
     # Control-flow heavy stencil driver: constants + per-thread row
     # bounds + grid pointers dominate the paper's harmful faults.
     stack_share = 0.30
@@ -165,6 +169,146 @@ class HotSpot(Benchmark):
                 )
         state.temp[:rows, :cols] = out
         state.grid_ctl[2] = index + 1
+
+    # -- vectorized batch path ----------------------------------------------
+
+    def batch_coherent(self, state: HotSpotState, golden: HotSpotState, index: int) -> bool:
+        """Grid geometry and pointers drive control flow; the physical
+        constants only scale elementwise arithmetic, so corrupted consts
+        stay on the batch path (broadcast per member).  ``grid_ctl[2]``
+        is a progress cursor that ``step`` writes but never reads: the
+        scalar path overwrites a corruption there on the very next step,
+        exactly like :meth:`batch_flush` does, so it stays free too."""
+        return np.array_equal(state.ptrs.addresses, golden.ptrs.addresses) and np.array_equal(
+            state.grid_ctl[:2], golden.grid_ctl[:2]
+        )
+
+    def step_batch(
+        self, states: Sequence[HotSpotState], index: int, carry: Any = None
+    ) -> Any:
+        if index == 0:
+            for st in states:
+                st.temp[...] = st.temp_init
+                st.power[...] = st.power_init
+        rows, cols = int(states[0].grid_ctl[0]), int(states[0].grid_ctl[1])
+        if carry is None:
+            # Stack once per batch lifetime; the temperature window then
+            # lives in the carry (``power``/``consts`` are never written
+            # by ``step``, so a single stack stays valid).  The scratch
+            # buffers below let the interior stencil run entirely
+            # through ``out=`` ufuncs — the op-for-op sequence matches
+            # the scalar expression tree exactly, so results stay
+            # bit-identical while per-step allocations disappear.
+            consts = np.stack([st.consts for st in states])  # (B, 6) float64
+            with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                dtcap0 = consts[:, 4][:, None] / consts[:, 0][:, None]
+                rxy0 = consts[:, 1][:, None] + consts[:, 2][:, None]
+            t0 = np.stack([st.temp[:rows, :cols] for st in states])
+            chunk = max(1, _CHUNK_BUDGET // max(1, (rows - 2) * (cols - 2) * 8))
+            inner_shape = (min(chunk, t0.shape[0]), rows - 2, cols - 2)
+            carry = {
+                "cs": tuple(consts[:, i][:, None, None] for i in range(6)),
+                "t": t0,
+                "p": np.stack([st.power[:rows, :cols] for st in states]),
+                "out": np.empty_like(t0),
+                "s32": np.empty(inner_shape, dtype=np.float32),
+                "t2": np.empty(inner_shape, dtype=np.float32),
+                "d64": np.empty(inner_shape, dtype=np.float64),
+                "e64": np.empty(inner_shape, dtype=np.float64),
+                "chunk": inner_shape[0],
+                "step": 0,
+                # Edge-pass constants and scratch: the per-step scalar
+                # expression recomputes dt/cap and rx+ry from the same
+                # constant inputs every iteration, so hoisting them is
+                # bit-neutral.
+                "dtcap": dtcap0,
+                "rxy": rxy0,
+                "ef32": np.empty((t0.shape[0], max(rows, cols) - 2), dtype=np.float32),
+                "e1": np.empty((t0.shape[0], max(rows, cols) - 2)),
+                "e2": np.empty((t0.shape[0], max(rows, cols) - 2)),
+            }
+            # The window corners are never recomputed (the interior and
+            # the four one-sided edges cover everything else), so the
+            # scalar per-step ``out[...] = t`` reduces to copying the
+            # corners once into both ping-pong buffers.
+            for r in (0, rows - 1):
+                for c in (0, cols - 1):
+                    carry["out"][:, r, c] = t0[:, r, c]
+        cap, rx, ry, rz, dt, amb = carry["cs"]
+        t = carry["t"]
+        p = carry["p"]
+        out = carry["out"]
+        chunk = carry["chunk"]
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            # Scalar tree: tc + (dt / cap) * (p_c + (t_up + t_dn - 2 tc)
+            # / ry + (t_rt + t_lf - 2 tc) / rx + (amb - tc) / rz), one
+            # ufunc per node, walked in member chunks sized so the
+            # scratch set stays cache-resident (same ops on slices, so
+            # still bit-identical).
+            dtcap = carry["dtcap"][:, :, None]
+            for lo in range(0, t.shape[0], chunk):
+                sl = slice(lo, lo + chunk)
+                size = min(chunk, t.shape[0] - lo)
+                s32 = carry["s32"][:size]
+                t2 = carry["t2"][:size]
+                d64 = carry["d64"][:size]
+                e64 = carry["e64"][:size]
+                tc = t[sl, 1:-1, 1:-1]
+                np.add(t[sl, 2:, 1:-1], t[sl, :-2, 1:-1], out=s32)
+                np.multiply(tc, 2.0, out=t2)
+                np.subtract(s32, t2, out=s32)
+                np.divide(s32, ry[sl], out=d64)
+                np.add(p[sl, 1:-1, 1:-1], d64, out=d64)
+                np.add(t[sl, 1:-1, 2:], t[sl, 1:-1, :-2], out=s32)
+                np.subtract(s32, t2, out=s32)
+                np.divide(s32, rx[sl], out=e64)
+                np.add(d64, e64, out=d64)
+                np.subtract(amb[sl], tc, out=e64)
+                np.divide(e64, rz[sl], out=e64)
+                np.add(d64, e64, out=d64)
+                np.multiply(dtcap[sl], d64, out=d64)
+                np.add(tc, d64, out=d64)
+                out[sl, 1:-1, 1:-1] = d64
+            # One-sided edges, same ``out=`` treatment: the (B, 1)
+            # constants broadcast against 2-D edge slices, keeping the
+            # member axis leading, and the op order mirrors the scalar
+            # expression node for node.
+            dtcap2 = carry["dtcap"]
+            rxy = carry["rxy"]
+            for sl_out, sl_in in (
+                ((0, slice(1, -1)), (1, slice(1, -1))),
+                ((-1, slice(1, -1)), (-2, slice(1, -1))),
+                ((slice(1, -1), 0), (slice(1, -1), 1)),
+                ((slice(1, -1), -1), (slice(1, -1), -2)),
+            ):
+                bo = (slice(None), *sl_out)
+                bi = (slice(None), *sl_in)
+                edge = t.shape[1 if isinstance(sl_out[0], slice) else 2] - 2
+                f32 = carry["ef32"][:, :edge]
+                e1 = carry["e1"][:, :edge]
+                e2 = carry["e2"][:, :edge]
+                np.subtract(t[bi], t[bo], out=f32)
+                np.divide(f32, rxy, out=e1)
+                np.add(p[bo], e1, out=e1)
+                np.subtract(amb[:, :, 0], t[bo], out=e2)
+                np.divide(e2, rz[:, :, 0], out=e2)
+                np.add(e1, e2, out=e1)
+                np.multiply(dtcap2, e1, out=e1)
+                np.add(t[bo], e1, out=e1)
+                out[bo] = e1
+        carry["t"], carry["out"] = out, t  # ping-pong the grid buffers
+        carry["step"] = index + 1
+        return carry
+
+    def batch_flush(self, states: Sequence[HotSpotState], carry: Any) -> None:
+        if carry is None:
+            return
+        t = carry["t"]
+        rows, cols = t.shape[1], t.shape[2]
+        for i, st in enumerate(states):
+            st.temp_next[:rows, :cols] = t[i]
+            st.temp[:rows, :cols] = t[i]
+            st.grid_ctl[2] = carry["step"]
 
     def output(self, state: HotSpotState) -> np.ndarray:
         with np.errstate(invalid="ignore", over="ignore"):

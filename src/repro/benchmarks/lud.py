@@ -22,6 +22,7 @@ Reproduction-relevant structure:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
@@ -51,6 +52,7 @@ class Lud(Benchmark):
     num_windows = 4
     float_output = True
     output_decimals = 4
+    supports_batching = True
     stack_share = 0.35
 
     @classmethod
@@ -125,6 +127,55 @@ class Lud(Benchmark):
                     ) / a[b0 + j, b0 + j]
                 # 4. Trailing update.
                 a[b1:n, b1:n] -= col @ a[b0:b1, b1:n]
+
+    # -- vectorized batch path ----------------------------------------------
+
+    def batch_coherent(self, state: LudState, golden: LudState, index: int) -> bool:
+        """Block cursors and the matrix pointer drive all control flow;
+        matrix *values* only feed elementwise arithmetic and stay free.
+        Block step ``k`` reads only ``block_ctl[k]``, so rows before the
+        injection step are already consumed and dead — the scalar path
+        never looks at them again — and only the remaining rows gate the
+        batch."""
+        return np.array_equal(state.ptrs.addresses, golden.ptrs.addresses) and np.array_equal(
+            state.block_ctl[index:], golden.block_ctl[index:]
+        )
+
+    def step_batch(
+        self, states: Sequence[LudState], index: int, carry: Any = None
+    ) -> Any:
+        b0, b1, n = (int(v) for v in states[0].block_ctl[index])
+        bs = b1 - b0
+        if carry is None:
+            carry = {"a": np.stack([st.matrix for st in states])}  # (B, n, n) f32
+        a = carry["a"]
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            for j in range(b0, b1):
+                piv = a[:, j, j]
+                a[:, j + 1 : b1, j] /= piv[:, None]
+                a[:, j + 1 : b1, j + 1 : b1] -= (
+                    a[:, j + 1 : b1, j][:, :, None] * a[:, j, j + 1 : b1][:, None, :]
+                )
+            if b1 < n:
+                panel = a[:, b0:b1, b1:n].copy()
+                for i in range(1, bs):
+                    panel[:, i] -= (a[:, b0 + i, b0 : b0 + i][:, None, :] @ panel[:, :i])[:, 0]
+                a[:, b0:b1, b1:n] = panel
+                col = a[:, b1:n, b0:b1]
+                for j in range(bs):
+                    col[:, :, j] = (
+                        col[:, :, j]
+                        - (col[:, :, :j] @ a[:, b0 : b0 + j, b0 + j][:, :, None])[:, :, 0]
+                    ) / a[:, b0 + j, b0 + j][:, None]
+                a[:, b1:n, b1:n] -= col @ a[:, b0:b1, b1:n]
+        return carry
+
+    def batch_flush(self, states: Sequence[LudState], carry: Any) -> None:
+        if carry is None:
+            return
+        a = carry["a"]
+        for i, st in enumerate(states):
+            st.matrix[...] = a[i]
 
     def output(self, state: LudState) -> np.ndarray:
         with np.errstate(invalid="ignore", over="ignore"):

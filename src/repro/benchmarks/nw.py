@@ -16,6 +16,7 @@ row is one vectorised scan.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
@@ -48,6 +49,7 @@ class NeedlemanWunsch(Benchmark):
     num_windows = 4
     float_output = False
     output_decimals = None  # integer output compares exactly
+    supports_batching = True
     stack_share = 0.25
 
     @classmethod
@@ -120,6 +122,70 @@ class NeedlemanWunsch(Benchmark):
             running = np.maximum.accumulate(np.maximum(g, np.int64(left0)))
             score[i, 1 : n + 1] = (running - jp).astype(np.int32)
         state.dp_ctl[2] = row_hi
+
+    # -- vectorized batch path ----------------------------------------------
+
+    def batch_coherent(self, state: NwState, golden: NwState, index: int) -> bool:
+        """Besides control state, both sequences must stay in-alphabet:
+        the scalar path bounds-checks every residue (``checked_index``,
+        ``take(mode="raise")``), so an out-of-range residue is
+        data-dependent control flow and must take the scalar fallback.
+        Stricter than scalar (negative residues that would wrap are
+        also refused) — strictness only costs a fallback."""
+        return (
+            np.array_equal(state.ptrs.addresses, golden.ptrs.addresses)
+            and np.array_equal(state.dp_ctl, golden.dp_ctl)
+            and bool(np.all((state.seq1 >= 0) & (state.seq1 < _ALPHABET)))
+            and bool(np.all((state.seq2 >= 0) & (state.seq2 < _ALPHABET)))
+        )
+
+    def step_batch(
+        self, states: Sequence[NwState], index: int, carry: Any = None
+    ) -> Any:
+        if carry is None:
+            # ``step`` writes only the score matrix and the row cursor;
+            # the sequences and substitution table never change, so the
+            # per-row substitution gather — the expensive advanced index
+            # — hoists to one (B, n, n) lookup per batch lifetime, and
+            # the cursor walks inside the carry.
+            n0 = [int(v) for v in states[0].dp_ctl][0]
+            blosum = np.stack([st.blosum for st in states])
+            seq1 = np.stack([st.seq1 for st in states])
+            seq2 = np.stack([st.seq2 for st in states])
+            bi = np.arange(len(states))
+            carry = {
+                "score": np.stack([st.score for st in states]),
+                "sub": blosum[
+                    bi[:, None, None], seq1[:, :, None], seq2[:, None, :n0]
+                ],
+                "ctl": [int(v) for v in states[0].dp_ctl],
+            }
+        n, penalty, cursor = carry["ctl"]
+        rps = self.params["rows_per_step"]
+        row_lo = max(index * rps + 1, min(cursor, n + 1))
+        row_hi = min((index + 1) * rps + 1, n + 1)
+        score = carry["score"]
+        sub_all = carry["sub"]
+        cols = np.arange(1, n + 1)
+        jp = penalty * cols.astype(np.int64)
+        for i in range(row_lo, row_hi):
+            sub = sub_all[:, i - 1]
+            diag = score[:, i - 1, :n].astype(np.int64) + sub
+            up = score[:, i - 1, 1 : n + 1].astype(np.int64) - penalty
+            g = np.maximum(diag, up) + jp
+            left0 = score[:, i, 0].astype(np.int64)
+            running = np.maximum.accumulate(np.maximum(g, left0[:, None]), axis=1)
+            score[:, i, 1 : n + 1] = (running - jp).astype(np.int32)
+        carry["ctl"][2] = row_hi
+        return carry
+
+    def batch_flush(self, states: Sequence[NwState], carry: Any) -> None:
+        if carry is None:
+            return
+        score = carry["score"]
+        for i, st in enumerate(states):
+            st.score[...] = score[i]
+            st.dp_ctl[2] = carry["ctl"][2]
 
     def output(self, state: NwState) -> np.ndarray:
         return state.score.copy()

@@ -12,11 +12,14 @@ The reproduction mirrors CAROL-FI's two-script architecture:
 
 :mod:`repro.carolfi.campaign` drives whole campaigns (the paper injects
 >=10,000 faults per benchmark), :mod:`repro.carolfi.engine` shards
-campaigns over worker processes with resumable checkpoints, and
+campaigns over worker processes with resumable checkpoints,
+:mod:`repro.carolfi.batchrunner` steps groups of runs through the
+benchmarks' vectorized batch kernels, and
 :mod:`repro.carolfi.logparse` re-reads persisted JSONL logs, mirroring
 the paper's parser scripts.
 """
 
+from repro.carolfi.batchrunner import BatchRunner
 from repro.carolfi.campaign import CampaignConfig, CampaignResult, run_campaign
 from repro.carolfi.configfile import load_config, run_from_config
 from repro.carolfi.engine import (
@@ -43,6 +46,7 @@ from repro.carolfi.prefixcache import PrefixStore, Snapshot, snapshot_interval
 from repro.carolfi.supervisor import Supervisor
 
 __all__ = [
+    "BatchRunner",
     "CampaignConfig",
     "CampaignResult",
     "CheckpointError",

@@ -41,6 +41,18 @@ class CampaignConfig:
     checkpoint fingerprint — a campaign checkpointed with snapshots on
     may resume with them off, and vice versa."""
 
+    batch_size: int = 1
+    """Vectorized batch width for the batched-injection fast path (see
+    :mod:`repro.carolfi.batchrunner`).  ``1`` disables batching; larger
+    values group runs sharing a prefix-snapshot anchor and step their
+    corrupted states together through the benchmarks' batched kernels.
+    Like ``snapshots``, a pure execution strategy: per-run RNG streams
+    are keyed by run index and divergent runs fall back to the scalar
+    path, so records are byte-identical at any batch size — the knob is
+    excluded from the checkpoint fingerprint and checkpoints stay
+    resumable across batch-size changes.  Only the in-process isolation
+    mode batches; subprocess sandboxing runs scalar regardless."""
+
     target_ci: float | None = None
     """Optional early-stopping precision target: stop the campaign at
     the first shard-merge boundary where every ``(benchmark,
@@ -61,6 +73,8 @@ class CampaignConfig:
             raise ValueError("at least one fault model is required")
         if self.target_ci is not None and not 0 < self.target_ci < 1:
             raise ValueError("target_ci must be in (0, 1)")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
 
 
 @dataclass
@@ -186,10 +200,20 @@ def run_campaign(
     log = JsonlLog(log_path) if log_path is not None else None
     records: list[InjectionRecord] = []
     models = config.fault_models
+    runs = [
+        (run_index, models[run_index % len(models)])
+        for run_index in range(config.injections)
+    ]
+    batched: dict[int, InjectionRecord] = {}
+    if config.batch_size > 1:
+        from repro.carolfi.batchrunner import BatchRunner
+
+        batched = BatchRunner(supervisor, config.batch_size).run_many(runs)
     try:
-        for run_index in range(config.injections):
-            model = models[run_index % len(models)]
-            record = supervisor.run_one(run_index, model)
+        for run_index, model in runs:
+            record = batched.get(run_index)
+            if record is None:
+                record = supervisor.run_one(run_index, model)
             records.append(record)
             if log is not None:
                 log.append(record.to_dict())

@@ -89,6 +89,7 @@ def load_config(path: str | Path) -> tuple[CampaignConfig, Path | None]:
         watchdog_factor=section.getfloat("watchdog_factor", 10.0),
         benchmark_params=params,
         snapshots=section.getboolean("snapshots", True),
+        batch_size=section.getint("batch_size", 1),
         target_ci=section.getfloat("target_ci", fallback=None),
     )
     log_value = section.get("log", "").strip()

@@ -54,6 +54,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.carolfi.batchrunner import BatchRunner
 from repro.carolfi.campaign import CampaignConfig, CampaignResult
 from repro.carolfi.isolation import (
     InjectionSandbox,
@@ -268,11 +269,12 @@ def campaign_fingerprint(config: CampaignConfig, shard_size: int | None = None) 
     Stored in every checkpoint header; a resume with a different
     benchmark, seed, size, fault-model set, policy or shard plan is
     detected before any stale record is trusted.  Isolation mode, retry
-    policy and the ``snapshots`` fast-path flag are deliberately
-    *excluded*: they change how runs are executed and supervised, never
-    what their records contain, so a campaign checkpointed in one mode
-    may resume in another (the payload lists fields explicitly for
-    exactly this reason).
+    policy and the ``snapshots``/``batch_size`` fast-path knobs are
+    deliberately *excluded*: they change how runs are executed and
+    supervised, never what their records contain, so a campaign
+    checkpointed in one mode may resume in another — including resuming
+    a scalar checkpoint with batching on or vice versa (the payload
+    lists fields explicitly for exactly this reason).
     """
     payload = {
         "version": CHECKPOINT_VERSION,
@@ -416,6 +418,9 @@ def _execute_shard(
         "repro_run_duration_seconds", help="Wall-clock duration of one injection run."
     )
     run_fn: Callable[[int, Any], InjectionRecord]
+    skip = skip_runs or {}
+    models = config.fault_models
+    batched: dict[int, InjectionRecord] = {}
     if iso.mode is IsolationMode.SUBPROCESS:
         sandbox = _sandbox_for(config, iso, golden_cache)
         sandbox.on_event = on_failure
@@ -426,7 +431,18 @@ def _execute_shard(
         run_fn = supervisor.run_one
         total_steps = supervisor.total_steps
         num_windows = supervisor.benchmark.num_windows
-    skip = skip_runs or {}
+        if config.batch_size > 1:
+            # Vectorized fast path (in-process only: a sandbox's whole
+            # point is per-run blast-radius containment).  Runs the
+            # batch path completes are looked up below; everything else
+            # — fallbacks, skips — flows through the unchanged scalar
+            # machinery, including its error attribution.
+            todo = [
+                (run_index, models[run_index % len(models)])
+                for run_index in spec.run_indices()
+                if run_index not in skip
+            ]
+            batched = BatchRunner(supervisor, config.batch_size).run_many(todo)
     log: JsonlLog | None = None
     if checkpoint_file is not None:
         path = Path(checkpoint_file)
@@ -442,7 +458,6 @@ def _execute_shard(
                 "stop": spec.stop,
             }
         )
-    models = config.fault_models
     rows: list[dict] = []
     with tracer.span("shard", shard=spec.index, start=spec.start, stop=spec.stop):
         for run_index in spec.run_indices():
@@ -458,6 +473,10 @@ def _execute_shard(
                     DueKind(kind),
                     detail,
                 )
+            elif run_index in batched:
+                record = batched[run_index]
+                if on_run_done is not None:
+                    on_run_done(run_index)
             else:
                 if on_run is not None:
                     on_run(run_index)

@@ -135,5 +135,17 @@ class PrefixStore:
             return None
         return self._snapshots[self._steps_sorted[pos - 1]]
 
+    def anchor_step(self, interrupt_step: int) -> int:
+        """The restore step runs interrupted at ``interrupt_step`` share.
+
+        The batch runner groups runs by this value so that one restore
+        (or one pristine clone, anchor 0) seeds the whole group.  It is a
+        property of the store's *current* contents: a later capture can
+        split what would have been one group, which only changes how
+        work is batched, never the per-run records.
+        """
+        snap = self.latest(interrupt_step)
+        return 0 if snap is None else snap.step
+
     def __len__(self) -> int:
         return len(self._snapshots)

@@ -185,6 +185,79 @@ class Supervisor:
             )
         return self.benchmark.restore(self._pristine)
 
+    # -- shared run machinery -------------------------------------------------
+    #
+    # run_one and the batched runner (:mod:`repro.carolfi.batchrunner`)
+    # must classify and record identically, so the pieces both need live
+    # in these helpers rather than inline in run_one.
+
+    def run_rng(self, run_index: int) -> np.random.Generator:
+        """The per-run RNG stream.
+
+        Keyed by run index alone (not shard/worker/batch), so any
+        sharding or batching of the campaign replays bit-identical
+        per-run streams.
+        """
+        return derive_rng(self.seed, "carolfi", self.benchmark.name, "run", run_index)
+
+    def classify_output(self, observed: np.ndarray) -> tuple[Outcome, dict[str, Any]]:
+        """Compare a quantized output against the golden copy.
+
+        Most runs are Masked: an exact-equality check is an order of
+        magnitude cheaper than building the wrong mask, and
+        classification-equivalent — any element differing after
+        quantization fails both (NaNs fail ``array_equal`` but compare
+        equal in ``wrong_mask``, which still yields an empty mask,
+        i.e. Masked).
+        """
+        if np.array_equal(self.golden, observed):
+            self._count("repro_compare_fastpath_total")
+            return Outcome.MASKED, {}
+        mask = wrong_mask(self.golden, observed)
+        if not mask.any():
+            return Outcome.MASKED, {}
+        pattern = classify_mask(mask, self.benchmark.output_dims)
+        return Outcome.SDC, {
+            "wrong_elements": int(mask.sum()),
+            "wrong_fraction": float(mask.mean()),
+            "max_rel_err": max_relative_error(self.golden, observed),
+            "pattern": pattern.value,
+        }
+
+    def make_record(
+        self,
+        run_index: int,
+        model: FaultModel,
+        interrupt_step: int,
+        site: FaultSite | None,
+        bits: tuple[int, ...] | None,
+        outcome: Outcome,
+        due_kind: DueKind | None = None,
+        due_detail: str = "",
+        sdc_metrics: dict[str, Any] | None = None,
+    ) -> InjectionRecord:
+        """Assemble the campaign-log record for one classified run."""
+        bench = self.benchmark
+        if site is None:
+            # The flip itself crashed before the site was recorded (it
+            # cannot: selection precedes corruption) — defensive default.
+            site = FaultSite("unknown", "unknown", 0, "unknown")
+        return InjectionRecord(
+            benchmark=bench.name,
+            run_index=run_index,
+            site=site,
+            fault_model=FaultModel(model).value,
+            bits=bits,
+            interrupt_step=interrupt_step,
+            total_steps=self.total_steps,
+            time_window=bench.window_of_step(interrupt_step, self.total_steps),
+            num_windows=bench.num_windows,
+            outcome=outcome,
+            due_kind=due_kind,
+            due_detail=due_detail,
+            sdc_metrics=sdc_metrics or {},
+        )
+
     # -- one test -------------------------------------------------------------
 
     def run_one(
@@ -195,9 +268,7 @@ class Supervisor:
     ) -> InjectionRecord:
         """Execute one injection test and classify its outcome."""
         bench = self.benchmark
-        # Keyed by run index alone (not shard/worker), so any sharding of
-        # the campaign replays bit-identical per-run streams.
-        rng = derive_rng(self.seed, "carolfi", bench.name, "run", run_index)
+        rng = self.run_rng(run_index)
         total = self.total_steps
         if interrupt_step is None:
             interrupt_step = int(rng.integers(0, total))
@@ -267,45 +338,18 @@ class Supervisor:
                 due_detail = f"{type(exc).__name__}: {exc}"
             else:
                 with tracer.span("compare"):
-                    # Most runs are Masked: an exact-equality check is an
-                    # order of magnitude cheaper than building the wrong
-                    # mask, and classification-equivalent — any element
-                    # differing after quantization fails both (NaNs fail
-                    # array_equal but compare equal in wrong_mask, which
-                    # still yields an empty mask, i.e. Masked).
-                    if np.array_equal(self.golden, observed):
-                        self._count("repro_compare_fastpath_total")
-                    else:
-                        mask = wrong_mask(self.golden, observed)
-                        if mask.any():
-                            outcome = Outcome.SDC
-                            pattern = classify_mask(mask, bench.output_dims)
-                            sdc_metrics = {
-                                "wrong_elements": int(mask.sum()),
-                                "wrong_fraction": float(mask.mean()),
-                                "max_rel_err": max_relative_error(self.golden, observed),
-                                "pattern": pattern.value,
-                            }
+                    outcome, sdc_metrics = self.classify_output(observed)
             finally:
                 arm_deadline(None)
                 run_span.set_attr("outcome", outcome.value)
 
-        if site is None:
-            # The flip itself crashed before the site was recorded (it
-            # cannot: selection precedes corruption) — defensive default.
-            site = FaultSite("unknown", "unknown", 0, "unknown")
-
-        return InjectionRecord(
-            benchmark=bench.name,
-            run_index=run_index,
-            site=site,
-            fault_model=FaultModel(model).value,
-            bits=bits,
-            interrupt_step=interrupt_step,
-            total_steps=total,
-            time_window=bench.window_of_step(interrupt_step, total),
-            num_windows=bench.num_windows,
-            outcome=outcome,
+        return self.make_record(
+            run_index,
+            model,
+            interrupt_step,
+            site,
+            bits,
+            outcome,
             due_kind=due_kind,
             due_detail=due_detail,
             sdc_metrics=sdc_metrics,
