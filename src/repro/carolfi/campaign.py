@@ -20,7 +20,7 @@ from repro.faults.models import FaultModel
 from repro.faults.outcome import InjectionRecord, Outcome
 from repro.util.jsonlog import JsonlLog
 
-__all__ = ["CampaignConfig", "CampaignResult", "run_campaign"]
+__all__ = ["CampaignConfig", "CampaignResult", "model_for", "run_campaign"]
 
 
 @dataclass(frozen=True)
@@ -120,6 +120,16 @@ class CampaignResult:
         return out
 
 
+def model_for(config: CampaignConfig, run_index: int) -> FaultModel:
+    """Fault model of one run under the round-robin sampling plan.
+
+    The single source of the rotation rule: the serial driver, the
+    sharded engine and the batch runner all derive a run's model here,
+    so the plan can never drift between execution topologies.
+    """
+    return config.fault_models[run_index % len(config.fault_models)]
+
+
 def run_campaign(
     config: CampaignConfig,
     log_path: str | Path | None = None,
@@ -199,9 +209,8 @@ def run_campaign(
     )
     log = JsonlLog(log_path) if log_path is not None else None
     records: list[InjectionRecord] = []
-    models = config.fault_models
     runs = [
-        (run_index, models[run_index % len(models)])
+        (run_index, model_for(config, run_index))
         for run_index in range(config.injections)
     ]
     batched: dict[int, InjectionRecord] = {}

@@ -55,7 +55,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.carolfi.batchrunner import BatchRunner
-from repro.carolfi.campaign import CampaignConfig, CampaignResult
+from repro.carolfi.campaign import CampaignConfig, CampaignResult, model_for
 from repro.carolfi.isolation import (
     InjectionSandbox,
     IsolationConfig,
@@ -88,6 +88,7 @@ __all__ = [
     "CheckpointError",
     "EARLY_STOP_MIN_CELL_RUNS",
     "FAILURE_LOG_NAME",
+    "FailureSink",
     "RetryPolicy",
     "ShardFailure",
     "ShardProgress",
@@ -321,7 +322,7 @@ def read_failure_log(path: str | Path) -> tuple[list[dict], int]:
 # -- failure-event log ---------------------------------------------------------
 
 
-class _FailureSink:
+class FailureSink:
     """Appends structured failure events to ``failures.jsonl`` (or not).
 
     The file is created eagerly, so "the campaign saw zero failures" is
@@ -419,7 +420,6 @@ def _execute_shard(
     )
     run_fn: Callable[[int, Any], InjectionRecord]
     skip = skip_runs or {}
-    models = config.fault_models
     batched: dict[int, InjectionRecord] = {}
     if iso.mode is IsolationMode.SUBPROCESS:
         sandbox = _sandbox_for(config, iso, golden_cache)
@@ -438,7 +438,7 @@ def _execute_shard(
             # — fallbacks, skips — flows through the unchanged scalar
             # machinery, including its error attribution.
             todo = [
-                (run_index, models[run_index % len(models)])
+                (run_index, model_for(config, run_index))
                 for run_index in spec.run_indices()
                 if run_index not in skip
             ]
@@ -461,7 +461,7 @@ def _execute_shard(
     rows: list[dict] = []
     with tracer.span("shard", shard=spec.index, start=spec.start, stop=spec.stop):
         for run_index in spec.run_indices():
-            model = models[run_index % len(models)]
+            model = model_for(config, run_index)
             if run_index in skip:
                 kind, detail = skip[run_index]
                 record = make_due_record(
@@ -756,7 +756,7 @@ def run_sharded_campaign(
     if golden_cache is None and ckpt_dir is not None:
         golden_cache = ckpt_dir / "golden-cache"
     cache_dir = str(golden_cache) if golden_cache is not None else None
-    sink = _FailureSink(failure_log, tel)
+    sink = FailureSink(failure_log, tel)
     reporter = tel.progress_reporter(config.injections, label=config.benchmark)
     replayed_runs = tel.registry.counter(
         "repro_runs_replayed_total",
@@ -932,7 +932,7 @@ def _run_serial(
     executed: dict[int, list[dict]],
     isolation: IsolationConfig,
     policy: RetryPolicy,
-    sink: _FailureSink,
+    sink: FailureSink,
     tel: Telemetry,
     reporter: Any,
     gate: _ConvergenceGate,
@@ -1160,7 +1160,7 @@ def _run_pool(
     workers: int,
     isolation: IsolationConfig,
     policy: RetryPolicy,
-    sink: _FailureSink,
+    sink: FailureSink,
     tel: Telemetry,
     reporter: Any,
     gate: _ConvergenceGate,

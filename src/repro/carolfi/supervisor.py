@@ -29,6 +29,7 @@ byte-identical campaign logs).
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from pathlib import Path
 from typing import Any
 
@@ -235,6 +236,7 @@ class Supervisor:
         due_kind: DueKind | None = None,
         due_detail: str = "",
         sdc_metrics: dict[str, Any] | None = None,
+        extra_faults: tuple[dict[str, Any], ...] = (),
     ) -> InjectionRecord:
         """Assemble the campaign-log record for one classified run."""
         bench = self.benchmark
@@ -256,6 +258,7 @@ class Supervisor:
             due_kind=due_kind,
             due_detail=due_detail,
             sdc_metrics=sdc_metrics or {},
+            extra_faults=extra_faults,
         )
 
     # -- one test -------------------------------------------------------------
@@ -263,26 +266,56 @@ class Supervisor:
     def run_one(
         self,
         run_index: int,
-        model: FaultModel,
+        model: FaultModel | None = None,
         interrupt_step: int | None = None,
+        faults: "Sequence[tuple[int, FaultModel]] | None" = None,
     ) -> InjectionRecord:
-        """Execute one injection test and classify its outcome."""
+        """Execute one injection test and classify its outcome.
+
+        The classic single-fault form passes ``model`` (and optionally a
+        forced ``interrupt_step``).  ``faults`` instead takes an explicit
+        *ordered* list of ``(step, model)`` injections delivered in
+        sequence during one execution — the multi-fault substrate the
+        scenario fuzzer (:mod:`repro.fuzz`) builds on.  The single-fault
+        path is byte-identical to the original implementation: the
+        per-run RNG draws the interrupt step first (only when it was not
+        forced) and is then consumed by the flips in delivery order, so
+        records written before this extension replay exactly.
+        """
         bench = self.benchmark
         rng = self.run_rng(run_index)
         total = self.total_steps
-        if interrupt_step is None:
-            interrupt_step = int(rng.integers(0, total))
-        if not 0 <= interrupt_step < total:
-            raise ValueError(f"interrupt step {interrupt_step} out of range")
+        if faults is None:
+            if model is None:
+                raise ValueError("run_one needs a fault model (or an explicit fault list)")
+            if interrupt_step is None:
+                interrupt_step = int(rng.integers(0, total))
+            plan = [(int(interrupt_step), FaultModel(model))]
+        else:
+            if model is not None or interrupt_step is not None:
+                raise ValueError("faults is mutually exclusive with model/interrupt_step")
+            plan = [(int(step), FaultModel(m)) for step, m in faults]
+            if not plan:
+                raise ValueError("faults must name at least one injection")
+            if any(a[0] > b[0] for a, b in zip(plan, plan[1:])):
+                raise ValueError("faults must be ordered by non-decreasing step")
+        for step, _ in plan:
+            if not 0 <= step < total:
+                raise ValueError(f"interrupt step {step} out of range")
+        first_step = plan[0][0]
+        primary_model = plan[0][1]
+        schedule: dict[int, list[FaultModel]] = {}
+        for step, fault_model in plan:
+            schedule.setdefault(step, []).append(fault_model)
 
         # Prefix fast path: resume from the deepest snapshot at or below
-        # the interrupt step; the skipped steps are bit-identical to the
-        # golden execution by construction, so the injected suffix sees
-        # exactly the state a full replay would have produced.
+        # the (first) interrupt step; the skipped steps are bit-identical
+        # to the golden execution by construction, so the injected suffix
+        # sees exactly the state a full replay would have produced.
         start_step = 0
         state: Any = None
         if self.prefix is not None:
-            snap = self.prefix.latest(interrupt_step)
+            snap = self.prefix.latest(first_step)
             if snap is not None:
                 state = bench.restore(snap.state)
                 start_step = snap.step
@@ -293,12 +326,13 @@ class Supervisor:
         deadline = time.perf_counter() + self.watchdog_factor * self.golden_runtime + 1.0
         site: FaultSite | None = None
         bits: tuple[int, ...] | None = None
+        extra: list[dict[str, Any]] = []
         outcome = Outcome.MASKED
         due_kind: DueKind | None = None
         due_detail = ""
         sdc_metrics: dict[str, Any] = {}
         tracer = current_tracer()
-        run_span = tracer.span("run", run=run_index, model=FaultModel(model).value)
+        run_span = tracer.span("run", run=run_index, model=primary_model.value)
 
         with run_span:
             try:
@@ -306,23 +340,36 @@ class Supervisor:
                 # step (bounded_range, explicit deadline_checkpoint calls)
                 # can convert an in-step hang into a watchdog DUE.
                 arm_deadline(deadline)
-                with tracer.span("execute", interrupt_step=interrupt_step):
+                with tracer.span("execute", interrupt_step=first_step):
                     for index in range(start_step, total):
-                        # Up to (and at the entry of) the interrupt step
-                        # the state is still a pure golden prefix: fill
-                        # store gaps left by a disk-cached golden run or
-                        # an exhausted byte budget.
+                        # Up to (and at the entry of) the first interrupt
+                        # step the state is still a pure golden prefix:
+                        # fill store gaps left by a disk-cached golden run
+                        # or an exhausted byte budget.
                         if (
                             self.prefix is not None
-                            and index <= interrupt_step
+                            and index <= first_step
                             and self.prefix.wants(index)
                         ):
                             self.prefix.capture(index, state)
                             self._count("repro_snapshot_captures_total")
-                        if index == interrupt_step:
+                        for fault_model in schedule.get(index, ()):
                             with tracer.span("corrupt", step=index):
-                                site, bits = self.flip.inject(
-                                    bench, state, index, model, rng
+                                fault_site, fault_bits = self.flip.inject(
+                                    bench, state, index, fault_model, rng
+                                )
+                            if site is None:
+                                site, bits = fault_site, fault_bits
+                            else:
+                                extra.append(
+                                    {
+                                        "step": index,
+                                        "fault_model": fault_model.value,
+                                        "site": fault_site.to_dict(),
+                                        "bits": list(fault_bits)
+                                        if fault_bits is not None
+                                        else None,
+                                    }
                                 )
                         bench.step(state, index)
                         if time.perf_counter() > deadline:
@@ -345,12 +392,13 @@ class Supervisor:
 
         return self.make_record(
             run_index,
-            model,
-            interrupt_step,
+            primary_model,
+            first_step,
             site,
             bits,
             outcome,
             due_kind=due_kind,
             due_detail=due_detail,
             sdc_metrics=sdc_metrics,
+            extra_faults=tuple(extra),
         )

@@ -1,0 +1,51 @@
+"""Multi-fault scenario fuzzing for the hardening stack.
+
+The paper's campaign model is "one fault, one run", but real failures
+compound: a second strike during recovery, dose accumulated across a
+checkpoint interval, a flip landing inside DWC's comparison window.
+This package turns the injector into a resilience *fuzzer*:
+
+* :mod:`repro.fuzz.scenario` — the scenario grammar: a deterministic,
+  seed-keyed sequence of steps (inject / dose / strike-during-recovery
+  / pause-resume checkpointing) plus the hardening scheme it runs
+  against;
+* :mod:`repro.fuzz.executor` — executes a scenario against a benchmark
+  wrapped in guards, ABFT and checkpoint/restart, producing a
+  byte-comparable :class:`~repro.fuzz.executor.ScenarioRecord`;
+* :mod:`repro.fuzz.oracle` — the interestingness oracle: hardening
+  escapes, execution divergence, engine-invariant violations;
+* :mod:`repro.fuzz.search` — seeded random generation with
+  coverage-bucket corpus feedback;
+* :mod:`repro.fuzz.shrink` — Hypothesis-style greedy shrinking to a
+  minimal reproducer;
+* :mod:`repro.fuzz.artifact` — replayable JSON reproducer artifacts.
+
+See DESIGN §12 for the full grammar, oracle taxonomy and artifact
+format.
+"""
+
+from repro.fuzz.artifact import Reproducer, load_reproducer, replay, replay_in_workers
+from repro.fuzz.executor import ScenarioExecutor, ScenarioRecord
+from repro.fuzz.oracle import Oracle, OracleFlag
+from repro.fuzz.scenario import Scenario, ScenarioStep, SchemeSpec
+from repro.fuzz.search import FuzzConfig, FuzzReport, ScenarioFuzzer, run_fuzz_campaign
+from repro.fuzz.shrink import shrink
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzReport",
+    "Oracle",
+    "OracleFlag",
+    "Reproducer",
+    "Scenario",
+    "ScenarioExecutor",
+    "ScenarioFuzzer",
+    "ScenarioRecord",
+    "ScenarioStep",
+    "SchemeSpec",
+    "load_reproducer",
+    "replay",
+    "replay_in_workers",
+    "run_fuzz_campaign",
+    "shrink",
+]

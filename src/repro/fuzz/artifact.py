@@ -1,0 +1,121 @@
+"""Replayable reproducer artifacts.
+
+A :class:`Reproducer` packages a shrunk scenario, the oracle flag it
+triggers, and the exact :class:`~repro.fuzz.executor.ScenarioRecord`
+it produced, as one JSON file (``repro-<key12>.json``).  Replay is a
+byte contract: re-executing the scenario must reproduce the stored
+record's canonical JSON exactly — on this host, any other host, and
+(via :func:`replay_in_workers`) inside any number of freshly-spawned
+worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.fuzz.executor import ScenarioRecord, executor_for
+from repro.fuzz.oracle import OracleFlag
+from repro.fuzz.scenario import Scenario
+
+__all__ = [
+    "Reproducer",
+    "load_reproducer",
+    "replay",
+    "replay_in_workers",
+]
+
+ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Reproducer:
+    """One minimal reproducer: scenario + flag + expected record."""
+
+    scenario: Scenario
+    flag: OracleFlag
+    expected: ScenarioRecord
+    original_len: int
+    shrunk_len: int
+    shrink_executions: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": ARTIFACT_VERSION,
+            "scenario": self.scenario.to_dict(),
+            "flag": self.flag.to_dict(),
+            "expected": self.expected.to_dict(),
+            "original_len": self.original_len,
+            "shrunk_len": self.shrunk_len,
+            "shrink_executions": self.shrink_executions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Reproducer":
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),
+            flag=OracleFlag.from_dict(data["flag"]),
+            expected=ScenarioRecord.from_dict(data["expected"]),
+            original_len=int(data["original_len"]),
+            shrunk_len=int(data["shrunk_len"]),
+            shrink_executions=int(data.get("shrink_executions", 0)),
+        )
+
+    def filename(self) -> str:
+        return f"repro-{self.scenario.key()[:12]}.json"
+
+    def save(self, out_dir: str | Path) -> Path:
+        """Atomic write (tmp + rename) so readers never see a torn file."""
+        target_dir = Path(out_dir)
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / self.filename()
+        tmp = target.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n")
+        os.replace(tmp, target)
+        return target
+
+
+def load_reproducer(path: str | Path) -> Reproducer:
+    with open(path, encoding="utf-8") as handle:
+        return Reproducer.from_dict(json.load(handle))
+
+
+def replay(reproducer: Reproducer) -> tuple[ScenarioRecord, bool]:
+    """Re-execute the scenario; True iff the record bytes match."""
+    executor = executor_for(
+        reproducer.scenario.benchmark, reproducer.scenario.benchmark_params
+    )
+    record = executor.execute(reproducer.scenario)
+    return record, record.canonical_json() == reproducer.expected.canonical_json()
+
+
+def _replay_worker(payload: str) -> str:
+    """Subprocess entry: returns the replayed record's canonical JSON."""
+    reproducer = Reproducer.from_dict(json.loads(payload))
+    record, _ok = replay(reproducer)
+    return record.canonical_json()
+
+
+def replay_in_workers(reproducer: Reproducer, workers: int) -> bool:
+    """Replay in ``workers`` fresh processes; True iff every copy matches.
+
+    Each worker rebuilds the executor (and its golden) from scratch, so
+    a pass demonstrates the record is a pure function of the artifact —
+    no hidden dependence on the parent's warm caches.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    expected = reproducer.expected.canonical_json()
+    if workers == 1:
+        record, ok = replay(reproducer)
+        return ok
+    from repro.carolfi.isolation import mp_context
+
+    payload = json.dumps(reproducer.to_dict(), sort_keys=True)
+    ctx = mp_context()
+    with ctx.Pool(processes=workers) as pool:
+        results = pool.map(_replay_worker, [payload] * workers)
+    return all(result == expected for result in results)

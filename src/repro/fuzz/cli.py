@@ -1,0 +1,160 @@
+"""``repro-fuzz``: run fuzz campaigns, replay and inspect reproducers.
+
+Subcommands::
+
+    repro-fuzz run --benchmark lud --verify-interval 3 --budget 40 \\
+        --seed 7 --out reproducers/ [--expect 1] [--workers 2]
+    repro-fuzz replay reproducers/repro-ab12cd34ef56.json [--workers 4]
+    repro-fuzz show reproducers/repro-ab12cd34ef56.json
+
+``run`` exits non-zero when ``--expect N`` reproducers were not found
+(the CI fuzz-smoke contract); ``replay`` exits non-zero on any byte
+mismatch against the stored record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, TextIO
+
+from repro.fuzz.artifact import load_reproducer, replay, replay_in_workers
+from repro.fuzz.scenario import SchemeSpec
+from repro.fuzz.search import FuzzConfig, run_fuzz_campaign
+
+__all__ = ["main"]
+
+
+def _parse_params(pairs: list[str]) -> dict[str, Any]:
+    params: dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _cmd_run(args: argparse.Namespace, stream: TextIO) -> int:
+    scheme = SchemeSpec(
+        guards=not args.no_guards,
+        abft=args.abft,
+        verify_interval=args.verify_interval,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    config = FuzzConfig(
+        benchmark=args.benchmark,
+        scheme=scheme,
+        seed=args.seed,
+        budget=args.budget,
+        max_steps=args.max_steps,
+        benchmark_params=_parse_params(args.param),
+        out_dir=args.out,
+        check_divergence=not args.no_divergence_check,
+        check_invariants=not args.no_invariant_check,
+    )
+    failure_sink = None
+    sink_obj = None
+    if args.failure_log is not None:
+        from repro.carolfi.engine import FailureSink
+
+        sink_obj = FailureSink(args.failure_log)
+        failure_sink = sink_obj
+    try:
+        report = run_fuzz_campaign(config, workers=args.workers, failure_sink=failure_sink)
+    finally:
+        if sink_obj is not None:
+            sink_obj.close()
+    print(f"scenarios run: {report.scenarios_run}", file=stream)
+    for outcome in sorted(report.outcome_counts):
+        print(f"  {outcome}: {report.outcome_counts[outcome]}", file=stream)
+    print(f"behavior buckets: {report.buckets}", file=stream)
+    print(f"flags: {len(report.flags)}", file=stream)
+    print(f"reproducers: {len(report.reproducers)}", file=stream)
+    for repro in report.reproducers:
+        print(
+            f"  [{repro.flag.kind}] {repro.filename()} "
+            f"steps {repro.original_len} -> {repro.shrunk_len} "
+            f"outcome={repro.expected.outcome}",
+            file=stream,
+        )
+    if args.expect is not None and len(report.reproducers) < args.expect:
+        print(
+            f"FAIL: expected >= {args.expect} reproducer(s), "
+            f"found {len(report.reproducers)}",
+            file=stream,
+        )
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace, stream: TextIO) -> int:
+    reproducer = load_reproducer(args.artifact)
+    if args.workers > 1:
+        ok = replay_in_workers(reproducer, args.workers)
+        where = f"{args.workers} worker processes"
+    else:
+        _record, ok = replay(reproducer)
+        where = "serial"
+    status = "reproduced byte-identically" if ok else "MISMATCH"
+    print(
+        f"[{reproducer.flag.kind}] {reproducer.scenario.benchmark} "
+        f"({len(reproducer.scenario)} step(s), {where}): {status}",
+        file=stream,
+    )
+    return 0 if ok else 1
+
+
+def _cmd_show(args: argparse.Namespace, stream: TextIO) -> int:
+    reproducer = load_reproducer(args.artifact)
+    print(json.dumps(reproducer.to_dict(), sort_keys=True, indent=2), file=stream)
+    return 0
+
+
+def main(argv: list[str] | None = None, stream: TextIO = sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="Multi-fault scenario fuzzing for the hardening stack.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a seeded fuzz campaign")
+    run_p.add_argument("--benchmark", required=True)
+    run_p.add_argument("--param", action="append", default=[], metavar="KEY=VALUE")
+    run_p.add_argument("--seed", type=int, default=2017)
+    run_p.add_argument("--budget", type=int, default=50)
+    run_p.add_argument("--max-steps", type=int, default=3)
+    run_p.add_argument("--workers", type=int, default=1)
+    run_p.add_argument("--out", default=None, help="reproducer artifact directory")
+    run_p.add_argument("--expect", type=int, default=None,
+                       help="fail unless at least N reproducers are found")
+    run_p.add_argument("--failure-log", default=None,
+                       help="append fuzz events to this failures.jsonl")
+    run_p.add_argument("--no-guards", action="store_true")
+    run_p.add_argument("--abft", action="store_true")
+    run_p.add_argument("--verify-interval", type=int, default=1)
+    run_p.add_argument("--checkpoint-interval", type=int, default=0)
+    run_p.add_argument("--no-divergence-check", action="store_true")
+    run_p.add_argument("--no-invariant-check", action="store_true")
+    run_p.set_defaults(func=_cmd_run)
+
+    replay_p = sub.add_parser("replay", help="replay a reproducer artifact")
+    replay_p.add_argument("artifact")
+    replay_p.add_argument("--workers", type=int, default=1)
+    replay_p.set_defaults(func=_cmd_replay)
+
+    show_p = sub.add_parser("show", help="pretty-print a reproducer artifact")
+    show_p.add_argument("artifact")
+    show_p.set_defaults(func=_cmd_show)
+
+    args = parser.parse_args(argv)
+    result: int = args.func(args, stream)
+    return result
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""Interestingness oracle: which scenario outcomes are worth keeping.
+
+Three flag kinds (DESIGN §12.2):
+
+* ``escape`` — the hardening scheme has detectors, the outcome is an
+  SDC, and **no** detector ever tripped: silent corruption sailed past
+  the protection.  This is the resilience finding the fuzzer exists
+  for.
+* ``divergence`` — re-executing the same scenario produced a different
+  record: the engine's determinism contract is broken (twin mismatch).
+* ``invariant`` — a snapshot-restore probe changed the record: the
+  benchmark's snapshot/restore protocol leaks state.
+
+``divergence`` and ``invariant`` are correctness findings about the
+*injector itself* — the fuzzer doubles as the engine's own test
+harness.  Escapes are confirmed by one re-execution before being
+flagged, so a non-deterministic fluke is reported as the (more severe)
+divergence instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fuzz.executor import ScenarioExecutor, ScenarioRecord
+from repro.fuzz.scenario import Scenario
+
+__all__ = ["Oracle", "OracleFlag"]
+
+FLAG_KINDS: tuple[str, ...] = ("escape", "divergence", "invariant")
+
+
+@dataclass(frozen=True)
+class OracleFlag:
+    """One interesting finding about a scenario."""
+
+    kind: str  # escape | divergence | invariant
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, str]:
+        return {"kind": self.kind, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, str]) -> "OracleFlag":
+        return cls(kind=data["kind"], detail=data.get("detail", ""))
+
+
+class Oracle:
+    """Evaluates scenarios and flags the interesting ones.
+
+    ``check_divergence`` and ``check_invariants`` each cost one extra
+    execution per scenario; the fuzzer enables them by default, the
+    shrinker's predicate re-checks only the flag kind it is preserving.
+    """
+
+    def __init__(
+        self,
+        executor: ScenarioExecutor,
+        check_divergence: bool = True,
+        check_invariants: bool = True,
+    ):
+        self.executor = executor
+        self.check_divergence = check_divergence
+        self.check_invariants = check_invariants
+
+    def evaluate(self, scenario: Scenario) -> tuple[ScenarioRecord, OracleFlag | None]:
+        """Execute ``scenario`` once (plus probe twins) and classify it."""
+        record = self.executor.execute(scenario)
+        flag = self.classify(scenario, record)
+        return record, flag
+
+    def classify(
+        self, scenario: Scenario, record: ScenarioRecord
+    ) -> OracleFlag | None:
+        if self.check_divergence:
+            twin = self.executor.execute(scenario)
+            if twin.canonical_json() != record.canonical_json():
+                return OracleFlag(
+                    "divergence",
+                    f"re-execution record differs (outcome {record.outcome} "
+                    f"vs {twin.outcome})",
+                )
+        if self.check_invariants and record.executed_steps > 1:
+            probe_at = max(1, record.total_steps // 2)
+            probed = self.executor.execute(scenario, snapshot_roundtrip_at=probe_at)
+            if probed.canonical_json() != record.canonical_json():
+                return OracleFlag(
+                    "invariant",
+                    f"snapshot-restore roundtrip at step {probe_at} changed the "
+                    f"record (outcome {record.outcome} vs {probed.outcome})",
+                )
+        if (
+            record.outcome == "sdc"
+            and scenario.scheme.has_detectors
+            and not record.detector_tripped
+        ):
+            # Confirm: a flaky escape is a determinism bug, not an escape.
+            confirm = self.executor.execute(scenario)
+            if confirm.canonical_json() != record.canonical_json():
+                return OracleFlag("divergence", "escape did not reproduce")
+            return OracleFlag(
+                "escape",
+                f"SDC ({record.detail}) with zero detector events under "
+                f"scheme {scenario.scheme.to_dict()}",
+            )
+        return None
+
+    def matches(self, scenario: Scenario, kind: str) -> bool:
+        """Shrinker predicate: does ``scenario`` still raise flag ``kind``?"""
+        _record, flag = self.evaluate(scenario)
+        return flag is not None and flag.kind == kind

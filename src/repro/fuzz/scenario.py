@@ -1,0 +1,189 @@
+"""Scenario grammar: seed-keyed multi-fault sequences.
+
+A :class:`Scenario` is a small program in a five-op language executed
+by :mod:`repro.fuzz.executor` against a benchmark wrapped in a
+hardening :class:`SchemeSpec`.  Everything is a frozen value with a
+canonical JSON form, so a scenario can be hashed (:meth:`Scenario.key`),
+persisted in a reproducer artifact, and replayed bit-identically on any
+host or worker count.
+
+The ops (DESIGN §12.1):
+
+* ``inject`` — deliver ``count`` faults under ``model`` into variables
+  of class ``resource`` just before step ``at`` executes;
+* ``dose`` — accumulated dose: ``count`` single-element corruptions
+  spread evenly over steps ``[at, at + span]``;
+* ``strike_recovery`` — arm one fault that fires *during* the next
+  checkpoint restore (on the freshly-restored state);
+* ``pause_checkpoint`` / ``resume_checkpoint`` — stop / restart
+  periodic snapshot capture from step ``at`` on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.faults.models import FaultModel
+
+__all__ = ["RESOURCE_ANY", "STEP_OPS", "Scenario", "ScenarioStep", "SchemeSpec"]
+
+STEP_OPS: tuple[str, ...] = (
+    "inject",
+    "dose",
+    "strike_recovery",
+    "pause_checkpoint",
+    "resume_checkpoint",
+)
+
+#: Wildcard resource: the fault may land in any live variable class.
+RESOURCE_ANY = "any"
+
+_MODELS = tuple(m.value for m in FaultModel.all())
+
+
+@dataclass(frozen=True)
+class ScenarioStep:
+    """One scenario op (see module docstring for semantics)."""
+
+    op: str
+    at: int = 0
+    model: str = "single"
+    resource: str = RESOURCE_ANY
+    count: int = 1
+    span: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in STEP_OPS:
+            raise ValueError(f"unknown scenario op {self.op!r}")
+        if self.model not in _MODELS:
+            raise ValueError(f"unknown fault model {self.model!r}")
+        if self.at < 0:
+            raise ValueError("at must be non-negative")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.span < 0:
+            raise ValueError("span must be non-negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "at": self.at,
+            "model": self.model,
+            "resource": self.resource,
+            "count": self.count,
+            "span": self.span,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioStep":
+        return cls(
+            op=data["op"],
+            at=int(data.get("at", 0)),
+            model=data.get("model", "single"),
+            resource=data.get("resource", RESOURCE_ANY),
+            count=int(data.get("count", 1)),
+            span=int(data.get("span", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Which hardening techniques wrap the benchmark under test.
+
+    ``verify_interval`` widens the detectors' comparison window: guards
+    are *verified* only at steps divisible by it but *re-synced* after
+    every step, so a fault landing between verify points is absorbed
+    into the trusted image — the executable model of DWC's comparison
+    window, and the weakened-detector knob the fuzz CI job exploits to
+    plant a known escape.
+    """
+
+    guards: bool = True
+    abft: bool = False
+    verify_interval: int = 1
+    checkpoint_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.verify_interval < 1:
+            raise ValueError("verify_interval must be >= 1")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be non-negative")
+
+    @property
+    def has_detectors(self) -> bool:
+        return self.guards or self.abft
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "guards": self.guards,
+            "abft": self.abft,
+            "verify_interval": self.verify_interval,
+            "checkpoint_interval": self.checkpoint_interval,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SchemeSpec":
+        return cls(
+            guards=bool(data.get("guards", True)),
+            abft=bool(data.get("abft", False)),
+            verify_interval=int(data.get("verify_interval", 1)),
+            checkpoint_interval=int(data.get("checkpoint_interval", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A deterministic multi-fault scenario against a hardened benchmark.
+
+    ``seed`` keys every random draw the executor makes, and each step's
+    fault content is keyed by the *step's own fields* (not its position),
+    so dropping an unrelated step during shrinking leaves the remaining
+    steps' faults bit-identical — the property the shrinker relies on.
+    """
+
+    benchmark: str
+    seed: int
+    steps: tuple[ScenarioStep, ...]
+    scheme: SchemeSpec = SchemeSpec()
+    benchmark_params: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "seed": self.seed,
+            "steps": [s.to_dict() for s in self.steps],
+            "scheme": self.scheme.to_dict(),
+            "benchmark_params": dict(self.benchmark_params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Scenario":
+        return cls(
+            benchmark=data["benchmark"],
+            seed=int(data["seed"]),
+            steps=tuple(ScenarioStep.from_dict(s) for s in data["steps"]),
+            scheme=SchemeSpec.from_dict(data.get("scheme", {})),
+            benchmark_params=dict(data.get("benchmark_params", {})),
+        )
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def key(self) -> str:
+        """Content hash — the scenario's identity for dedup and artifacts."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    def replace_steps(self, steps: tuple[ScenarioStep, ...]) -> "Scenario":
+        return Scenario(
+            benchmark=self.benchmark,
+            seed=self.seed,
+            steps=steps,
+            scheme=self.scheme,
+            benchmark_params=self.benchmark_params,
+        )

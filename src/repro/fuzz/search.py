@@ -1,0 +1,373 @@
+"""Seeded scenario search with coverage-bucket feedback.
+
+The generator is seeded random over the scenario grammar; the
+"coverage-ish" heuristic (ISSUE 7) keeps a corpus of scenarios that
+reached a previously-unseen *behavior bucket* — (outcome, detector
+signature, recovered?, fault-count band) — and biases later iterations
+toward mutating corpus members, the classic grey-box loop scaled down
+to deterministic replayable campaigns.
+
+Every flagged scenario is shrunk and persisted immediately; the
+campaign report carries the reproducers, and two counters surface in
+the ambient metrics registry:
+
+* ``repro_fuzz_scenarios_total{outcome=...}``
+* ``repro_fuzz_shrinks_total{result=...}``
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.fuzz.artifact import Reproducer
+from repro.fuzz.executor import ScenarioRecord, executor_for
+from repro.fuzz.oracle import Oracle, OracleFlag
+from repro.fuzz.scenario import RESOURCE_ANY, Scenario, ScenarioStep, SchemeSpec
+from repro.fuzz.shrink import shrink
+from repro.telemetry import current_registry
+from repro.util.rng import derive_rng
+
+__all__ = ["FuzzConfig", "FuzzReport", "ScenarioFuzzer", "run_fuzz_campaign"]
+
+_MODELS = ("single", "double", "random", "zero")
+
+#: Op weights for generation: faults dominate; the checkpoint-control
+#: ops only matter under a checkpointing scheme and are drawn rarely.
+_OP_WEIGHTS = {
+    "inject": 0.55,
+    "dose": 0.25,
+    "strike_recovery": 0.1,
+    "pause_checkpoint": 0.05,
+    "resume_checkpoint": 0.05,
+}
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzz campaign's plan — fully deterministic under ``seed``."""
+
+    benchmark: str
+    scheme: SchemeSpec = SchemeSpec()
+    seed: int = 2017
+    budget: int = 50
+    max_steps: int = 3
+    benchmark_params: dict[str, Any] = field(default_factory=dict)
+    out_dir: str | None = None
+    check_divergence: bool = True
+    check_invariants: bool = True
+    mutate_share: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError("budget must be positive")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be positive")
+        if not 0.0 <= self.mutate_share <= 1.0:
+            raise ValueError("mutate_share must be in [0, 1]")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "scheme": self.scheme.to_dict(),
+            "seed": self.seed,
+            "budget": self.budget,
+            "max_steps": self.max_steps,
+            "benchmark_params": dict(self.benchmark_params),
+            "out_dir": self.out_dir,
+            "check_divergence": self.check_divergence,
+            "check_invariants": self.check_invariants,
+            "mutate_share": self.mutate_share,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FuzzConfig":
+        return cls(
+            benchmark=data["benchmark"],
+            scheme=SchemeSpec.from_dict(data.get("scheme", {})),
+            seed=int(data.get("seed", 2017)),
+            budget=int(data.get("budget", 50)),
+            max_steps=int(data.get("max_steps", 3)),
+            benchmark_params=dict(data.get("benchmark_params", {})),
+            out_dir=data.get("out_dir"),
+            check_divergence=bool(data.get("check_divergence", True)),
+            check_invariants=bool(data.get("check_invariants", True)),
+            mutate_share=float(data.get("mutate_share", 0.5)),
+        )
+
+
+@dataclass
+class FuzzReport:
+    """What one fuzz campaign found."""
+
+    config: FuzzConfig
+    scenarios_run: int = 0
+    outcome_counts: dict[str, int] = field(default_factory=dict)
+    buckets: int = 0
+    flags: list[OracleFlag] = field(default_factory=list)
+    reproducers: list[Reproducer] = field(default_factory=list)
+    artifact_paths: list[str] = field(default_factory=list)
+
+    def merge(self, other: "FuzzReport") -> None:
+        self.scenarios_run += other.scenarios_run
+        for outcome, count in other.outcome_counts.items():
+            self.outcome_counts[outcome] = self.outcome_counts.get(outcome, 0) + count
+        self.buckets += other.buckets
+        self.flags.extend(other.flags)
+        seen = {r.scenario.key() for r in self.reproducers}
+        for repro in other.reproducers:
+            if repro.scenario.key() not in seen:
+                seen.add(repro.scenario.key())
+                self.reproducers.append(repro)
+        self.artifact_paths.extend(
+            p for p in other.artifact_paths if p not in self.artifact_paths
+        )
+
+
+class ScenarioFuzzer:
+    """The search loop: generate/mutate → execute → oracle → shrink."""
+
+    def __init__(
+        self,
+        config: FuzzConfig,
+        failure_sink: Callable[[dict[str, Any]], None] | None = None,
+    ):
+        self.config = config
+        self.executor = executor_for(config.benchmark, config.benchmark_params)
+        self.oracle = Oracle(
+            self.executor,
+            check_divergence=config.check_divergence,
+            check_invariants=config.check_invariants,
+        )
+        self.failure_sink = failure_sink
+        self.resources: tuple[str, ...] = (
+            RESOURCE_ANY,
+            *self.executor.resource_classes(),
+        )
+        self.corpus: list[Scenario] = []
+        self.seen_buckets: set[tuple[Any, ...]] = set()
+        self.seen_reproducers: set[str] = set()
+
+    # -- generation ---------------------------------------------------------
+
+    def _random_step(self, rng: np.random.Generator) -> ScenarioStep:
+        ops = list(_OP_WEIGHTS)
+        weights = np.array([_OP_WEIGHTS[o] for o in ops])
+        op = ops[int(rng.choice(len(ops), p=weights / weights.sum()))]
+        total = self.executor.total_steps
+        at = int(rng.integers(0, total))
+        model = _MODELS[int(rng.integers(0, len(_MODELS)))]
+        resource = self.resources[int(rng.integers(0, len(self.resources)))]
+        count = int(rng.integers(1, 4)) if op == "dose" else 1
+        span = int(rng.integers(0, max(total // 4, 1))) if op == "dose" else 0
+        return ScenarioStep(
+            op=op, at=at, model=model, resource=resource, count=count, span=span
+        )
+
+    def _generate(self, rng: np.random.Generator) -> Scenario:
+        n_steps = int(rng.integers(1, self.config.max_steps + 1))
+        steps = tuple(self._random_step(rng) for _ in range(n_steps))
+        return Scenario(
+            benchmark=self.config.benchmark,
+            seed=int(rng.integers(0, 2**31)),
+            steps=steps,
+            scheme=self.config.scheme,
+            benchmark_params=self.config.benchmark_params,
+        )
+
+    def _mutate(self, parent: Scenario, rng: np.random.Generator) -> Scenario:
+        steps = list(parent.steps)
+        choice = rng.random()
+        if choice < 0.3 and len(steps) < self.config.max_steps:
+            steps.insert(int(rng.integers(0, len(steps) + 1)), self._random_step(rng))
+        elif choice < 0.5 and len(steps) > 1:
+            steps.pop(int(rng.integers(0, len(steps))))
+        else:
+            i = int(rng.integers(0, len(steps)))
+            steps[i] = self._random_step(rng)
+        # A fresh seed per mutant keeps fault content exploring even
+        # when the step structure repeats.
+        return Scenario(
+            benchmark=parent.benchmark,
+            seed=int(rng.integers(0, 2**31)),
+            steps=tuple(steps),
+            scheme=parent.scheme,
+            benchmark_params=parent.benchmark_params,
+        )
+
+    # -- feedback -----------------------------------------------------------
+
+    def _bucket(self, record: ScenarioRecord) -> tuple[Any, ...]:
+        signature = tuple(
+            sorted({(e["kind"], e["action"]) for e in record.detector_events})
+        )
+        n_faults = len(record.faults)
+        band = 0 if n_faults == 0 else 1 if n_faults == 1 else 2 if n_faults <= 3 else 3
+        return (record.outcome, signature, record.recoveries > 0, band)
+
+    def _emit(self, event: dict[str, Any]) -> None:
+        if self.failure_sink is not None:
+            self.failure_sink(event)
+
+    # -- the loop -----------------------------------------------------------
+
+    def run(self) -> FuzzReport:
+        config = self.config
+        registry = current_registry()
+        scenario_counter = registry.counter(
+            "repro_fuzz_scenarios_total",
+            help="Fuzz scenarios executed, by outcome.",
+        )
+        shrink_counter = registry.counter(
+            "repro_fuzz_shrinks_total",
+            help="Fuzz shrink attempts, by result.",
+        )
+        report = FuzzReport(config=config)
+        for iteration in range(config.budget):
+            rng = derive_rng(config.seed, "fuzz", "gen", iteration)
+            if self.corpus and rng.random() < config.mutate_share:
+                parent = self.corpus[int(rng.integers(0, len(self.corpus)))]
+                scenario = self._mutate(parent, rng)
+            else:
+                scenario = self._generate(rng)
+            record, flag = self.oracle.evaluate(scenario)
+            report.scenarios_run += 1
+            report.outcome_counts[record.outcome] = (
+                report.outcome_counts.get(record.outcome, 0) + 1
+            )
+            scenario_counter.inc(outcome=record.outcome)
+            bucket = self._bucket(record)
+            if bucket not in self.seen_buckets:
+                self.seen_buckets.add(bucket)
+                self.corpus.append(scenario)
+            if flag is None:
+                continue
+            report.flags.append(flag)
+            self._emit(
+                {
+                    "event": "fuzz_flag",
+                    "kind": flag.kind,
+                    "detail": flag.detail,
+                    "scenario_key": scenario.key(),
+                    "iteration": iteration,
+                }
+            )
+            minimal, executions = shrink(
+                scenario, lambda s: self.oracle.matches(s, flag.kind)
+            )
+            shrunk_record, shrunk_flag = self.oracle.evaluate(minimal)
+            if shrunk_flag is None or shrunk_flag.kind != flag.kind:
+                # The cap or nondeterminism left a non-reproducing
+                # minimum; fall back to the original flagged scenario.
+                shrink_counter.inc(result="rejected")
+                minimal, shrunk_record = scenario, record
+                shrunk_flag = flag
+            else:
+                shrink_counter.inc(result="accepted")
+            if minimal.key() in self.seen_reproducers:
+                continue
+            self.seen_reproducers.add(minimal.key())
+            reproducer = Reproducer(
+                scenario=minimal,
+                flag=shrunk_flag,
+                expected=shrunk_record,
+                original_len=len(scenario),
+                shrunk_len=len(minimal),
+                shrink_executions=executions,
+            )
+            report.reproducers.append(reproducer)
+            if config.out_dir is not None:
+                path = reproducer.save(config.out_dir)
+                report.artifact_paths.append(str(path))
+            self._emit(
+                {
+                    "event": "fuzz_reproducer",
+                    "kind": shrunk_flag.kind,
+                    "scenario_key": minimal.key(),
+                    "original_len": len(scenario),
+                    "shrunk_len": len(minimal),
+                    "artifact": report.artifact_paths[-1]
+                    if config.out_dir is not None
+                    else None,
+                }
+            )
+        report.buckets = len(self.seen_buckets)
+        return report
+
+
+def _run_chunk(payload: dict[str, Any]) -> dict[str, Any]:
+    """Subprocess entry for one worker's share of the budget."""
+    config = FuzzConfig.from_dict(payload)
+    report = ScenarioFuzzer(config).run()
+    return {
+        "scenarios_run": report.scenarios_run,
+        "outcome_counts": report.outcome_counts,
+        "buckets": report.buckets,
+        "flags": [f.to_dict() for f in report.flags],
+        "reproducers": [r.to_dict() for r in report.reproducers],
+        "artifact_paths": report.artifact_paths,
+    }
+
+
+def run_fuzz_campaign(
+    config: FuzzConfig,
+    workers: int = 1,
+    failure_sink: Callable[[dict[str, Any]], None] | None = None,
+) -> FuzzReport:
+    """Run a fuzz campaign, optionally split across worker processes.
+
+    ``workers`` > 1 partitions the budget into per-worker campaigns
+    with derived seeds; each chunk is individually deterministic, and
+    reproducers are deduplicated by scenario key at merge.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1:
+        return ScenarioFuzzer(config, failure_sink=failure_sink).run()
+    from repro.carolfi.isolation import mp_context
+
+    share = config.budget // workers
+    extra = config.budget % workers
+    payloads = []
+    for w in range(workers):
+        budget = share + (1 if w < extra else 0)
+        if budget == 0:
+            continue
+        chunk = dict(config.to_dict())
+        chunk["budget"] = budget
+        chunk["seed"] = int(
+            derive_rng(config.seed, "fuzz", "worker", w).integers(0, 2**31)
+        )
+        payloads.append(chunk)
+    ctx = mp_context()
+    with ctx.Pool(processes=workers) as pool:
+        results = pool.map(_run_chunk, payloads)
+    report = FuzzReport(config=config)
+    for result in results:
+        part = FuzzReport(
+            config=config,
+            scenarios_run=int(result["scenarios_run"]),
+            outcome_counts=dict(result["outcome_counts"]),
+            buckets=int(result["buckets"]),
+            flags=[OracleFlag.from_dict(f) for f in result["flags"]],
+            reproducers=[Reproducer.from_dict(r) for r in result["reproducers"]],
+            artifact_paths=list(result["artifact_paths"]),
+        )
+        report.merge(part)
+        if failure_sink is not None:
+            for flag in part.flags:
+                failure_sink({"event": "fuzz_flag", **flag.to_dict()})
+            for repro in part.reproducers:
+                failure_sink(
+                    {
+                        "event": "fuzz_reproducer",
+                        "kind": repro.flag.kind,
+                        "scenario_key": repro.scenario.key(),
+                        "original_len": repro.original_len,
+                        "shrunk_len": repro.shrunk_len,
+                    }
+                )
+    return report

@@ -1,0 +1,166 @@
+"""Greedy minimal-reproducer shrinking.
+
+Hypothesis-style (SNIPPETS.md): repeatedly apply simplifying
+transforms, keep any candidate the predicate still accepts, stop at a
+fixpoint or the execution cap.  Every transform removes a step or
+shrinks a field toward its minimum, so the result is never longer than
+the original and termination is structural, not probabilistic.
+
+Shrink stability rests on the executor's RNG keying: a step's fault
+content depends only on the step's own fields, so dropping step A
+cannot change what step B does — the predicate re-check is exact, not
+best-effort.
+
+Transforms, in pass order (DESIGN §12.3):
+
+1. **drop** — delete each step, longest-suffix first;
+2. **defuse** — per step: ``count`` → 1, ``span`` → 0, ``model`` →
+   ``single``, ``resource`` → ``any``;
+3. **retime** — bisect each step's ``at`` toward 0.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.fuzz.scenario import Scenario, ScenarioStep
+
+__all__ = ["shrink"]
+
+#: Default cap on predicate evaluations (each is >= 1 execution).
+MAX_SHRINK_EXECUTIONS = 200
+
+
+def _defused(step: ScenarioStep) -> list[ScenarioStep]:
+    """Simpler variants of one step, most aggressive first."""
+    out = []
+    if step.count > 1 or step.span > 0 or step.model != "single" or step.resource != "any":
+        out.append(
+            ScenarioStep(op=step.op, at=step.at, model="single", resource="any")
+        )
+    if step.count > 1:
+        out.append(
+            ScenarioStep(
+                op=step.op, at=step.at, model=step.model,
+                resource=step.resource, count=1, span=step.span,
+            )
+        )
+    if step.span > 0:
+        out.append(
+            ScenarioStep(
+                op=step.op, at=step.at, model=step.model,
+                resource=step.resource, count=step.count, span=0,
+            )
+        )
+    if step.model != "single":
+        out.append(
+            ScenarioStep(
+                op=step.op, at=step.at, model="single",
+                resource=step.resource, count=step.count, span=step.span,
+            )
+        )
+    if step.resource != "any":
+        out.append(
+            ScenarioStep(
+                op=step.op, at=step.at, model=step.model,
+                resource="any", count=step.count, span=step.span,
+            )
+        )
+    return out
+
+
+def _retimed(step: ScenarioStep, at: int) -> ScenarioStep:
+    return ScenarioStep(
+        op=step.op, at=at, model=step.model,
+        resource=step.resource, count=step.count, span=step.span,
+    )
+
+
+def shrink(
+    scenario: Scenario,
+    predicate: Callable[[Scenario], bool],
+    max_executions: int = MAX_SHRINK_EXECUTIONS,
+) -> tuple[Scenario, int]:
+    """Minimize ``scenario`` while ``predicate`` stays true.
+
+    ``predicate`` must be true of ``scenario`` itself (the caller
+    flags first, shrinks second).  Returns the minimal scenario found
+    and the number of predicate evaluations spent.  The result is
+    guaranteed no longer than the input even when the cap bites.
+    """
+    current = scenario
+    spent = 0
+
+    def accept(candidate: Scenario) -> bool:
+        nonlocal spent
+        if spent >= max_executions:
+            return False
+        spent += 1
+        return predicate(candidate)
+
+    improved = True
+    while improved and spent < max_executions:
+        improved = False
+
+        # Pass 1: drop steps, longest suffix first, then singles.
+        steps = current.steps
+        cut = len(steps) - 1
+        while cut >= 1 and spent < max_executions:
+            candidate = current.replace_steps(steps[:cut])
+            if accept(candidate):
+                current, steps = candidate, candidate.steps
+                improved = True
+                cut = min(cut, len(steps)) - 1
+            else:
+                cut -= 1
+        i = 0
+        while i < len(current.steps) and spent < max_executions:
+            steps = current.steps
+            if len(steps) <= 1:
+                break
+            candidate = current.replace_steps(steps[:i] + steps[i + 1 :])
+            if accept(candidate):
+                current = candidate
+                improved = True
+            else:
+                i += 1
+
+        # Pass 2: defuse each surviving step.
+        i = 0
+        while i < len(current.steps) and spent < max_executions:
+            for simpler in _defused(current.steps[i]):
+                steps = current.steps
+                candidate = current.replace_steps(
+                    steps[:i] + (simpler,) + steps[i + 1 :]
+                )
+                if accept(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            else:
+                i += 1
+
+        # Pass 3: bisect each step's time toward 0.
+        i = 0
+        while i < len(current.steps) and spent < max_executions:
+            step = current.steps[i]
+            lo, hi = 0, step.at
+            moved = False
+            while lo < hi and spent < max_executions:
+                mid = (lo + hi) // 2
+                steps = current.steps
+                candidate = current.replace_steps(
+                    steps[:i] + (_retimed(step, mid),) + steps[i + 1 :]
+                )
+                if accept(candidate):
+                    current = candidate
+                    step = current.steps[i]
+                    hi = mid
+                    moved = True
+                else:
+                    lo = mid + 1
+            if moved:
+                improved = True
+            i += 1
+
+    return current, spent

@@ -73,12 +73,21 @@ def run_with_checkpoints(
     inject: Callable[[Any], None] | None = None,
     inject_step: int = 0,
     max_failures: int = 8,
+    recovery_inject: Callable[[Any], None] | None = None,
+    recovery_inject_attempt: int = 1,
 ) -> CheckpointRun:
     """Execute with periodic snapshots and crash rollback.
 
     ``inject(state)`` is called once, before ``inject_step``, on the
     *first* attempt only (a transient fault does not recur on
     re-execution — the defining property checkpointing exploits).
+
+    ``recovery_inject(state)`` models a second transient strike landing
+    *during* restore: it is applied to the freshly-restored state of the
+    ``recovery_inject_attempt``-th rollback (1-based), once.  A crash on
+    a struck attempt is charged to the strike, not the snapshot — the
+    snapshot is *not* discarded, so a clean image survives a
+    double-strike instead of being thrown away as "poisoned".
     """
     if interval < 1:
         raise ValueError("checkpoint interval must be positive")
@@ -86,6 +95,8 @@ def run_with_checkpoints(
         raise ValueError("max_failures must be non-negative")
     if inject_step < 0:
         raise ValueError("inject_step must be non-negative")
+    if recovery_inject_attempt < 1:
+        raise ValueError("recovery_inject_attempt must be >= 1")
 
     total = benchmark.num_steps(state)
     snapshots: list[tuple[int, Any]] = [(0, copy.deepcopy(state))]
@@ -95,6 +106,8 @@ def run_with_checkpoints(
     failures = 0
     executed = 0
     index = 0
+    restore_attempts = 0
+    struck_restore = False
 
     while index < total:
         try:
@@ -127,11 +140,18 @@ def run_with_checkpoints(
             # failure means that snapshot is poisoned too: discard it
             # and fall back one level.  Snapshot 0 holds the pristine
             # inputs, and the transient fault is not re-injected, so
-            # the cascade always terminates.
-            if failures > 1 and len(snapshots) > 1:
+            # the cascade always terminates.  Exception: if the failed
+            # attempt was itself struck during restore, the crash says
+            # nothing about the snapshot — keep it.
+            if failures > 1 and not struck_restore and len(snapshots) > 1:
                 snapshots.pop()
             index, base = snapshots[-1]
             state = copy.deepcopy(base)
+            restore_attempts += 1
+            struck_restore = False
+            if recovery_inject is not None and restore_attempts == recovery_inject_attempt:
+                recovery_inject(state)
+                struck_restore = True
 
     return CheckpointRun(
         completed=True,

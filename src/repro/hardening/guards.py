@@ -21,13 +21,21 @@ Three guard kinds cover the paper's software techniques:
 from __future__ import annotations
 
 import enum
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.hardening.parity import word_parity
 
-__all__ = ["FaultDetected", "GuardKind", "VariableGuard", "build_guards"]
+__all__ = [
+    "DetectorEvent",
+    "FaultDetected",
+    "GuardKind",
+    "VariableGuard",
+    "attach_observer",
+    "build_guards",
+]
 
 
 class FaultDetected(RuntimeError):
@@ -47,12 +55,35 @@ class GuardKind(str, enum.Enum):
     CHECKSUM = "checksum"
 
 
+@dataclass(frozen=True)
+class DetectorEvent:
+    """One detector-state transition, reported to an observer.
+
+    The fuzzer's interestingness oracle consumes these: an SDC outcome
+    with *zero* trip events is a hardening escape.  ``action`` is
+    ``"trip"`` when a guard found its store corrupted (a
+    :class:`FaultDetected` follows immediately).
+    """
+
+    variable: str
+    kind: str
+    action: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"variable": self.variable, "kind": self.kind, "action": self.action}
+
+
 @dataclass
 class VariableGuard:
     """One protected variable's runtime check state."""
 
     name: str
     kind: GuardKind
+    observer: Callable[[DetectorEvent], None] | None = None
+    """Optional hook fired on every detector trip, just before the
+    :class:`FaultDetected` raise.  Pure observation: attaching one never
+    changes control flow or the guarded execution's records."""
+
     _shadow: np.ndarray | None = None
     _parity: np.ndarray | None = None
     _checksum: float | None = None
@@ -98,6 +129,8 @@ class VariableGuard:
 
     def verify(self, array: np.ndarray) -> None:
         if not self.clean(array):
+            if self.observer is not None:
+                self.observer(DetectorEvent(self.name, self.kind.value, "trip"))
             raise FaultDetected(self.name, self.kind)
 
     @property
@@ -169,3 +202,12 @@ def build_guards(benchmark_name: str) -> dict[str, VariableGuard]:
     """Instantiate the recommended guard set for one benchmark."""
     spec = GUARD_SPECS.get(benchmark_name, {})
     return {name: VariableGuard(name, kind) for name, kind in spec.items()}
+
+
+def attach_observer(
+    guards: dict[str, VariableGuard],
+    observer: Callable[[DetectorEvent], None],
+) -> None:
+    """Wire one observer into every guard of a :func:`build_guards` set."""
+    for guard in guards.values():
+        guard.observer = observer

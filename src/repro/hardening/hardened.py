@@ -36,7 +36,12 @@ from repro.carolfi.supervisor import _CRASH_EXCEPTIONS
 from repro.faults.models import FaultModel
 from repro.faults.site import FaultSite
 from repro.hardening.abft import AbftOutcome, abft_check, abft_checksums
-from repro.hardening.guards import FaultDetected, build_guards
+from repro.hardening.guards import (
+    DetectorEvent,
+    FaultDetected,
+    attach_observer,
+    build_guards,
+)
 from repro.util.rng import derive_rng
 
 __all__ = [
@@ -100,6 +105,7 @@ class HardenedSupervisor:
         policy: SitePolicy = SitePolicy.WEIGHTED,
         watchdog_factor: float = 10.0,
         abft: bool | None = None,
+        detector_observer: Any | None = None,
     ):
         self.benchmark = benchmark
         self.seed = int(seed)
@@ -107,6 +113,9 @@ class HardenedSupervisor:
         self.watchdog_factor = float(watchdog_factor)
         #: ABFT output verification applies to the matrix-product code.
         self.abft = benchmark.name == "dgemm" if abft is None else bool(abft)
+        #: Optional ``Callable[[DetectorEvent], None]`` wired into every
+        #: guard of every run (the fuzz oracle's detector-state tap).
+        self.detector_observer = detector_observer
 
         plain_start = time.perf_counter()
         state = self._fresh_state()
@@ -179,6 +188,8 @@ class HardenedSupervisor:
         state = self._fresh_state()
         checksums = self._abft_checksums(state)
         guards = build_guards(bench.name)
+        if self.detector_observer is not None:
+            attach_observer(guards, self.detector_observer)
         site = FaultSite("none", "none", 0, "none")
         outcome: HardenedOutcome = "masked"
         detected_by = ""
@@ -217,6 +228,13 @@ class HardenedSupervisor:
             observed = bench.output(state)
             if checksums is not None:
                 verdict = abft_check(observed, checksums[0], checksums[1])
+                if (
+                    self.detector_observer is not None
+                    and verdict.outcome is not AbftOutcome.CLEAN
+                ):
+                    self.detector_observer(
+                        DetectorEvent("output", "abft", verdict.outcome.value)
+                    )
                 if verdict.outcome is AbftOutcome.CORRECTED:
                     observed = verdict.matrix
                     if wrong_mask(self.golden, self._quantize(observed)).any():

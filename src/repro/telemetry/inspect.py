@@ -814,8 +814,72 @@ def render_html(
 # -- CLI -----------------------------------------------------------------------
 
 
+def _fuzz_main(argv: list[str], out: IO[str]) -> int:
+    """``repro-inspect fuzz``: list fuzz reproducer artifacts."""
+    parser = argparse.ArgumentParser(
+        prog="repro-inspect fuzz",
+        description="Summarize fuzz reproducer artifacts (repro-*.json).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="Reproducer files or directories containing repro-*.json.",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.fuzz.artifact import load_reproducer
+
+    files: list[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob("repro-*.json")))
+        else:
+            files.append(path)
+    if not files:
+        print("repro-inspect fuzz: no reproducer artifacts found", file=sys.stderr)
+        return 2
+
+    rows = []
+    for path in files:
+        try:
+            repro = load_reproducer(path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro-inspect fuzz: skipping {path}: {exc}", file=sys.stderr)
+            continue
+        rows.append(
+            (
+                path.name,
+                repro.scenario.benchmark,
+                repro.flag.kind,
+                f"{repro.original_len}->{repro.shrunk_len}",
+                repro.expected.outcome,
+                len(repro.expected.faults),
+                repro.expected.recoveries,
+            )
+        )
+    if not rows:
+        print("repro-inspect fuzz: no readable reproducer artifacts", file=sys.stderr)
+        return 2
+    header = ("artifact", "benchmark", "flag", "steps", "outcome", "faults", "recoveries")
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) for i in range(len(header))
+    ]
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)), file=out)
+    for row in rows:
+        print(
+            "  ".join(str(v).ljust(widths[i]) for i, v in enumerate(row)),
+            file=out,
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None, stream: IO[str] | None = None) -> int:
     """Entry point for the ``repro-inspect`` console script."""
+    args_in = list(sys.argv[1:]) if argv is None else list(argv)
+    out_stream = stream if stream is not None else sys.stdout
+    if args_in and args_in[0] == "fuzz":
+        return _fuzz_main(args_in[1:], out_stream)
     parser = argparse.ArgumentParser(
         prog="repro-inspect",
         description="Join campaign.jsonl, trace.jsonl and metrics into one analytics report.",

@@ -1,0 +1,187 @@
+"""Scenario executor: determinism, scheme semantics, recovery strikes."""
+
+import pytest
+
+from repro.fuzz.executor import ScenarioExecutor, ScenarioRecord, executor_for
+from repro.fuzz.scenario import Scenario, ScenarioStep, SchemeSpec
+
+LUD = {"n": 24, "block": 4}
+
+
+@pytest.fixture(scope="module")
+def lud_executor():
+    return ScenarioExecutor("lud", LUD)
+
+
+def _scenario(steps, scheme=SchemeSpec(), seed=11):
+    return Scenario(
+        benchmark="lud", seed=seed, steps=tuple(steps),
+        scheme=scheme, benchmark_params=LUD,
+    )
+
+
+def test_empty_scenario_is_masked(lud_executor):
+    record = lud_executor.execute(_scenario([], scheme=SchemeSpec(verify_interval=2)))
+    assert record.outcome == "masked"
+    assert record.faults == ()
+    assert record.executed_steps == lud_executor.total_steps
+    assert record.output_digest
+
+
+def test_execution_is_deterministic(lud_executor):
+    scenario = _scenario(
+        [
+            ScenarioStep(op="inject", at=1, model="random"),
+            ScenarioStep(op="dose", at=2, count=3, span=3),
+        ],
+        scheme=SchemeSpec(verify_interval=3, checkpoint_interval=2),
+    )
+    a = lud_executor.execute(scenario)
+    b = lud_executor.execute(scenario)
+    c = ScenarioExecutor("lud", LUD).execute(scenario)
+    assert a.canonical_json() == b.canonical_json() == c.canonical_json()
+
+
+def test_record_roundtrips(lud_executor):
+    scenario = _scenario([ScenarioStep(op="inject", at=1)])
+    record = lud_executor.execute(scenario)
+    assert ScenarioRecord.from_dict(record.to_dict()).canonical_json() == (
+        record.canonical_json()
+    )
+
+
+def test_tight_guards_detect_matrix_fault(lud_executor):
+    # verify_interval=1 checks every step: a matrix corruption cannot
+    # survive to the output silently.
+    scenario = _scenario(
+        [ScenarioStep(op="inject", at=1, model="random", resource="matrix")],
+        scheme=SchemeSpec(verify_interval=1),
+    )
+    record = lud_executor.execute(scenario)
+    assert record.outcome == "detected"
+    assert record.detector_events
+    assert record.detector_events[0]["action"] == "trip"
+
+
+def test_weakened_guards_let_fault_escape(lud_executor):
+    # verify_interval=3 verifies at steps 0 and 3 only, but resyncs
+    # after every step: a fault at step 5 is absorbed into the trusted
+    # image and never verified again — the planted escape.  (Seed 11
+    # lands this flip in the live matrix; many sites mask.)
+    scenario = _scenario(
+        [ScenarioStep(op="inject", at=5, model="double", resource="matrix")],
+        scheme=SchemeSpec(verify_interval=3),
+    )
+    record = lud_executor.execute(scenario)
+    assert record.outcome == "sdc"
+    assert not record.detector_events
+    assert record.sdc_wrong_elements >= 1
+
+
+def test_unguarded_scheme_reports_plain_sdc(lud_executor):
+    scenario = _scenario(
+        [ScenarioStep(op="inject", at=5, model="double", resource="matrix")],
+        scheme=SchemeSpec(guards=False),
+    )
+    record = lud_executor.execute(scenario)
+    assert record.outcome == "sdc"
+    assert record.detector_events == ()
+
+
+def test_fault_content_keyed_by_step_not_position(lud_executor):
+    # Dropping an unrelated step must not change what the surviving
+    # step does — the shrinker's stability property.
+    scheme = SchemeSpec(guards=False)
+    keep = ScenarioStep(op="inject", at=4, model="double", resource="matrix")
+    drop = ScenarioStep(op="inject", at=1, model="zero", resource="control")
+    alone = lud_executor.execute(_scenario([keep], scheme=scheme))
+    paired = lud_executor.execute(_scenario([drop, keep], scheme=scheme))
+    alone_fault = alone.faults[0]
+    kept_fault = next(f for f in paired.faults if f["step"] == 4)
+    assert kept_fault == alone_fault
+
+
+def test_checkpoint_recovers_crash(lud_executor):
+    # A pointer fault crashes; checkpoint/restart rolls back and the
+    # transient is not re-delivered, so the run completes clean.
+    scenario = _scenario(
+        [ScenarioStep(op="inject", at=3, model="random", resource="pointer")],
+        scheme=SchemeSpec(guards=False, checkpoint_interval=2),
+        seed=5,
+    )
+    record = lud_executor.execute(scenario)
+    assert record.recoveries >= 1
+    assert record.outcome in ("masked", "sdc")
+    assert record.executed_steps > lud_executor.total_steps - 1
+
+
+def test_strike_during_recovery_fires(lud_executor):
+    # Arm a restore strike behind a crashing fault: the strike is
+    # delivered on the restored state and tagged during=restore.
+    scenario = _scenario(
+        [
+            ScenarioStep(op="inject", at=3, model="random", resource="pointer"),
+            ScenarioStep(op="strike_recovery", model="single", resource="matrix"),
+        ],
+        scheme=SchemeSpec(guards=False, checkpoint_interval=2),
+        seed=5,
+    )
+    record = lud_executor.execute(scenario)
+    if record.recoveries:  # the primary fault crashed, as seeded
+        strikes = [f for f in record.faults if f["during"] == "restore"]
+        assert len(strikes) == 1
+        assert strikes[0]["op"] == "strike_recovery"
+
+
+def test_strike_without_checkpointing_is_noop(lud_executor):
+    scenario = _scenario(
+        [ScenarioStep(op="strike_recovery", model="random")],
+        scheme=SchemeSpec(verify_interval=2),
+    )
+    record = lud_executor.execute(scenario)
+    assert record.outcome == "masked"
+    assert record.faults == ()
+
+
+def test_pause_checkpoint_limits_snapshots(lud_executor):
+    # Pausing capture at step 0 leaves only the step-0 snapshot; a
+    # later crash must restart from scratch (more re-executed work
+    # than with full checkpointing).
+    crash = ScenarioStep(op="inject", at=5, model="random", resource="pointer")
+    paused = _scenario(
+        [ScenarioStep(op="pause_checkpoint", at=0), crash],
+        scheme=SchemeSpec(guards=False, checkpoint_interval=2),
+        seed=5,
+    )
+    full = _scenario(
+        [crash],
+        scheme=SchemeSpec(guards=False, checkpoint_interval=2),
+        seed=5,
+    )
+    paused_record = lud_executor.execute(paused)
+    full_record = lud_executor.execute(full)
+    if full_record.recoveries and paused_record.recoveries:
+        assert paused_record.executed_steps > full_record.executed_steps
+
+
+def test_snapshot_roundtrip_probe_is_invisible(lud_executor):
+    scenario = _scenario(
+        [ScenarioStep(op="inject", at=1, model="double", resource="matrix")],
+        scheme=SchemeSpec(verify_interval=3),
+    )
+    plain = lud_executor.execute(scenario)
+    probed = lud_executor.execute(scenario, snapshot_roundtrip_at=3)
+    assert plain.canonical_json() == probed.canonical_json()
+
+
+def test_executor_cache_reuses_instances():
+    a = executor_for("lud", LUD)
+    b = executor_for("lud", LUD)
+    assert a is b
+
+
+def test_resource_classes_discovered(lud_executor):
+    classes = lud_executor.resource_classes()
+    assert "matrix" in classes
+    assert "control" in classes
+    assert "pointer" in classes

@@ -1,0 +1,74 @@
+"""Oracle taxonomy: escapes, divergence, invariants."""
+
+from repro.fuzz.executor import ScenarioExecutor
+from repro.fuzz.oracle import Oracle
+from repro.fuzz.scenario import Scenario, ScenarioStep, SchemeSpec
+
+LUD = {"n": 24, "block": 4}
+
+
+def _scenario(steps, scheme, seed=11):
+    return Scenario(
+        benchmark="lud", seed=seed, steps=tuple(steps),
+        scheme=scheme, benchmark_params=LUD,
+    )
+
+
+def _oracle():
+    return Oracle(ScenarioExecutor("lud", LUD))
+
+
+def test_escape_is_flagged():
+    oracle = _oracle()
+    scenario = _scenario(
+        [ScenarioStep(op="inject", at=5, model="double", resource="matrix")],
+        SchemeSpec(verify_interval=3),
+    )
+    record, flag = oracle.evaluate(scenario)
+    assert record.outcome == "sdc"
+    assert flag is not None
+    assert flag.kind == "escape"
+    assert oracle.matches(scenario, "escape")
+
+
+def test_detected_fault_is_not_flagged():
+    oracle = _oracle()
+    scenario = _scenario(
+        [ScenarioStep(op="inject", at=1, model="random", resource="matrix")],
+        SchemeSpec(verify_interval=1),
+    )
+    record, flag = oracle.evaluate(scenario)
+    assert record.outcome == "detected"
+    assert flag is None
+
+
+def test_sdc_without_detectors_is_not_an_escape():
+    # No detectors deployed -> an SDC is expected behavior, not a finding.
+    oracle = _oracle()
+    scenario = _scenario(
+        [ScenarioStep(op="inject", at=5, model="double", resource="matrix")],
+        SchemeSpec(guards=False),
+    )
+    record, flag = oracle.evaluate(scenario)
+    assert record.outcome == "sdc"
+    assert flag is None
+
+
+def test_masked_scenario_is_not_flagged():
+    oracle = _oracle()
+    scenario = _scenario(
+        [ScenarioStep(op="inject", at=1, model="double", resource="matrix")],
+        SchemeSpec(verify_interval=3),
+    )
+    record, flag = oracle.evaluate(scenario)
+    assert record.outcome == "masked"
+    assert flag is None
+
+
+def test_oracle_checks_can_be_disabled():
+    executor = ScenarioExecutor("lud", LUD)
+    oracle = Oracle(executor, check_divergence=False, check_invariants=False)
+    scenario = _scenario([], SchemeSpec())
+    record, flag = oracle.evaluate(scenario)
+    assert record.outcome == "masked"
+    assert flag is None

@@ -1,0 +1,70 @@
+"""Scenario grammar: validation, round-trip, identity."""
+
+import pytest
+
+from repro.fuzz.scenario import Scenario, ScenarioStep, SchemeSpec
+
+
+def _scenario(**kwargs):
+    defaults = dict(
+        benchmark="lud",
+        seed=11,
+        steps=(
+            ScenarioStep(op="inject", at=2, model="double", resource="matrix"),
+            ScenarioStep(op="dose", at=1, count=3, span=4),
+        ),
+        scheme=SchemeSpec(verify_interval=3),
+        benchmark_params={"n": 24, "block": 4},
+    )
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+def test_step_validation():
+    with pytest.raises(ValueError):
+        ScenarioStep(op="explode")
+    with pytest.raises(ValueError):
+        ScenarioStep(op="inject", model="septuple")
+    with pytest.raises(ValueError):
+        ScenarioStep(op="inject", at=-1)
+    with pytest.raises(ValueError):
+        ScenarioStep(op="dose", count=0)
+    with pytest.raises(ValueError):
+        ScenarioStep(op="dose", span=-1)
+
+
+def test_scheme_validation():
+    with pytest.raises(ValueError):
+        SchemeSpec(verify_interval=0)
+    with pytest.raises(ValueError):
+        SchemeSpec(checkpoint_interval=-1)
+    assert SchemeSpec().has_detectors
+    assert not SchemeSpec(guards=False).has_detectors
+    assert SchemeSpec(guards=False, abft=True).has_detectors
+
+
+def test_scenario_roundtrip():
+    scenario = _scenario()
+    clone = Scenario.from_dict(scenario.to_dict())
+    assert clone == scenario
+    assert clone.key() == scenario.key()
+
+
+def test_key_is_content_addressed():
+    a = _scenario()
+    b = _scenario()
+    assert a.key() == b.key()
+    c = _scenario(seed=12)
+    assert c.key() != a.key()
+    d = _scenario(steps=a.steps[:1])
+    assert d.key() != a.key()
+
+
+def test_replace_steps_preserves_everything_else():
+    scenario = _scenario()
+    trimmed = scenario.replace_steps(scenario.steps[:1])
+    assert len(trimmed) == 1
+    assert trimmed.benchmark == scenario.benchmark
+    assert trimmed.seed == scenario.seed
+    assert trimmed.scheme == scenario.scheme
+    assert trimmed.benchmark_params == scenario.benchmark_params

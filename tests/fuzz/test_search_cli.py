@@ -1,0 +1,185 @@
+"""Search loop, telemetry counters, failure events, and the CLIs."""
+
+import io
+import json
+
+import pytest
+
+from repro.fuzz.cli import main as fuzz_main
+from repro.fuzz.scenario import SchemeSpec
+from repro.fuzz.search import FuzzConfig, ScenarioFuzzer, run_fuzz_campaign
+from repro.telemetry import activate
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import NOOP_TRACER
+
+LUD = {"n": 24, "block": 4}
+
+
+def _config(**kwargs):
+    defaults = dict(
+        benchmark="lud",
+        benchmark_params=LUD,
+        scheme=SchemeSpec(verify_interval=3),
+        seed=7,
+        budget=12,
+    )
+    defaults.update(kwargs)
+    return FuzzConfig(**defaults)
+
+
+def test_seeded_campaign_finds_and_shrinks_escape():
+    """Acceptance: the planted weakened-detector escape is found and
+    shrunk to <= 3 steps."""
+    report = ScenarioFuzzer(_config()).run()
+    assert report.scenarios_run == 12
+    escapes = [r for r in report.reproducers if r.flag.kind == "escape"]
+    assert escapes, "no hardening escape found by the seeded campaign"
+    assert all(r.shrunk_len <= 3 for r in escapes)
+    assert all(r.expected.outcome == "sdc" for r in escapes)
+    assert all(not r.expected.detector_events for r in escapes)
+
+
+def test_campaign_is_deterministic():
+    a = ScenarioFuzzer(_config()).run()
+    b = ScenarioFuzzer(_config()).run()
+    assert [r.scenario.key() for r in a.reproducers] == [
+        r.scenario.key() for r in b.reproducers
+    ]
+    assert a.outcome_counts == b.outcome_counts
+
+
+def test_counters_and_failure_events():
+    registry = MetricsRegistry()
+    events = []
+    with activate(registry, NOOP_TRACER):
+        report = ScenarioFuzzer(_config(), failure_sink=events.append).run()
+    counters = registry.counter_values()
+    scenarios = counters.get("repro_fuzz_scenarios_total", {})
+    assert sum(scenarios.values()) == report.scenarios_run
+    shrinks = counters.get("repro_fuzz_shrinks_total", {})
+    assert sum(shrinks.values()) >= len(report.reproducers)
+    kinds = {e["event"] for e in events}
+    assert "fuzz_flag" in kinds
+    assert "fuzz_reproducer" in kinds
+
+
+def test_campaign_workers_split_budget(tmp_path):
+    report = run_fuzz_campaign(_config(budget=8, out_dir=str(tmp_path)), workers=2)
+    assert report.scenarios_run == 8
+    assert report.reproducers
+    assert tmp_path.glob("repro-*.json")
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        _config(budget=0)
+    with pytest.raises(ValueError):
+        _config(max_steps=0)
+    with pytest.raises(ValueError):
+        _config(mutate_share=1.5)
+    with pytest.raises(ValueError):
+        run_fuzz_campaign(_config(), workers=0)
+
+
+def _run_cli(*argv):
+    stream = io.StringIO()
+    code = fuzz_main(list(argv), stream=stream)
+    return code, stream.getvalue()
+
+
+def test_cli_run_replay_show(tmp_path):
+    out_dir = tmp_path / "reproducers"
+    code, text = _run_cli(
+        "run",
+        "--benchmark", "lud",
+        "--param", "n=24", "--param", "block=4",
+        "--verify-interval", "3",
+        "--budget", "12",
+        "--seed", "7",
+        "--out", str(out_dir),
+        "--expect", "1",
+        "--failure-log", str(tmp_path / "failures.jsonl"),
+    )
+    assert code == 0, text
+    artifacts = sorted(out_dir.glob("repro-*.json"))
+    assert artifacts
+    failure_lines = [
+        json.loads(line)
+        for line in (tmp_path / "failures.jsonl").read_text().splitlines()
+    ]
+    assert any(e["event"] == "fuzz_reproducer" for e in failure_lines)
+
+    code, text = _run_cli("replay", str(artifacts[0]))
+    assert code == 0
+    assert "byte-identically" in text
+
+    code, text = _run_cli("replay", str(artifacts[0]), "--workers", "2")
+    assert code == 0
+
+    code, text = _run_cli("show", str(artifacts[0]))
+    assert code == 0
+    assert json.loads(text)["scenario"]["benchmark"] == "lud"
+
+
+def test_cli_expect_failure(tmp_path):
+    code, text = _run_cli(
+        "run",
+        "--benchmark", "lud",
+        "--param", "n=24", "--param", "block=4",
+        "--budget", "1",
+        "--seed", "3",
+        "--expect", "99",
+    )
+    assert code == 1
+    assert "FAIL" in text
+
+
+def test_cli_replay_detects_tampering(tmp_path):
+    out_dir = tmp_path / "reproducers"
+    code, _text = _run_cli(
+        "run",
+        "--benchmark", "lud",
+        "--param", "n=24", "--param", "block=4",
+        "--verify-interval", "3",
+        "--budget", "12",
+        "--seed", "7",
+        "--out", str(out_dir),
+        "--expect", "1",
+    )
+    assert code == 0
+    artifact = sorted(out_dir.glob("repro-*.json"))[0]
+    data = json.loads(artifact.read_text())
+    data["expected"]["output_digest"] = "0" * 64
+    artifact.write_text(json.dumps(data))
+    code, text = _run_cli("replay", str(artifact))
+    assert code == 1
+    assert "MISMATCH" in text
+
+
+def test_inspect_fuzz_lists_reproducers(tmp_path):
+    from repro.telemetry.inspect import main as inspect_main
+
+    out_dir = tmp_path / "reproducers"
+    code, _text = _run_cli(
+        "run",
+        "--benchmark", "lud",
+        "--param", "n=24", "--param", "block=4",
+        "--verify-interval", "3",
+        "--budget", "12",
+        "--seed", "7",
+        "--out", str(out_dir),
+    )
+    assert code == 0
+    stream = io.StringIO()
+    code = inspect_main(["fuzz", str(out_dir)], stream=stream)
+    assert code == 0
+    text = stream.getvalue()
+    assert "escape" in text
+    assert "lud" in text
+
+
+def test_inspect_fuzz_empty_dir(tmp_path):
+    from repro.telemetry.inspect import main as inspect_main
+
+    code = inspect_main(["fuzz", str(tmp_path)], stream=io.StringIO())
+    assert code == 2

@@ -1,0 +1,124 @@
+"""Shrinker properties (ISSUE 7 satellite):
+
+(a) a shrunk reproducer still triggers the same oracle flag,
+(b) it replays deterministically from its JSON artifact at any worker
+    count,
+(c) it is never longer than the original scenario.
+
+The properties are exercised over every reproducer a small seeded
+campaign finds, not a single hand-picked case.
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz.artifact import (
+    Reproducer,
+    load_reproducer,
+    replay,
+    replay_in_workers,
+)
+from repro.fuzz.executor import executor_for
+from repro.fuzz.oracle import Oracle
+from repro.fuzz.scenario import Scenario, ScenarioStep, SchemeSpec
+from repro.fuzz.search import FuzzConfig, ScenarioFuzzer
+from repro.fuzz.shrink import shrink
+
+LUD = {"n": 24, "block": 4}
+SCHEME = SchemeSpec(verify_interval=3)
+
+
+@pytest.fixture(scope="module")
+def campaign_reproducers():
+    config = FuzzConfig(
+        benchmark="lud",
+        benchmark_params=LUD,
+        scheme=SCHEME,
+        seed=7,
+        budget=25,
+    )
+    report = ScenarioFuzzer(config).run()
+    assert report.reproducers, "seeded campaign must find at least one reproducer"
+    return report.reproducers
+
+
+def test_property_shrunk_still_triggers_same_flag(campaign_reproducers):
+    oracle = Oracle(executor_for("lud", LUD))
+    for repro in campaign_reproducers:
+        assert oracle.matches(repro.scenario, repro.flag.kind)
+
+
+def test_property_shrunk_no_longer_than_original(campaign_reproducers):
+    for repro in campaign_reproducers:
+        assert repro.shrunk_len <= repro.original_len
+        assert len(repro.scenario) == repro.shrunk_len
+
+
+def test_property_replays_deterministically_at_any_worker_count(
+    campaign_reproducers, tmp_path
+):
+    repro = campaign_reproducers[0]
+    path = repro.save(tmp_path)
+    loaded = load_reproducer(path)
+    assert loaded.to_dict() == repro.to_dict()
+    record, ok = replay(loaded)
+    assert ok, "serial replay must be byte-identical"
+    assert record.canonical_json() == repro.expected.canonical_json()
+    for workers in (2, 4):
+        assert replay_in_workers(loaded, workers), (
+            f"replay must be byte-identical across {workers} worker processes"
+        )
+
+
+def test_shrink_reduces_padded_scenario():
+    # Pad a known escape with irrelevant steps; the shrinker must strip
+    # the padding and keep the flag.
+    oracle = Oracle(executor_for("lud", LUD))
+    escape = ScenarioStep(op="inject", at=5, model="double", resource="matrix")
+    padded = Scenario(
+        benchmark="lud",
+        seed=11,
+        steps=(
+            ScenarioStep(op="pause_checkpoint", at=0),
+            escape,
+            ScenarioStep(op="strike_recovery", model="zero"),
+        ),
+        scheme=SCHEME,
+        benchmark_params=LUD,
+    )
+    assert oracle.matches(padded, "escape")
+    minimal, spent = shrink(padded, lambda s: oracle.matches(s, "escape"))
+    assert spent > 0
+    assert len(minimal) == 1
+    assert minimal.steps[0].op == "inject"
+    assert oracle.matches(minimal, "escape")
+
+
+def test_shrink_respects_execution_cap():
+    calls = []
+
+    def expensive_predicate(candidate):
+        calls.append(candidate)
+        return True
+
+    scenario = Scenario(
+        benchmark="lud",
+        seed=3,
+        steps=tuple(ScenarioStep(op="inject", at=i) for i in range(3)),
+        scheme=SCHEME,
+        benchmark_params=LUD,
+    )
+    minimal, spent = shrink(scenario, expensive_predicate, max_executions=5)
+    assert spent <= 5
+    assert len(calls) == spent
+    assert len(minimal) <= len(scenario)
+
+
+def test_artifact_json_is_self_contained(campaign_reproducers, tmp_path):
+    repro = campaign_reproducers[0]
+    path = repro.save(tmp_path)
+    data = json.loads(path.read_text())
+    rebuilt = Reproducer.from_dict(data)
+    assert rebuilt.scenario.key() == repro.scenario.key()
+    assert rebuilt.expected.canonical_json() == repro.expected.canonical_json()

@@ -100,6 +100,64 @@ def test_validation():
         run_with_checkpoints(bench, state, interval=2, max_failures=-1)
     with pytest.raises(ValueError):
         run_with_checkpoints(bench, state, interval=2, inject_step=-1)
+    with pytest.raises(ValueError):
+        run_with_checkpoints(bench, state, interval=2, recovery_inject_attempt=0)
+
+
+def test_double_strike_keeps_clean_snapshot():
+    """A strike landing during restore must not poison-blame the snapshot.
+
+    lud(n=24, block=4) runs 6 steps with snapshots at 0/2/4.  The primary
+    fault crashes step 5 (after the clean step-4 snapshot); the recovery
+    strike re-corrupts the restored state so the first retry crashes
+    again.  Pre-fix, the repeated failure discarded the clean step-4
+    snapshot and cascaded to step 2; the fix charges the crash to the
+    strike and retries from step 4: attempt 1 executes steps 0-4 (5),
+    attempt 2 executes step 4 (1), attempt 3 executes steps 4-5 (2).
+    """
+    bench, state = _bench_and_state()
+    golden = bench.golden(derive_rng(21, "ckpt"))
+
+    def crash_block_5(st):
+        st.block_ctl[5] = (999, -1, 0)
+
+    run = run_with_checkpoints(
+        bench,
+        state,
+        interval=2,
+        inject=crash_block_5,
+        inject_step=5,
+        recovery_inject=crash_block_5,
+        recovery_inject_attempt=1,
+    )
+    assert run.completed
+    assert run.failures == 2
+    assert run.executed_steps == 8  # 5 + 1 + 2: no cascade past step 4
+    np.testing.assert_array_equal(run.output, golden)
+
+
+def test_double_strike_on_poisoned_cascade_still_terminates():
+    bench, state = _bench_and_state()
+    golden = bench.golden(derive_rng(21, "ckpt"))
+
+    def crash_block_5(st):
+        st.block_ctl[5] = (999, -1, 0)
+
+    # Primary fault poisons every later snapshot (lands at step 1);
+    # strike the second rollback too.  Recovery still cascades to the
+    # pristine snapshot 0 and completes.
+    run = run_with_checkpoints(
+        bench,
+        state,
+        interval=2,
+        inject=crash_block_5,
+        inject_step=1,
+        recovery_inject=crash_block_5,
+        recovery_inject_attempt=2,
+    )
+    assert run.completed
+    assert run.failures > 2
+    np.testing.assert_array_equal(run.output, golden)
 
 
 def test_interval_larger_than_run_means_restart_only():
