@@ -76,6 +76,68 @@ class CampaignConfig:
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
 
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-safe dict for shipping a campaign plan over the service
+        wire (broker leases, ``repro-serve`` submissions).
+
+        Exactly inverted by :meth:`from_wire`; both directions are pure
+        value mappings, so a config survives any number of hops intact
+        — which the determinism contract requires, because the config
+        (with the seed inside) is what keys every run's RNG stream.
+        """
+        return {
+            "benchmark": self.benchmark,
+            "injections": self.injections,
+            "seed": self.seed,
+            "fault_models": [m.value for m in self.fault_models],
+            "policy": self.policy.value,
+            "watchdog_factor": self.watchdog_factor,
+            "benchmark_params": dict(self.benchmark_params),
+            "snapshots": self.snapshots,
+            "batch_size": self.batch_size,
+            "target_ci": self.target_ci,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict[str, Any]) -> "CampaignConfig":
+        """Rebuild a config from :meth:`to_wire` output (validating)."""
+        known = {
+            "benchmark",
+            "injections",
+            "seed",
+            "fault_models",
+            "policy",
+            "watchdog_factor",
+            "benchmark_params",
+            "snapshots",
+            "batch_size",
+            "target_ci",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown campaign config fields: {sorted(unknown)}")
+        if "benchmark" not in data:
+            raise ValueError("campaign config needs a benchmark")
+        kwargs: dict[str, Any] = {"benchmark": str(data["benchmark"])}
+        if "fault_models" in data:
+            kwargs["fault_models"] = tuple(
+                FaultModel(m) for m in data["fault_models"]
+            )
+        if "policy" in data:
+            kwargs["policy"] = SitePolicy(data["policy"])
+        for key in ("injections", "seed", "batch_size"):
+            if key in data and data[key] is not None:
+                kwargs[key] = int(data[key])
+        if "watchdog_factor" in data and data["watchdog_factor"] is not None:
+            kwargs["watchdog_factor"] = float(data["watchdog_factor"])
+        if "benchmark_params" in data and data["benchmark_params"] is not None:
+            kwargs["benchmark_params"] = dict(data["benchmark_params"])
+        if "snapshots" in data and data["snapshots"] is not None:
+            kwargs["snapshots"] = bool(data["snapshots"])
+        if "target_ci" in data and data["target_ci"] is not None:
+            kwargs["target_ci"] = float(data["target_ci"])
+        return cls(**kwargs)
+
 
 @dataclass
 class CampaignResult:
@@ -143,6 +205,8 @@ def run_campaign(
     failure_log: str | Path | None = None,
     telemetry: Any | None = None,
     golden_cache: str | Path | None = None,
+    backend: Any | None = None,
+    steal: Any | None = None,
 ) -> CampaignResult:
     """Run a full injection campaign.
 
@@ -181,6 +245,7 @@ def run_campaign(
         or failure_log is not None
         or telemetry is not None
         or config.target_ci is not None
+        or backend is not None
     )
     if engine_requested:
         from repro.carolfi.engine import run_sharded_campaign
@@ -197,6 +262,8 @@ def run_campaign(
             failure_log=failure_log,
             telemetry=telemetry,
             golden_cache=golden_cache,
+            backend=backend,
+            steal=steal,
         )
     benchmark = create(config.benchmark, **config.benchmark_params)
     supervisor = Supervisor(

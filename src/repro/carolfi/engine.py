@@ -48,7 +48,6 @@ import json
 import math
 import os
 import time
-from collections import deque
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -61,18 +60,14 @@ from repro.carolfi.isolation import (
     IsolationConfig,
     IsolationMode,
     SandboxError,
-    describe_exitcode,
     make_due_record,
-    mp_context,
     supervisor_for,
     supervisor_key,
 )
 from repro.faults.outcome import DueKind, InjectionRecord
 from repro.telemetry import (
     DISABLED,
-    ShardTelemetry,
     Telemetry,
-    WorkerTelemetry,
     current_registry,
     current_tracer,
     stamp,
@@ -82,7 +77,8 @@ from repro.util.jsonlog import JsonlLog, load_records, load_records_tolerant
 from repro.util.rng import derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover
-    from multiprocessing.connection import Connection
+    from repro.service.backend import ShardBackend
+    from repro.service.scheduler import StealPolicy
 
 __all__ = [
     "CheckpointError",
@@ -700,6 +696,8 @@ def run_sharded_campaign(
     failure_log: str | Path | None = None,
     telemetry: Telemetry | None = None,
     golden_cache: str | Path | None = None,
+    backend: "ShardBackend | None" = None,
+    steal: "StealPolicy | None" = None,
 ) -> CampaignResult:
     """Run a campaign sharded, optionally in parallel and resumable.
 
@@ -707,6 +705,13 @@ def run_sharded_campaign(
     any other count fans shards out over dedicated worker processes
     (one disposable process per in-flight shard).  ``workers=None``
     resolves via ``REPRO_WORKERS`` then ``os.cpu_count()``.
+
+    ``backend`` overrides *where* shards execute: any
+    :class:`~repro.service.backend.ShardBackend` (e.g. the distributed
+    :class:`~repro.service.broker.BrokerBackend`) is driven by the same
+    scheduler with identical retry/quarantine/merge semantics; its
+    lifetime belongs to the caller.  ``steal`` tunes work stealing on
+    backends that support it (ignored by the local pool).
 
     ``isolation`` selects where each *injection* executes (see
     :class:`~repro.carolfi.isolation.IsolationConfig`), ``retry``
@@ -819,7 +824,7 @@ def run_sharded_campaign(
                         return None
                     return str(shard_path(ckpt_dir, spec.index))
 
-                if workers == 1:
+                if workers == 1 and backend is None:
                     _run_serial(
                         config,
                         pending,
@@ -851,6 +856,8 @@ def run_sharded_campaign(
                         reporter,
                         gate,
                         cache_dir,
+                        backend=backend,
+                        steal=steal,
                     )
 
             included = shards if gate.stop_after is None else shards[: gate.stop_after + 1]
@@ -1051,105 +1058,6 @@ def _run_serial(
 # -- parallel fault domains ----------------------------------------------------
 
 
-def _shard_worker_main(
-    config: CampaignConfig,
-    spec: ShardSpec,
-    checkpoint_file: str | None,
-    fingerprint: str,
-    isolation: IsolationConfig,
-    skip_runs: dict[int, tuple[str, str]],
-    shard_tel: ShardTelemetry,
-    conn: "Connection",
-    golden_cache: str | None = None,
-) -> None:
-    """Entry point of one disposable shard worker process.
-
-    Telemetry is rebuilt locally from the picklable ``shard_tel``
-    coordinates: metrics accumulate in a worker-private registry and
-    spans buffer in memory, and both are drained over the pipe after
-    every run (``("metrics", delta)`` / ``("spans", batch)`` messages).
-    Draining before the final ``done`` keeps merging at-most-once: a
-    killed worker loses only its undrained tail, never double-counts.
-    """
-    # Under the fork start method this process inherits the parent's
-    # sandbox cache, whose workers are NOT our children: drop the
-    # handles (keeping cached geometry) and let _sandbox_for build our
-    # own sandbox on first use.
-    for inherited in _SANDBOXES.values():
-        inherited.forget_worker()
-    _SANDBOXES.clear()
-
-    worker_tel = WorkerTelemetry(shard_tel)
-
-    def flush_telemetry() -> None:
-        delta, spans = worker_tel.drain()
-        try:
-            if delta:
-                conn.send(("metrics", delta))
-            if spans:
-                conn.send(("spans", spans))
-        except OSError:  # pragma: no cover — parent already gone
-            pass
-
-    def run_done(k: int) -> None:
-        conn.send(("ok", k))
-        flush_telemetry()
-
-    def forward_failure(event: dict[str, Any]) -> None:
-        try:
-            conn.send(("failure", event))
-        except OSError:  # pragma: no cover — parent already gone
-            pass
-
-    try:
-        with worker_tel.activate():
-            _, rows = _execute_shard(
-                config,
-                spec,
-                checkpoint_file,
-                fingerprint,
-                isolation=isolation,
-                skip_runs=skip_runs,
-                on_run=lambda k: conn.send(("run", k)),
-                on_run_done=run_done,
-                on_failure=forward_failure,
-                golden_cache=golden_cache,
-            )
-        flush_telemetry()  # tail: skip-run counters, shard + checkpoint spans
-        conn.send(("done", rows))
-        conn.close()
-    except BaseException as exc:
-        run = exc.run_index if isinstance(exc, ShardRunError) else None
-        try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}", run))
-        except OSError:  # pragma: no cover
-            pass
-        raise SystemExit(1) from exc
-
-
-@dataclass
-class _ShardTask:
-    """Book-keeping for one shard across dispatch attempts."""
-
-    spec: ShardSpec
-    proc: Any = None
-    conn: Any = None
-    started: bool = False
-    attempts: int = 0
-    no_progress: int = 0
-    deaths: dict[int, int] = field(default_factory=dict)
-    skip: dict[int, tuple[str, str]] = field(default_factory=dict)
-    current_run: int | None = None
-    max_ok: int = -1
-    max_ok_at_failure: int = -1
-    last_beat: float = 0.0
-    eligible_at: float = 0.0
-    dispatched_at: float = 0.0
-    rows: list[dict] | None = None
-    error_msg: str | None = None
-    error_run: int | None = None
-
-
 def _run_pool(
     config: CampaignConfig,
     pending: list[ShardSpec],
@@ -1165,264 +1073,58 @@ def _run_pool(
     reporter: Any,
     gate: _ConvergenceGate,
     golden_cache: str | None = None,
+    backend: Any = None,
+    steal: Any = None,
 ) -> None:
-    """Fan shards out over dedicated, individually supervised processes.
+    """Fan shards out over a :class:`~repro.service.backend.ShardBackend`.
 
-    Unlike a shared process pool, each in-flight shard owns its worker:
-    the engine observes that worker's exit code directly, reaps it when
-    its heartbeat stalls, and re-dispatches the shard with backoff —
-    one pathological run can never poison a neighbouring shard's
-    executor.
+    Without an explicit ``backend`` this builds the engine's classic
+    fault-domain pool (:class:`repro.service.local.LocalBackend`): one
+    dedicated, individually supervised process per in-flight shard, so
+    the engine observes worker exit codes directly, reaps stalled
+    workers, and one pathological run can never poison a neighbouring
+    shard's executor.  A provided backend (e.g. the distributed broker)
+    is driven by the same scheduler — retries, quarantine, liveness and
+    telemetry merging behave identically — but its lifetime belongs to
+    the caller.
 
-    Workers ship their telemetry over the same pipe as heartbeats
-    (``("metrics", delta)`` / ``("spans", batch)``): deltas merge into
-    the engine's registry as they arrive, so the live progress line and
-    the final export read one registry whether the campaign ran serial
-    or parallel.
+    Workers ship telemetry over the same channel as heartbeats: deltas
+    merge into the engine's registry as they arrive, so the live
+    progress line and the final export read one registry whether the
+    campaign ran serial, pooled or distributed.
     """
-    shard_done = tel.registry.gauge(
-        "repro_shard_runs_done", help="Runs completed so far, by shard."
-    )
-    shard_seconds = tel.registry.histogram(
-        "repro_shard_duration_seconds",
-        help="Wall time of one shard execution (successful attempt).",
-    )
-    ctx = mp_context()
-    if ctx.get_start_method() == "fork" or golden_cache is not None:
-        # Warm the per-process supervisor cache so every forked worker
-        # (and, under subprocess isolation, every sandbox grandchild)
-        # inherits the golden run — prefix-snapshot store included —
-        # instead of recomputing it.  With an on-disk golden cache the
-        # warm-up pays off under *any* start method: the parent computes
-        # and persists the golden run once and spawn-started workers
-        # load it from disk instead of re-executing it.
-        try:
-            supervisor_for(config, golden_cache=golden_cache)
-        except Exception:  # noqa: BLE001 — let workers report the real failure
-            pass
+    # Imported here, not at module top: repro.service imports this
+    # module, and the engine only needs a backend once a parallel
+    # campaign actually starts.
+    from repro.service.local import LocalBackend
+    from repro.service.scheduler import run_shards
 
-    tasks = {spec.index: _ShardTask(spec) for spec in pending}
-    queue: deque[int] = deque(sorted(tasks))
-    running: set[int] = set()
-
-    def dispatch(task: _ShardTask, now: float) -> None:
-        task.attempts += 1
-        conn_r, conn_w = ctx.Pipe(duplex=False)
-        # Not a daemon: under subprocess isolation the shard worker must
-        # spawn sandbox children, which daemonic processes may not do.
-        # The engine reaps these workers itself (retire_worker) and the
-        # sandbox children ARE daemons, so a dying worker takes its
-        # sandbox down with it.
-        proc = ctx.Process(
-            target=_shard_worker_main,
-            args=(
-                config,
-                task.spec,
-                ckpt_file(task.spec),
-                fingerprint,
-                isolation,
-                dict(task.skip),
-                tel.shard_telemetry(),
-                conn_w,
-                golden_cache,
-            ),
-            daemon=False,
-            name=f"shard-{task.spec.index:05d}",
+    owned = None
+    if backend is None:
+        backend = owned = LocalBackend(
+            config,
+            fingerprint,
+            workers=workers,
+            isolation=isolation,
+            telemetry=tel,
+            golden_cache=golden_cache,
         )
-        proc.start()
-        conn_w.close()
-        task.proc, task.conn = proc, conn_r
-        task.current_run = None
-        task.rows = None
-        task.error_msg = None
-        task.error_run = None
-        task.last_beat = now
-        task.dispatched_at = time.perf_counter()
-        if not task.started:
-            task.started = True
-            heartbeat.emit("started", task.spec)
-
-    def drain(task: _ShardTask, now: float) -> None:
-        while task.conn is not None:
-            try:
-                if not task.conn.poll(0):
-                    return
-                msg = task.conn.recv()
-            except (EOFError, OSError):
-                return
-            kind = msg[0]
-            task.last_beat = now
-            if kind == "run":
-                task.current_run = int(msg[1])
-            elif kind == "ok":
-                task.current_run = None
-                task.max_ok = max(task.max_ok, int(msg[1]))
-                shard_done.set(
-                    int(msg[1]) - task.spec.start + 1, shard=task.spec.index
-                )
-            elif kind == "metrics":
-                tel.registry.merge(msg[1])
-            elif kind == "spans":
-                for record in msg[1]:
-                    tel.trace_write(record)
-            elif kind == "failure":
-                sink({"shard": task.spec.index, **msg[1]})
-            elif kind == "done":
-                task.rows = msg[1]
-            elif kind == "error":
-                task.error_msg = msg[1]
-                task.error_run = msg[2]
-
-    def retire_worker(task: _ShardTask) -> None:
-        if task.conn is not None:
-            try:
-                task.conn.close()
-            except OSError:  # pragma: no cover
-                pass
-        if task.proc is not None and task.proc.is_alive():
-            task.proc.kill()
-            task.proc.join(timeout=5.0)
-        task.proc = None
-        task.conn = None
-
-    def handle_failure(task: _ShardTask, detail: str, reaped: bool) -> None:
-        index = task.spec.index
-        if task.error_msg is not None:
-            detail = task.error_msg
-        run = task.error_run if task.error_run is not None else task.current_run
-        due_kind = DueKind.HANG if reaped else DueKind.CRASH
-        progressed = task.max_ok > task.max_ok_at_failure
-        task.max_ok_at_failure = max(task.max_ok, task.max_ok_at_failure)
-        if run is not None:
-            count = task.deaths[run] = task.deaths.get(run, 0) + 1
-            sink(
-                {
-                    "event": "worker_death",
-                    "shard": index,
-                    "run": run,
-                    "attempt": task.attempts,
-                    "deaths": count,
-                    "detail": detail,
-                }
-            )
-            if count >= policy.max_run_deaths:
-                task.skip[run] = (
-                    due_kind.value,
-                    f"sandbox: quarantined after {count} shard-worker "
-                    f"deaths ({detail})",
-                )
-                sink({"event": "quarantine", "shard": index, "run": run, "detail": detail})
-                heartbeat.emit("quarantined", task.spec, detail=f"run {run}: {detail}")
-                progressed = True
-        else:
-            sink(
-                {
-                    "event": "worker_death",
-                    "shard": index,
-                    "run": None,
-                    "attempt": task.attempts,
-                    "detail": detail,
-                }
-            )
-        if progressed:
-            task.no_progress = 0
-        else:
-            task.no_progress += 1
-            if task.no_progress >= policy.max_attempts:
-                sink(
-                    {
-                        "event": "shard_failed",
-                        "shard": index,
-                        "attempt": task.attempts,
-                        "detail": detail,
-                    }
-                )
-                heartbeat.emit("failed", task.spec, detail=detail)
-                raise ShardFailure(index, task.attempts, detail)
-        delay = backoff_delay(config.seed, index, task.attempts, policy)
-        sink(
-            {
-                "event": "retry",
-                "shard": index,
-                "attempt": task.attempts,
-                "delay_s": round(delay, 3),
-                "detail": detail,
-            }
-        )
-        heartbeat.emit("retried", task.spec, detail=detail)
-        task.eligible_at = time.monotonic() + delay
-
-    def finish_shard(task: _ShardTask) -> None:
-        retire_worker(task)
-        assert task.rows is not None
-        executed[task.spec.index] = task.rows
-        heartbeat.record_done(task.spec.size, live=True)
-        heartbeat.emit("finished", task.spec)
-        shard_done.set(task.spec.size, shard=task.spec.index)
-        if tel.registry.enabled:
-            shard_seconds.observe(time.perf_counter() - task.dispatched_at)
-        gate.mark_complete(task.spec.index)
-
     try:
-        # A converged gate ends the campaign: in-flight shards beyond
-        # the stop point are abandoned (their partial checkpoints are
-        # simply re-run on a later resume without a target).
-        while (queue or running) and not gate.stopped:
-            now = time.monotonic()
-            reporter.tick()
-            while len(running) < workers:
-                ready = next((i for i in queue if tasks[i].eligible_at <= now), None)
-                if ready is None:
-                    break
-                queue.remove(ready)
-                dispatch(tasks[ready], now)
-                running.add(ready)
-            for index in sorted(running):
-                task = tasks[index]
-                drain(task, now)
-                if task.rows is not None:
-                    finish_shard(task)
-                    running.discard(index)
-                elif task.proc is not None and not task.proc.is_alive():
-                    task.proc.join(timeout=5.0)
-                    # A final "error"/"done" message may still sit in the
-                    # pipe: drain once more before judging the death.
-                    drain(task, now)
-                    if task.rows is not None:
-                        finish_shard(task)
-                        running.discard(index)
-                        continue
-                    detail = describe_exitcode(task.proc.exitcode)
-                    retire_worker(task)
-                    running.discard(index)
-                    handle_failure(task, f"shard worker {detail}", reaped=False)
-                    queue.append(index)
-                elif now - task.last_beat > policy.liveness_timeout_s:
-                    sink(
-                        {
-                            "event": "reap",
-                            "shard": index,
-                            "run": task.current_run,
-                            "attempt": task.attempts,
-                            "detail": f"no heartbeat for "
-                            f"{policy.liveness_timeout_s:.0f}s; worker killed",
-                        }
-                    )
-                    heartbeat.emit(
-                        "reaped",
-                        task.spec,
-                        detail=f"no heartbeat for {policy.liveness_timeout_s:.0f}s",
-                    )
-                    retire_worker(task)
-                    running.discard(index)
-                    handle_failure(
-                        task,
-                        f"hung: no heartbeat for {policy.liveness_timeout_s:.0f}s; "
-                        "worker reaped",
-                        reaped=True,
-                    )
-                    queue.append(index)
-            time.sleep(0.005)
+        run_shards(
+            config,
+            pending,
+            ckpt_file,
+            fingerprint,
+            heartbeat,
+            executed,
+            backend,
+            policy,
+            sink,
+            tel,
+            reporter,
+            gate,
+            steal=steal,
+        )
     finally:
-        for index in running:
-            retire_worker(tasks[index])
+        if owned is not None:
+            owned.close()

@@ -1,0 +1,36 @@
+"""Distributed campaign service: backends, scheduler, broker, HTTP API.
+
+The campaign engine executes shards through a transport-agnostic
+:class:`~repro.service.backend.ShardBackend`:
+
+* :class:`~repro.service.local.LocalBackend` — one supervised
+  ``mp.Process`` per lease on this host (the engine's default);
+* :class:`~repro.service.broker.BrokerBackend` — a TCP work-queue
+  broker leasing shards to connected ``repro-worker`` agents, with
+  record streaming, re-lease on worker loss and work stealing.
+
+:mod:`repro.service.serve` adds ``repro-serve``: an HTTP front door
+that accepts campaign configs, runs them through either backend, and
+serves progress and artifacts.
+
+The package-wide invariant is inherited from the engine: per-run RNG is
+keyed by run index, so the merged ``campaign.jsonl`` is byte-identical
+at any worker/host count — including after steals, re-leases and worker
+kills.
+"""
+
+from repro.service.backend import BackendEvent, LeaseResult, ShardBackend, ShardLease
+from repro.service.scheduler import StealPolicy
+from repro.service.wire import FrameDecoder, FrameError, decode_frame, encode_frame
+
+__all__ = [
+    "BackendEvent",
+    "FrameDecoder",
+    "FrameError",
+    "LeaseResult",
+    "ShardBackend",
+    "ShardLease",
+    "StealPolicy",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,351 @@
+"""BrokerBackend: a TCP work-queue leasing shards to repro-worker agents.
+
+The broker is a plain, synchronous, non-blocking stdlib TCP server
+embedded in the scheduler's poll loop — ``heartbeats()`` doubles as the
+event pump (accept, read, flush), so no extra thread is needed and the
+scheduler stays single-threaded.  Workers connect, announce themselves
+(``hello``), and then hold at most one lease each; everything on the
+socket is the tagged JSON frame format of :mod:`repro.service.wire`,
+the same vocabulary the local heartbeat pipe speaks.
+
+Frames the broker **sends**::
+
+    {"kind": "lease", "lease": {...}, "config": {...}, "fingerprint": s}
+    {"kind": "shrink", "lease": id, "stop": n}     # work stealing
+    {"kind": "cancel", "lease": id}                # abandon politely
+
+Frames the broker **receives**::
+
+    {"kind": "hello", "worker": name}
+    {"kind": "run",  "lease": id, "run": k}        # liveness beat
+    {"kind": "rec",  "lease": id, "run": k, "row": {...}}
+    {"kind": "metrics", "delta": {...}} / {"kind": "spans", "batch": [...]}
+    {"kind": "failure", "event": {...}}
+    {"kind": "done", "lease": id} / {"kind": "error", "lease": id, ...}
+
+Fault model: a worker that disconnects (or is reaped) while holding a
+lease yields a ``dead`` :class:`~repro.service.backend.LeaseResult`;
+the scheduler re-leases the remaining range to any other worker,
+resuming after the last streamed record.  Records are keyed by run
+index, so none of this can change campaign bytes — a lease executed
+one-and-a-half times produces some byte-identical duplicate records
+and the scheduler keeps the first of each.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+from typing import TYPE_CHECKING, Any
+
+from repro.service.backend import BackendEvent, LeaseResult, ShardBackend, ShardLease
+from repro.service.wire import FrameDecoder, encode_frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.carolfi.campaign import CampaignConfig
+
+__all__ = ["BrokerBackend", "lease_to_wire", "lease_from_wire"]
+
+
+def lease_to_wire(lease: ShardLease) -> dict[str, Any]:
+    """JSON-safe dict for one lease (inverted by :func:`lease_from_wire`)."""
+    return {
+        "lease_id": lease.lease_id,
+        "shard_index": lease.shard_index,
+        "start": lease.start,
+        "stop": lease.stop,
+        "attempt": lease.attempt,
+        "skip": {str(k): [kind, detail] for k, (kind, detail) in lease.skip.items()},
+    }
+
+
+def lease_from_wire(data: dict[str, Any]) -> ShardLease:
+    return ShardLease(
+        lease_id=str(data["lease_id"]),
+        shard_index=int(data["shard_index"]),
+        start=int(data["start"]),
+        stop=int(data["stop"]),
+        attempt=int(data["attempt"]),
+        skip={
+            int(k): (str(v[0]), str(v[1])) for k, v in dict(data.get("skip") or {}).items()
+        },
+    )
+
+
+class _Agent:
+    """One connected worker: socket, frame decoder, outbox, lease."""
+
+    __slots__ = ("sock", "decoder", "name", "lease_id", "outbox", "closed")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.decoder = FrameDecoder()
+        self.name: str | None = None  # set by hello
+        self.lease_id: str | None = None
+        self.outbox = bytearray()
+        self.closed = False
+
+
+class BrokerBackend(ShardBackend):
+    """Lease shards to remote ``repro-worker`` agents over TCP."""
+
+    supports_steal = True
+    streams_records = True
+
+    def __init__(
+        self,
+        config: "CampaignConfig",
+        fingerprint: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._config_wire = config.to_wire()
+        self._fingerprint = fingerprint
+        self._selector = selectors.DefaultSelector()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._listener.setblocking(False)
+        self._selector.register(self._listener, selectors.EVENT_READ)
+        self._agents: list[_Agent] = []
+        self._leases: dict[str, _Agent] = {}
+        self._events: list[BackendEvent] = []
+        self._results: list[LeaseResult] = []
+        self._seq = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` workers should connect to."""
+        host, port = self._listener.getsockname()[:2]
+        return str(host), int(port)
+
+    # -- scheduler-facing protocol -------------------------------------------
+
+    def capacity(self) -> int:
+        self._pump()
+        return sum(
+            1
+            for a in self._agents
+            if a.name is not None and a.lease_id is None and not a.closed
+        )
+
+    def submit(self, lease: ShardLease) -> str:
+        self._pump()
+        idle = [
+            a
+            for a in self._agents
+            if a.name is not None and a.lease_id is None and not a.closed
+        ]
+        if not idle:
+            raise RuntimeError("broker has no idle worker (capacity() said otherwise?)")
+        # Deterministic choice given the same membership: by name.
+        agent = min(idle, key=lambda a: a.name or "")
+        agent.lease_id = lease.lease_id
+        self._leases[lease.lease_id] = agent
+        self._send(
+            agent,
+            {
+                "kind": "lease",
+                "lease": lease_to_wire(lease),
+                "config": self._config_wire,
+                "fingerprint": self._fingerprint,
+            },
+        )
+        return agent.name or "worker"
+
+    def heartbeats(self) -> list[BackendEvent]:
+        self._pump()
+        out = self._events
+        self._events = []
+        return out
+
+    def results(self) -> list[LeaseResult]:
+        self._pump()
+        out = self._results
+        self._results = []
+        return out
+
+    def cancel(self, lease_id: str, *, reap: bool = False) -> None:
+        agent = self._leases.pop(lease_id, None)
+        if agent is None:
+            return
+        agent.lease_id = None
+        if reap:
+            # Presumed hung: a cancel frame would sit unread forever.
+            self._drop(agent, announce=True, detail="reaped by scheduler")
+        else:
+            self._send(agent, {"kind": "cancel", "lease": lease_id})
+
+    def shrink(self, lease_id: str, new_stop: int) -> bool:
+        agent = self._leases.get(lease_id)
+        if agent is None or agent.closed:
+            return False
+        self._send(agent, {"kind": "shrink", "lease": lease_id, "stop": new_stop})
+        return True
+
+    def close(self) -> None:
+        for agent in list(self._agents):
+            self._drop(agent, announce=False)
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):  # pragma: no cover
+            pass
+        self._listener.close()
+        self._selector.close()
+
+    # -- socket plumbing ------------------------------------------------------
+
+    def _send(self, agent: _Agent, frame: dict[str, Any]) -> None:
+        if agent.closed:
+            return
+        agent.outbox.extend(encode_frame(frame))
+        self._flush(agent)
+
+    def _flush(self, agent: _Agent) -> None:
+        while agent.outbox and not agent.closed:
+            try:
+                sent = agent.sock.send(agent.outbox)
+            except (BlockingIOError, InterruptedError):
+                return  # try again next pump
+            except OSError:
+                self._drop(agent, announce=True, detail="send failed")
+                return
+            del agent.outbox[:sent]
+
+    def _pump(self) -> None:
+        """One non-blocking pass: accept, read, flush, judge."""
+        while True:
+            ready = self._selector.select(timeout=0)
+            if not ready:
+                break
+            for key, _mask in ready:
+                if key.fileobj is self._listener:
+                    self._accept()
+                else:
+                    self._read(key.data)
+        for agent in self._agents:
+            self._flush(agent)
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:  # pragma: no cover — listener closing
+                return
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            agent = _Agent(sock)
+            self._agents.append(agent)
+            self._selector.register(sock, selectors.EVENT_READ, agent)
+
+    def _read(self, agent: _Agent) -> None:
+        while not agent.closed:
+            try:
+                data = agent.sock.recv(1 << 16)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._drop(agent, announce=True, detail="connection error")
+                return
+            if not data:
+                self._drop(agent, announce=True, detail="connection closed")
+                return
+            for frame in agent.decoder.feed(data):
+                self._dispatch(agent, frame)
+
+    def _dispatch(self, agent: _Agent, frame: dict[str, Any]) -> None:
+        kind = frame.get("kind")
+        if kind == "hello":
+            self._seq += 1
+            base = str(frame.get("worker") or f"worker-{self._seq}")
+            names = {a.name for a in self._agents if a is not agent}
+            name = base if base not in names else f"{base}#{self._seq}"
+            agent.name = name
+            self._events.append(
+                BackendEvent(
+                    "worker", payload={"event": "worker_connected", "worker": name}
+                )
+            )
+            return
+        lease_id = frame.get("lease")
+        active = lease_id is not None and self._leases.get(lease_id) is agent
+        if kind == "run" and active:
+            self._events.append(BackendEvent("run", lease_id, run=int(frame["run"])))
+        elif kind == "rec" and active:
+            self._events.append(
+                BackendEvent(
+                    "rec", lease_id, run=int(frame["run"]), row=dict(frame["row"])
+                )
+            )
+        elif kind == "metrics":
+            self._events.append(BackendEvent("metrics", payload=frame["delta"]))
+        elif kind == "spans":
+            self._events.append(BackendEvent("spans", payload=frame["batch"]))
+        elif kind == "failure":
+            if active:
+                self._events.append(BackendEvent("failure", lease_id, payload=frame["event"]))
+        elif kind == "done" and active:
+            assert lease_id is not None
+            self._leases.pop(lease_id, None)
+            agent.lease_id = None
+            self._results.append(
+                LeaseResult(lease_id, "done", worker=agent.name or "worker")
+            )
+        elif kind == "error" and active:
+            assert lease_id is not None
+            self._leases.pop(lease_id, None)
+            agent.lease_id = None
+            run = frame.get("run")
+            self._results.append(
+                LeaseResult(
+                    lease_id,
+                    "error",
+                    detail=str(frame.get("detail", "worker error")),
+                    error_run=None if run is None else int(run),
+                    worker=agent.name or "worker",
+                )
+            )
+        # Frames for stale leases (cancelled, already judged) are dropped.
+
+    def _drop(self, agent: _Agent, announce: bool, detail: str = "") -> None:
+        if agent.closed:
+            return
+        agent.closed = True
+        try:
+            self._selector.unregister(agent.sock)
+        except (KeyError, ValueError):  # pragma: no cover
+            pass
+        try:
+            agent.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        if agent in self._agents:
+            self._agents.remove(agent)
+        name = agent.name or "worker"
+        if agent.lease_id is not None:
+            lease_id = agent.lease_id
+            agent.lease_id = None
+            self._leases.pop(lease_id, None)
+            self._results.append(
+                LeaseResult(
+                    lease_id,
+                    "dead",
+                    detail=f"worker {name} lost ({detail})" if detail else f"worker {name} lost",
+                    worker=name,
+                )
+            )
+        if announce and agent.name is not None:
+            self._events.append(
+                BackendEvent(
+                    "worker",
+                    payload={"event": "worker_lost", "worker": name, "detail": detail},
+                )
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        host, port = self.address
+        return f"BrokerBackend({host}:{port}, agents={len(self._agents)})"

@@ -1,0 +1,309 @@
+"""LocalBackend: the engine's mp.Process fault domains behind ShardBackend.
+
+This is the machinery that used to live inline in
+``repro.carolfi.engine._run_pool``: one disposable, individually
+supervised OS process per in-flight lease, heartbeating over a pipe.
+The pipe now carries the same tagged JSON frames as the broker socket
+(:mod:`repro.service.wire`) — ``Connection.send_bytes`` is already
+message-oriented, so framing adds checksum validation, and local and
+distributed execution share one wire vocabulary:
+
+``{"kind": "run"|"ok"|"metrics"|"spans"|"failure"|"done"|"error", ...}``
+
+Semantics preserved from the original pool: workers are not daemons
+(they must be able to spawn sandbox children), a dying worker is
+observed through its exit code, a final ``done``/``error`` frame still
+sitting in the pipe is drained before the death is judged, and the
+fork-method supervisor warm-up keeps golden runs amortised across
+workers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any
+
+from repro.carolfi.isolation import IsolationConfig, describe_exitcode, mp_context, supervisor_for
+from repro.service.backend import BackendEvent, LeaseResult, ShardBackend, ShardLease
+from repro.service.wire import FrameError, decode_frame, encode_frame
+from repro.telemetry import ShardTelemetry, Telemetry, WorkerTelemetry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.connection import Connection
+
+    from repro.carolfi.campaign import CampaignConfig
+
+__all__ = ["LocalBackend"]
+
+
+def _send(conn: "Connection", frame: dict[str, Any]) -> None:
+    try:
+        conn.send_bytes(encode_frame(frame))
+    except (OSError, ValueError):  # pragma: no cover — parent already gone
+        pass
+
+
+def _lease_worker_main(
+    config: "CampaignConfig",
+    lease: ShardLease,
+    fingerprint: str,
+    isolation: IsolationConfig,
+    shard_tel: ShardTelemetry,
+    conn: "Connection",
+    golden_cache: str | None = None,
+) -> None:
+    """Entry point of one disposable lease worker process.
+
+    Telemetry is rebuilt locally from the picklable ``shard_tel``
+    coordinates: metrics accumulate in a worker-private registry and
+    spans buffer in memory, and both are drained over the pipe after
+    every run (``metrics`` / ``spans`` frames).  Draining before the
+    final ``done`` keeps merging at-most-once: a killed worker loses
+    only its undrained tail, never double-counts.
+    """
+    # Imported here (not at module top) so the engine module is fully
+    # initialised in forked children before we reach into it.
+    from repro.carolfi import engine as _engine
+
+    # Under the fork start method this process inherits the parent's
+    # sandbox cache, whose workers are NOT our children: drop the
+    # handles (keeping cached geometry) and let the engine build our
+    # own sandbox on first use.
+    for inherited in _engine._SANDBOXES.values():
+        inherited.forget_worker()
+    _engine._SANDBOXES.clear()
+
+    worker_tel = WorkerTelemetry(shard_tel)
+
+    def flush_telemetry() -> None:
+        delta, spans = worker_tel.drain()
+        if delta:
+            _send(conn, {"kind": "metrics", "delta": delta})
+        if spans:
+            _send(conn, {"kind": "spans", "batch": spans})
+
+    def run_done(k: int) -> None:
+        _send(conn, {"kind": "ok", "run": k})
+        flush_telemetry()
+
+    def forward_failure(event: dict[str, Any]) -> None:
+        _send(conn, {"kind": "failure", "event": event})
+
+    spec = _engine.ShardSpec(index=lease.shard_index, start=lease.start, stop=lease.stop)
+    try:
+        with worker_tel.activate():
+            _, rows = _engine._execute_shard(
+                config,
+                spec,
+                lease.checkpoint_file,
+                fingerprint,
+                isolation=isolation,
+                skip_runs=lease.skip,
+                on_run=lambda k: _send(conn, {"kind": "run", "run": k}),
+                on_run_done=run_done,
+                on_failure=forward_failure,
+                golden_cache=golden_cache,
+            )
+        flush_telemetry()  # tail: skip-run counters, shard + checkpoint spans
+        _send(conn, {"kind": "done", "rows": rows})
+        conn.close()
+    except BaseException as exc:
+        run = exc.run_index if isinstance(exc, _engine.ShardRunError) else None
+        _send(conn, {"kind": "error", "detail": f"{type(exc).__name__}: {exc}", "run": run})
+        raise SystemExit(1) from exc
+
+
+class _LeaseProc:
+    """One live lease: its process, pipe, and staged terminal frames."""
+
+    __slots__ = ("lease", "proc", "conn", "done_rows", "error", "worker")
+
+    def __init__(self, lease: ShardLease, proc: Any, conn: Any, worker: str):
+        self.lease = lease
+        self.proc = proc
+        self.conn = conn
+        self.worker = worker
+        self.done_rows: list[dict[str, Any]] | None = None
+        self.error: tuple[str, int | None] | None = None
+
+
+class LocalBackend(ShardBackend):
+    """One supervised ``mp.Process`` per lease on the local host.
+
+    Unlike a shared process pool, each in-flight lease owns its worker:
+    the backend observes that worker's exit code directly, the
+    scheduler reaps it when its heartbeat stalls, and one pathological
+    run can never poison a neighbouring shard's executor.
+    """
+
+    supports_steal = False
+    streams_records = False
+
+    def __init__(
+        self,
+        config: "CampaignConfig",
+        fingerprint: str,
+        *,
+        workers: int,
+        isolation: IsolationConfig | None = None,
+        telemetry: Telemetry | None = None,
+        golden_cache: str | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self._config = config
+        self._fingerprint = fingerprint
+        self._workers = workers
+        self._isolation = isolation or IsolationConfig()
+        self._telemetry = telemetry
+        self._golden_cache = golden_cache
+        self._ctx = mp_context()
+        self._live: dict[str, _LeaseProc] = {}
+        self._results: list[LeaseResult] = []
+        if self._ctx.get_start_method() == "fork" or golden_cache is not None:
+            # Warm the per-process supervisor cache so every forked
+            # worker (and, under subprocess isolation, every sandbox
+            # grandchild) inherits the golden run — prefix-snapshot
+            # store included — instead of recomputing it.  With an
+            # on-disk golden cache the warm-up pays off under *any*
+            # start method: the parent computes and persists the golden
+            # run once and spawn-started workers load it from disk.
+            try:
+                supervisor_for(config, golden_cache=golden_cache)
+            except Exception:  # noqa: BLE001 — let workers report the real failure
+                pass
+
+    def capacity(self) -> int:
+        return self._workers - len(self._live)
+
+    def submit(self, lease: ShardLease) -> str:
+        conn_r, conn_w = self._ctx.Pipe(duplex=False)
+        shard_tel = (
+            self._telemetry.shard_telemetry()
+            if self._telemetry is not None
+            else ShardTelemetry()
+        )
+        # Not a daemon: under subprocess isolation the lease worker must
+        # spawn sandbox children, which daemonic processes may not do.
+        # The scheduler reaps these workers itself (cancel) and the
+        # sandbox children ARE daemons, so a dying worker takes its
+        # sandbox down with it.
+        proc = self._ctx.Process(
+            target=_lease_worker_main,
+            args=(
+                self._config,
+                lease,
+                self._fingerprint,
+                self._isolation,
+                shard_tel,
+                conn_w,
+                self._golden_cache,
+            ),
+            daemon=False,
+            name=f"lease-{lease.lease_id}",
+        )
+        proc.start()
+        conn_w.close()
+        worker = f"local/pid{proc.pid}"
+        self._live[lease.lease_id] = _LeaseProc(lease, proc, conn_r, worker)
+        return worker
+
+    def _drain_conn(self, live: _LeaseProc, events: list[BackendEvent]) -> None:
+        while live.conn is not None:
+            try:
+                if not live.conn.poll(0):
+                    return
+                raw = live.conn.recv_bytes()
+            except (EOFError, OSError):
+                return
+            try:
+                frame = decode_frame(raw)
+            except FrameError:
+                continue  # torn frame from a dying worker: skip, judge by exit code
+            kind = frame.get("kind")
+            lease_id = live.lease.lease_id
+            if kind == "run":
+                events.append(BackendEvent("run", lease_id, run=int(frame["run"])))
+            elif kind == "ok":
+                events.append(BackendEvent("ok", lease_id, run=int(frame["run"])))
+            elif kind == "metrics":
+                events.append(BackendEvent("metrics", lease_id, payload=frame["delta"]))
+            elif kind == "spans":
+                events.append(BackendEvent("spans", lease_id, payload=frame["batch"]))
+            elif kind == "failure":
+                events.append(BackendEvent("failure", lease_id, payload=frame["event"]))
+            elif kind == "done":
+                live.done_rows = list(frame["rows"])
+            elif kind == "error":
+                run = frame.get("run")
+                live.error = (str(frame["detail"]), None if run is None else int(run))
+
+    def heartbeats(self) -> list[BackendEvent]:
+        events: list[BackendEvent] = []
+        for live in list(self._live.values()):
+            self._drain_conn(live, events)
+            self._judge(live, events)
+        return events
+
+    def _judge(self, live: _LeaseProc, events: list[BackendEvent]) -> None:
+        """Stage a terminal result once the lease's fate is knowable."""
+        lease_id = live.lease.lease_id
+        if live.done_rows is not None:
+            self._retire(live)
+            self._results.append(
+                LeaseResult(lease_id, "done", rows=live.done_rows, worker=live.worker)
+            )
+            del self._live[lease_id]
+        elif live.proc is not None and not live.proc.is_alive():
+            live.proc.join(timeout=5.0)
+            # A final done/error frame may still sit in the pipe: drain
+            # once more before judging the death.
+            self._drain_conn(live, events)
+            if live.done_rows is not None:
+                self._retire(live)
+                self._results.append(
+                    LeaseResult(lease_id, "done", rows=live.done_rows, worker=live.worker)
+                )
+            elif live.error is not None:
+                detail, run = live.error
+                self._retire(live)
+                self._results.append(
+                    LeaseResult(
+                        lease_id, "error", detail=detail, error_run=run, worker=live.worker
+                    )
+                )
+            else:
+                detail = f"shard worker {describe_exitcode(live.proc.exitcode)}"
+                self._retire(live)
+                self._results.append(
+                    LeaseResult(lease_id, "dead", detail=detail, worker=live.worker)
+                )
+            del self._live[lease_id]
+
+    def results(self) -> list[LeaseResult]:
+        out = self._results
+        self._results = []
+        return out
+
+    def _retire(self, live: _LeaseProc) -> None:
+        if live.conn is not None:
+            try:
+                live.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            live.conn = None
+        if live.proc is not None and live.proc.is_alive():
+            live.proc.kill()
+            live.proc.join(timeout=5.0)
+
+    def cancel(self, lease_id: str, *, reap: bool = False) -> None:
+        live = self._live.pop(lease_id, None)
+        if live is not None:
+            self._retire(live)
+
+    def close(self) -> None:
+        for lease_id in list(self._live):
+            self.cancel(lease_id)
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return f"LocalBackend(workers={self._workers}, live={len(self._live)}, pid={os.getpid()})"

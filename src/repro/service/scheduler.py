@@ -1,0 +1,577 @@
+"""Transport-agnostic shard scheduling: leases, retries, steals, re-leases.
+
+This loop is the generalisation of the engine's original process pool:
+it keeps the fault-domain semantics (deterministic backoff, liveness
+reaping, poison-run quarantine, no-progress abandonment) but talks to a
+:class:`~repro.service.backend.ShardBackend` instead of ``mp.Process``
+directly, so the same scheduler drives local worker processes and
+remote ``repro-worker`` agents behind a broker.
+
+Additions over the original pool, available when the backend supports
+them:
+
+* **record streaming** — completed runs arrive one ``rec`` event at a
+  time, so a lease that dies mid-range is re-leased from its last
+  delivered record, not from the start of the shard;
+* **work stealing** — when every shard is leased and capacity is idle,
+  the straggler lease with the most remaining runs is split at the
+  midpoint of its remaining range (a pure function of its progress, so
+  the split is deterministic given the same state) and the tail half is
+  leased to the idle worker;
+* **quarantine dedup** — a run is quarantined exactly once per
+  campaign, keyed by ``(shard, run)``; every re-lease ships the full
+  quarantine set, so a poison run is never re-executed on another host
+  without its ``sandbox:`` failure event on record (events carry the
+  lease id — the shard attempt — that triggered them).
+
+None of this can change campaign records: per-run RNG is keyed by run
+index, so a stolen, re-leased or duplicated run produces byte-identical
+rows wherever and however often it executes; the scheduler merges by
+run index and keeps the first copy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.carolfi.engine import (
+    CHECKPOINT_VERSION,
+    RetryPolicy,
+    ShardFailure,
+    ShardSpec,
+    backoff_delay,
+)
+from repro.faults.outcome import DueKind
+from repro.service.backend import BackendEvent, LeaseResult, ShardBackend, ShardLease
+from repro.telemetry import Telemetry
+from repro.util.jsonlog import JsonlLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.carolfi.campaign import CampaignConfig
+    from repro.carolfi.engine import FailureSink, _ConvergenceGate, _Heartbeat
+
+__all__ = ["StealPolicy", "run_shards", "write_shard_checkpoint"]
+
+#: Scheduler poll period while leases are in flight.
+_POLL_S = 0.005
+
+
+@dataclass(frozen=True)
+class StealPolicy:
+    """When to split a straggler lease's remaining range."""
+
+    enabled: bool = True
+
+    min_remaining: int = 4
+    """Only leases with at least this many undelivered runs are split;
+    below that the steal costs more coordination than it saves."""
+
+    def __post_init__(self) -> None:
+        if self.min_remaining < 2:
+            raise ValueError("min_remaining must be >= 2 (victim and thief both keep work)")
+
+
+@dataclass
+class _Lease:
+    """Runtime state of one active lease."""
+
+    lease: ShardLease
+    worker: str
+    stop: int  # effective stop; shrinks when the lease is stolen from
+    current_run: int | None = None
+    done_through: int = -1  # last run index whose record arrived (streaming)
+    last_beat: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.done_through = self.lease.start - 1
+
+
+@dataclass
+class _Shard:
+    """Book-keeping for one shard across all its leases."""
+
+    spec: ShardSpec
+    pending: list[tuple[int, int]] = field(default_factory=list)
+    active: dict[str, _Lease] = field(default_factory=dict)
+    rows: dict[int, dict[str, Any]] = field(default_factory=dict)
+    skip: dict[int, tuple[str, str]] = field(default_factory=dict)
+    deaths: dict[int, int] = field(default_factory=dict)
+    attempts: int = 0
+    lease_seq: int = 0
+    no_progress: int = 0
+    progress_mark: int = -1
+    max_ok: int = -1
+    started: bool = False
+    finished: bool = False
+    eligible_at: float = 0.0
+    dispatched_at: float = 0.0
+
+    def progress(self, streaming: bool) -> int:
+        return len(self.rows) if streaming else self.max_ok
+
+    def missing_runs(self) -> list[int]:
+        return [k for k in self.spec.run_indices() if k not in self.rows]
+
+
+def _contiguous_ranges(indices: list[int]) -> list[tuple[int, int]]:
+    """Group sorted run indices into ``[start, stop)`` ranges."""
+    ranges: list[tuple[int, int]] = []
+    for k in indices:
+        if ranges and ranges[-1][1] == k:
+            ranges[-1] = (ranges[-1][0], k + 1)
+        else:
+            ranges.append((k, k + 1))
+    return ranges
+
+
+def write_shard_checkpoint(
+    path: str, fingerprint: str, spec: ShardSpec, rows: Iterable[dict[str, Any]]
+) -> None:
+    """Write one complete shard checkpoint (header, records, done footer).
+
+    Streaming backends deliver records to the scheduler instead of
+    letting the executing worker write its own checkpoint file (the
+    worker may be on another host); the scheduler persists the shard in
+    the engine's existing checkpoint format once it completes, so
+    resume works identically for local and distributed campaigns.
+    """
+    from pathlib import Path
+
+    target = Path(path)
+    target.unlink(missing_ok=True)
+    with JsonlLog(target) as log:
+        log.append(
+            {
+                "kind": "header",
+                "version": CHECKPOINT_VERSION,
+                "config_hash": fingerprint,
+                "shard": spec.index,
+                "start": spec.start,
+                "stop": spec.stop,
+            }
+        )
+        count = 0
+        for row in rows:
+            log.append({"kind": "record", "data": row})
+            count += 1
+        log.append({"kind": "done", "count": count})
+
+
+def run_shards(
+    config: "CampaignConfig",
+    pending: list[ShardSpec],
+    ckpt_file: Callable[[ShardSpec], str | None],
+    fingerprint: str,
+    heartbeat: "_Heartbeat",
+    executed: dict[int, list[dict[str, Any]]],
+    backend: ShardBackend,
+    policy: RetryPolicy,
+    sink: "FailureSink",
+    tel: Telemetry,
+    reporter: Any,
+    gate: "_ConvergenceGate",
+    steal: StealPolicy | None = None,
+) -> None:
+    """Drive ``pending`` shards to completion through ``backend``.
+
+    Raises :class:`ShardFailure` when a shard keeps failing without
+    making progress.  The backend is *not* closed on return — its
+    lifetime belongs to the caller (a broker outlives the campaigns it
+    serves) — but every lease this call opened is cancelled.
+    """
+    steal = steal or StealPolicy()
+    streaming = backend.streams_records
+    announce = streaming  # lease lifecycle events only exist off-host
+    shard_done = tel.registry.gauge(
+        "repro_shard_runs_done", help="Runs completed so far, by shard."
+    )
+    shard_seconds = tel.registry.histogram(
+        "repro_shard_duration_seconds",
+        help="Wall time of one shard execution (successful attempt).",
+    )
+    # Service counters exist only for distributed backends: a local
+    # campaign's registry must stay counter-for-counter identical to its
+    # serial twin (tested), and leases are invisible implementation
+    # detail there anyway.
+    if announce:
+        lease_counter = tel.registry.counter(
+            "repro_service_leases_total", help="Shard leases issued, by disposition."
+        )
+        steal_counter = tel.registry.counter(
+            "repro_service_steals_total", help="Straggler leases split by work stealing."
+        )
+    else:
+        from repro.telemetry.metrics import NULL_REGISTRY
+
+        lease_counter = NULL_REGISTRY.counter("repro_service_leases_total")
+        steal_counter = NULL_REGISTRY.counter("repro_service_steals_total")
+
+    shards = {
+        spec.index: _Shard(spec=spec, pending=[(spec.start, spec.stop)]) for spec in pending
+    }
+    lease_to_shard: dict[str, int] = {}
+    quarantined: set[tuple[int, int]] = set()
+
+    def dispatch(shard: _Shard, start: int, stop: int, now: float) -> None:
+        shard.attempts += 1
+        shard.lease_seq += 1
+        lease_id = f"s{shard.spec.index:05d}.{shard.lease_seq}"
+        lease = ShardLease(
+            lease_id=lease_id,
+            shard_index=shard.spec.index,
+            start=start,
+            stop=stop,
+            attempt=shard.attempts,
+            skip={k: v for k, v in shard.skip.items() if start <= k < stop},
+            checkpoint_file=None if streaming else ckpt_file(shard.spec),
+        )
+        worker = backend.submit(lease)
+        state = _Lease(lease=lease, worker=worker, stop=stop, last_beat=now)
+        shard.active[lease_id] = state
+        shard.dispatched_at = time.perf_counter()
+        lease_to_shard[lease_id] = shard.spec.index
+        lease_counter.inc(event="issued")
+        if announce:
+            sink(
+                {
+                    "event": "lease",
+                    "shard": shard.spec.index,
+                    "lease": lease_id,
+                    "worker": worker,
+                    "start": start,
+                    "stop": stop,
+                    "attempt": shard.attempts,
+                    "resume_from": start if start > shard.spec.start else None,
+                }
+            )
+        if not shard.started:
+            shard.started = True
+            heartbeat.emit("started", shard.spec)
+
+    def finish_shard(shard: _Shard) -> None:
+        index = shard.spec.index
+        if streaming:
+            rows = [shard.rows[k] for k in shard.spec.run_indices()]
+            path = ckpt_file(shard.spec)
+            if path is not None:
+                write_shard_checkpoint(path, fingerprint, shard.spec, rows)
+            executed[index] = rows
+        # Non-streaming backends stored the rows wholesale in the done
+        # result handler before calling finish_shard.
+        shard.finished = True
+        heartbeat.record_done(shard.spec.size, live=True)
+        heartbeat.emit("finished", shard.spec)
+        shard_done.set(shard.spec.size, shard=index)
+        if tel.registry.enabled:
+            shard_seconds.observe(time.perf_counter() - shard.dispatched_at)
+        gate.mark_complete(index)
+
+    def quarantine(shard: _Shard, run: int, due_kind: DueKind, detail: str, lease_id: str) -> bool:
+        """Record one poison run exactly once; True if newly quarantined.
+
+        Dedupe by ``(shard, run)``: concurrent leases (a victim and its
+        thief, or racing re-leases) may both die on the same run, but
+        only the first death past the threshold emits the quarantine
+        event and extends the skip set — a shard re-leased to another
+        host never silently skips a run without its ``sandbox:`` event
+        on record.
+        """
+        key = (shard.spec.index, run)
+        if key in quarantined:
+            return False
+        quarantined.add(key)
+        count = shard.deaths.get(run, 0)
+        shard.skip[run] = (
+            due_kind.value,
+            f"sandbox: quarantined after {count} shard-worker deaths ({detail})",
+        )
+        sink(
+            {
+                "event": "quarantine",
+                "shard": shard.spec.index,
+                "run": run,
+                "detail": detail,
+                **({"lease": lease_id} if announce else {}),
+            }
+        )
+        lease_counter.inc(event="quarantine")
+        heartbeat.emit("quarantined", shard.spec, detail=f"run {run}: {detail}")
+        return True
+
+    def handle_failure(shard: _Shard, state: _Lease, detail: str, reaped: bool) -> None:
+        index = shard.spec.index
+        lease_id = state.lease.lease_id
+        run = state.current_run
+        due_kind = DueKind.HANG if reaped else DueKind.CRASH
+        progressed = shard.progress(streaming) > shard.progress_mark
+        shard.progress_mark = max(shard.progress(streaming), shard.progress_mark)
+        if run is not None:
+            count = shard.deaths[run] = shard.deaths.get(run, 0) + 1
+            sink(
+                {
+                    "event": "worker_death",
+                    "shard": index,
+                    "run": run,
+                    "attempt": shard.attempts,
+                    "deaths": count,
+                    "detail": detail,
+                    **({"lease": lease_id, "worker": state.worker} if announce else {}),
+                }
+            )
+            if count >= policy.max_run_deaths and quarantine(
+                shard, run, due_kind, detail, lease_id
+            ):
+                progressed = True
+        else:
+            sink(
+                {
+                    "event": "worker_death",
+                    "shard": index,
+                    "run": None,
+                    "attempt": shard.attempts,
+                    "detail": detail,
+                    **({"lease": lease_id, "worker": state.worker} if announce else {}),
+                }
+            )
+        if progressed:
+            shard.no_progress = 0
+        else:
+            shard.no_progress += 1
+            if shard.no_progress >= policy.max_attempts:
+                sink(
+                    {
+                        "event": "shard_failed",
+                        "shard": index,
+                        "attempt": shard.attempts,
+                        "detail": detail,
+                    }
+                )
+                heartbeat.emit("failed", shard.spec, detail=detail)
+                raise ShardFailure(index, shard.attempts, detail)
+        delay = backoff_delay(config.seed, index, shard.attempts, policy)
+        sink(
+            {
+                "event": "retry",
+                "shard": index,
+                "attempt": shard.attempts,
+                "delay_s": round(delay, 3),
+                "detail": detail,
+            }
+        )
+        heartbeat.emit("retried", shard.spec, detail=detail)
+        shard.eligible_at = time.monotonic() + delay
+        # Re-queue what the dead lease still owed.  Streaming backends
+        # resume from the last delivered record; others re-run the
+        # whole range (their records only arrive wholesale at "done").
+        resume = max(state.done_through + 1, state.lease.start) if streaming else state.lease.start
+        if resume < state.stop:
+            shard.pending.append((resume, state.stop))
+            if announce:
+                sink(
+                    {
+                        "event": "re_lease",
+                        "shard": index,
+                        "lease": lease_id,
+                        "resume_from": resume,
+                        "stop": state.stop,
+                        "detail": detail,
+                    }
+                )
+                lease_counter.inc(event="re_lease")
+
+    def drop_lease(shard: _Shard, lease_id: str) -> _Lease:
+        state = shard.active.pop(lease_id)
+        lease_to_shard.pop(lease_id, None)
+        return state
+
+    def handle_result(result: LeaseResult, now: float) -> None:
+        index = lease_to_shard.get(result.lease_id)
+        if index is None:
+            return  # cancelled lease racing its own result: already judged
+        shard = shards[index]
+        state = drop_lease(shard, result.lease_id)
+        if result.status == "done":
+            lease_counter.inc(event="done")
+            if announce:
+                sink(
+                    {
+                        "event": "lease_done",
+                        "shard": index,
+                        "lease": result.lease_id,
+                        "worker": state.worker,
+                        "runs": state.stop - state.lease.start,
+                    }
+                )
+            if streaming:
+                # The lease's own range must be covered; other leases
+                # (after a steal) may still owe their halves.
+                missing = shard.missing_runs()
+                owed = {
+                    k
+                    for other in shard.active.values()
+                    for k in range(max(other.done_through + 1, other.lease.start), other.stop)
+                }
+                stray = [k for k in missing if k not in owed]
+                for start, stop in _contiguous_ranges(stray):
+                    shard.pending.append((start, stop))
+                if not missing and not shard.active:
+                    finish_shard(shard)
+            else:
+                assert result.rows is not None
+                executed[index] = result.rows
+                finish_shard(shard)
+        elif result.status == "error":
+            state.current_run = (
+                result.error_run if result.error_run is not None else state.current_run
+            )
+            handle_failure(shard, state, result.detail, reaped=False)
+        else:  # dead
+            handle_failure(shard, state, result.detail, reaped=False)
+        if streaming and not shard.finished and not shard.active and not shard.pending:
+            missing = shard.missing_runs()
+            if not missing:
+                finish_shard(shard)
+
+    def handle_event(event: BackendEvent, now: float) -> None:
+        if event.kind == "metrics":
+            tel.registry.merge(event.payload)
+            return
+        if event.kind == "spans":
+            for record in event.payload:
+                tel.trace_write(record)
+            return
+        if event.kind == "worker":
+            if announce:
+                sink(dict(event.payload))
+            return
+        index = lease_to_shard.get(event.lease_id or "")
+        if index is None:
+            return
+        shard = shards[index]
+        state = shard.active.get(event.lease_id or "")
+        if state is None:
+            return  # stale event from a lease judged earlier this drain
+        state.last_beat = now
+        if event.kind == "run":
+            state.current_run = event.run
+        elif event.kind == "ok":
+            state.current_run = None
+            assert event.run is not None
+            shard.max_ok = max(shard.max_ok, event.run)
+            shard_done.set(event.run - shard.spec.start + 1, shard=index)
+        elif event.kind == "rec":
+            state.current_run = None
+            assert event.run is not None and event.row is not None
+            # Keep-first: duplicates (steal overshoot) are byte-identical.
+            shard.rows.setdefault(event.run, event.row)
+            state.done_through = max(state.done_through, event.run)
+            shard_done.set(len(shard.rows), shard=index)
+        elif event.kind == "failure":
+            sink({"shard": index, **event.payload})
+
+    def try_steal(now: float) -> None:
+        if not (backend.supports_steal and steal.enabled):
+            return
+        if any(s.pending for s in shards.values()) or backend.capacity() < 1:
+            return
+        best: tuple[int, _Shard, _Lease] | None = None
+        for shard in shards.values():
+            for state in shard.active.values():
+                remaining = state.stop - (state.done_through + 1)
+                if remaining >= steal.min_remaining and (best is None or remaining > best[0]):
+                    best = (remaining, shard, state)
+        if best is None:
+            return
+        remaining, shard, victim = best
+        next_undone = victim.done_through + 1
+        mid = next_undone + (remaining + 1) // 2  # victim keeps the in-flight half
+        if mid >= victim.stop or not backend.shrink(victim.lease.lease_id, mid):
+            return
+        old_stop = victim.stop
+        victim.stop = mid
+        steal_counter.inc()
+        lease_counter.inc(event="steal")
+        sink(
+            {
+                "event": "steal",
+                "shard": shard.spec.index,
+                "victim": victim.lease.lease_id,
+                "victim_worker": victim.worker,
+                "split": mid,
+                "stop": old_stop,
+            }
+        )
+        heartbeat.emit(
+            "stolen",
+            shard.spec,
+            detail=f"lease {victim.lease.lease_id} split at run {mid}",
+        )
+        dispatch(shard, mid, old_stop, now)
+
+    try:
+        while not gate.stopped and any(not s.finished for s in shards.values()):
+            now = time.monotonic()
+            reporter.tick()
+            for event in backend.heartbeats():
+                handle_event(event, now)
+            for result in backend.results():
+                handle_result(result, now)
+            # Liveness: a lease whose executor sent nothing for too long
+            # is reaped — cancelled at the backend, its in-flight run
+            # charged a death, its remaining range re-queued.
+            for shard in shards.values():
+                for lease_id, state in list(shard.active.items()):
+                    if now - state.last_beat <= policy.liveness_timeout_s:
+                        continue
+                    sink(
+                        {
+                            "event": "reap",
+                            "shard": shard.spec.index,
+                            "run": state.current_run,
+                            "attempt": shard.attempts,
+                            "detail": f"no heartbeat for "
+                            f"{policy.liveness_timeout_s:.0f}s; worker killed",
+                            **({"lease": lease_id, "worker": state.worker} if announce else {}),
+                        }
+                    )
+                    heartbeat.emit(
+                        "reaped",
+                        shard.spec,
+                        detail=f"no heartbeat for {policy.liveness_timeout_s:.0f}s",
+                    )
+                    backend.cancel(lease_id, reap=True)
+                    drop_lease(shard, lease_id)
+                    handle_failure(
+                        shard,
+                        state,
+                        f"hung: no heartbeat for {policy.liveness_timeout_s:.0f}s; "
+                        "worker reaped",
+                        reaped=True,
+                    )
+            # Dispatch pending ranges into free capacity, shard order.
+            while backend.capacity() > 0:
+                ready = next(
+                    (
+                        s
+                        for s in sorted(shards.values(), key=lambda s: s.spec.index)
+                        if s.pending and s.eligible_at <= now and not s.finished
+                    ),
+                    None,
+                )
+                if ready is None:
+                    break
+                start, stop = ready.pending.pop(0)
+                dispatch(ready, start, stop, now)
+            try_steal(now)
+            if any(not s.finished for s in shards.values()) and not gate.stopped:
+                time.sleep(_POLL_S)
+    finally:
+        # A converged gate (or a raised ShardFailure) ends the campaign:
+        # in-flight leases beyond the stop point are abandoned (their
+        # partial checkpoints are simply re-run on a later resume).
+        for shard in shards.values():
+            for lease_id in list(shard.active):
+                backend.cancel(lease_id)
+                drop_lease(shard, lease_id)

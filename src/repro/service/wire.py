@@ -1,0 +1,131 @@
+"""Tagged JSONL wire frames shared by the heartbeat pipe and the broker socket.
+
+The campaign engine's worker protocol has always been "small JSON-able
+dicts over a byte channel" — heartbeats, metric deltas, span batches,
+failure events, record rows.  This module gives those dicts one framed
+wire format usable on *any* transport:
+
+* a frame is one line: ``<length>:<crc32>:<payload-json>\\n``, where
+  ``length`` is the byte length of the payload and ``crc32`` its
+  zlib CRC-32 in 8 hex digits;
+* a corrupted, truncated or interleaved frame is **detectable** (the
+  tag no longer matches the payload) instead of silently parsing into
+  the wrong record — plain JSONL can only ever detect a damaged
+  *trailing* line;
+* frames are self-delimiting on stream transports: the
+  :class:`FrameDecoder` reassembles frames from arbitrary byte chunks,
+  tolerates a partial trailing frame (the writer may still be mid-
+  ``write``), and counts every frame it had to skip.
+
+Used by the local engine's heartbeat pipe
+(:mod:`repro.service.local`; ``Connection.send_bytes`` is message-
+oriented, so only the tag validation matters there) and by the broker's
+TCP socket (:mod:`repro.service.broker`; stream-oriented, so the
+decoder does the reassembly too).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any
+
+__all__ = [
+    "FrameError",
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "decode_frame",
+    "encode_frame",
+]
+
+#: Upper bound on one frame's payload; a tag announcing more than this
+#: is treated as corruption, not as an instruction to buffer forever.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameError(ValueError):
+    """A frame failed its length/checksum validation or JSON parse."""
+
+
+def encode_frame(obj: dict[str, Any]) -> bytes:
+    """Encode one dict as a tagged frame line (length + CRC-32 + JSON)."""
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return b"%d:%08x:%s\n" % (len(payload), zlib.crc32(payload), payload)
+
+
+def decode_frame(data: bytes) -> dict[str, Any]:
+    """Decode one complete frame (with or without the trailing newline).
+
+    Raises :class:`FrameError` on any mismatch between the tag and the
+    payload — a short read, a torn write, two interleaved frames — so a
+    damaged frame can never be mistaken for a valid record.
+    """
+    line = data.rstrip(b"\n")
+    head, sep, rest = line.partition(b":")
+    if not sep:
+        raise FrameError("frame has no length tag")
+    crc_hex, sep, payload = rest.partition(b":")
+    if not sep:
+        raise FrameError("frame has no checksum tag")
+    try:
+        length = int(head)
+        crc = int(crc_hex, 16)
+    except ValueError as exc:
+        raise FrameError(f"unparseable frame tag {head!r}:{crc_hex!r}") from exc
+    if length < 0 or length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} out of bounds")
+    if len(payload) != length:
+        raise FrameError(f"frame payload is {len(payload)} bytes, tag says {length}")
+    if zlib.crc32(payload) != crc:
+        raise FrameError("frame checksum mismatch")
+    try:
+        obj = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise FrameError(f"frame payload is not JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise FrameError(f"frame payload must be a dict, got {type(obj).__name__}")
+    return obj
+
+
+class FrameDecoder:
+    """Reassembles tagged frames from an arbitrary byte stream.
+
+    Feed it whatever the transport hands you; it returns every complete,
+    valid frame and keeps the (possibly partial) tail buffered.  Damage
+    is contained to the damaged line: a frame that fails validation is
+    skipped and counted (:attr:`skipped`), and decoding resynchronises
+    at the next newline — the property plain JSONL lacks for anything
+    but the final line.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.skipped = 0
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Absorb ``data``; return every complete valid frame it closed."""
+        self._buffer.extend(data)
+        frames: list[dict[str, Any]] = []
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline < 0:
+                # An impossible tag in the partial tail will never become
+                # a valid frame: drop it now so the buffer cannot grow
+                # without bound on a hostile or desynchronised stream.
+                if len(self._buffer) > MAX_FRAME_BYTES:
+                    self._buffer.clear()
+                    self.skipped += 1
+                return frames
+            line = bytes(self._buffer[:newline])
+            del self._buffer[: newline + 1]
+            if not line:
+                continue
+            try:
+                frames.append(decode_frame(line))
+            except FrameError:
+                self.skipped += 1

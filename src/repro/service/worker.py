@@ -1,0 +1,223 @@
+"""repro-worker: a remote lease executor for the campaign broker.
+
+One worker process connects to a :class:`repro.service.broker.
+BrokerBackend`, announces itself, and then executes the leases the
+broker sends — one at a time, one run at a time, streaming each run's
+record back as it completes (``rec`` frames).  Between runs it polls
+the socket for control frames, so a ``shrink`` (work stealing) or
+``cancel`` takes effect at the next run boundary.
+
+Determinism: every run is executed through the engine's own
+``_execute_shard`` on a single-run range, so record production — RNG
+derivation, fault-model rotation, quarantined-run synthesis, outcome
+classification — is byte-for-byte the code path a local campaign runs.
+A worker never needs campaign context beyond the lease: the config
+rides along in the lease frame and the per-run RNG is keyed by run
+index.
+
+Failure injection for tests (and chaos drills):
+
+* ``REPRO_WORKER_DIE_AFTER=N`` — the process exits abruptly (no
+  goodbye, no flush) after streaming its N-th record, simulating a
+  worker host dying mid-lease;
+* ``REPRO_WORKER_SLOW_S=x`` — sleep ``x`` seconds before each run,
+  turning this worker into the straggler a steal rescues.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import time
+from typing import Any, Sequence
+
+from repro.carolfi.campaign import CampaignConfig
+from repro.service.broker import lease_from_wire
+from repro.service.wire import FrameDecoder, encode_frame
+from repro.telemetry import NOOP_TRACER, activate
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["main", "run_worker"]
+
+
+class _SessionClosed(Exception):
+    """The broker connection ended (EOF, reset, or broker shutdown)."""
+
+
+class _Link:
+    """Blocking socket + frame decoder + a queue of undelivered frames."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.decoder = FrameDecoder()
+        self.queue: list[dict[str, Any]] = []
+
+    def send(self, frame: dict[str, Any]) -> None:
+        try:
+            self.sock.sendall(encode_frame(frame))
+        except OSError as exc:
+            raise _SessionClosed(str(exc)) from exc
+
+    def poll(self, timeout: float) -> list[dict[str, Any]]:
+        """Frames available within ``timeout`` seconds (possibly none)."""
+        if self.queue:
+            out, self.queue = self.queue, []
+            return out
+        self.sock.settimeout(timeout if timeout > 0 else 0.000001)
+        try:
+            data = self.sock.recv(1 << 16)
+        except (TimeoutError, socket.timeout):
+            return []
+        except OSError as exc:
+            raise _SessionClosed(str(exc)) from exc
+        if not data:
+            raise _SessionClosed("connection closed by broker")
+        return self.decoder.feed(data)
+
+    def wait(self, timeout: float) -> dict[str, Any] | None:
+        """The next frame, or ``None`` after ``timeout`` seconds."""
+        deadline = time.monotonic() + timeout
+        while True:
+            frames = self.poll(min(1.0, max(0.001, deadline - time.monotonic())))
+            if frames:
+                first, rest = frames[0], frames[1:]
+                self.queue.extend(rest)
+                return first
+            if time.monotonic() >= deadline:
+                return None
+
+
+def _execute_lease(link: _Link, frame: dict[str, Any], state: dict[str, int]) -> None:
+    """Run one lease, streaming records; returns when the lease ends."""
+    from repro.carolfi import engine as _engine
+
+    lease = lease_from_wire(frame["lease"])
+    config = CampaignConfig.from_wire(frame["config"])
+    fingerprint = str(frame["fingerprint"])
+    lease_id = lease.lease_id
+    stop = lease.stop
+    die_after = int(os.environ.get("REPRO_WORKER_DIE_AFTER", "0") or 0)
+    slow_s = float(os.environ.get("REPRO_WORKER_SLOW_S", "0") or 0)
+
+    def forward_failure(event: dict[str, Any]) -> None:
+        link.send({"kind": "failure", "lease": lease_id, "event": event})
+
+    registry = MetricsRegistry()
+    k = lease.start
+    while k < stop:
+        # Control frames act at run boundaries: shrink narrows the
+        # range (steal), cancel abandons the lease.  Anything the
+        # broker sent for an older lease is stale and dropped.
+        for control in link.poll(0):
+            if control.get("kind") == "shrink" and control.get("lease") == lease_id:
+                stop = min(stop, int(control["stop"]))
+            elif control.get("kind") == "cancel" and control.get("lease") == lease_id:
+                return
+        if k >= stop:
+            break
+        link.send({"kind": "run", "lease": lease_id, "run": k})
+        if slow_s > 0:
+            time.sleep(slow_s)
+        spec = _engine.ShardSpec(index=lease.shard_index, start=k, stop=k + 1)
+        try:
+            with activate(registry, NOOP_TRACER):
+                _, rows = _engine._execute_shard(
+                    config,
+                    spec,
+                    None,
+                    fingerprint,
+                    skip_runs=lease.skip,
+                    on_failure=forward_failure,
+                )
+        except Exception as exc:  # noqa: BLE001 — reported, worker survives
+            link.send(
+                {
+                    "kind": "error",
+                    "lease": lease_id,
+                    "detail": f"{type(exc).__name__}: {exc}",
+                    "run": k,
+                }
+            )
+            return
+        link.send({"kind": "rec", "lease": lease_id, "run": k, "row": rows[0]})
+        delta = registry.drain_delta()
+        if delta:
+            link.send({"kind": "metrics", "lease": lease_id, "delta": delta})
+        state["records"] += 1
+        if die_after and state["records"] >= die_after:
+            # Chaos hook: vanish mid-lease with no goodbye — exactly
+            # what a dying worker host looks like to the broker.
+            os._exit(7)
+        k += 1
+    link.send({"kind": "done", "lease": lease_id})
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    name: str | None = None,
+    once: bool = False,
+    reconnect_delay: float = 0.5,
+) -> int:
+    """Serve leases from the broker at ``host:port``.
+
+    With ``once`` the worker exits when its session ends (broker gone
+    or unreachable); otherwise it reconnects forever — the behaviour a
+    long-lived worker host wants.
+    """
+    worker_name = name or f"{socket.gethostname()}/pid{os.getpid()}"
+    state = {"records": 0}
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=10)
+        except OSError:
+            if once:
+                return 1
+            time.sleep(reconnect_delay)
+            continue
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        link = _Link(sock)
+        try:
+            link.send({"kind": "hello", "worker": worker_name})
+            while True:
+                frame = link.wait(timeout=3600.0)
+                if frame is None:
+                    continue
+                if frame.get("kind") == "lease":
+                    _execute_lease(link, frame, state)
+        except _SessionClosed:
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        if once:
+            return 0
+        time.sleep(reconnect_delay)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Execute campaign shard leases from a repro broker.",
+    )
+    parser.add_argument("broker", help="broker address as host:port")
+    parser.add_argument("--name", default=None, help="worker name (default host/pid)")
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="exit when the broker goes away instead of reconnecting",
+    )
+    args = parser.parse_args(argv)
+    host, _, port_text = args.broker.rpartition(":")
+    if not host or not port_text.isdigit():
+        parser.error(f"broker must be host:port, got {args.broker!r}")
+    return run_worker(host, int(port_text), name=args.name, once=args.once)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -874,12 +874,183 @@ def _fuzz_main(argv: list[str], out: IO[str]) -> int:
     return 0
 
 
+def _lease_fate(
+    lease_id: str,
+    done: set[str],
+    re_leased: dict[str, int],
+    stolen: dict[str, int],
+) -> str:
+    """A lease's fate, compressed to one cell."""
+    parts: list[str] = []
+    if lease_id in stolen:
+        parts.append(f"stolen@{stolen[lease_id]}")
+    if lease_id in re_leased:
+        parts.append(f"re-leased@{re_leased[lease_id]}")
+    if lease_id in done:
+        parts.append("done")
+    return ", ".join(parts) or "lost"
+
+
+def _service_main(argv: list[str], out: IO[str]) -> int:
+    """``repro-inspect service``: lease table and worker timeline.
+
+    Joins the scheduler's ``failures.jsonl`` events from a distributed
+    (broker-mode) campaign into three views: every lease with its range
+    and fate, a per-worker summary, and the chronological disruption
+    log (steals, re-leases, deaths, quarantines, reaps).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-inspect service",
+        description="Lease table, per-worker timeline and disruption log "
+        "from a distributed campaign's failures.jsonl.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="failures.jsonl files or campaign directories containing one.",
+    )
+    args = parser.parse_args(argv)
+
+    files: list[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        files.append(path / "failures.jsonl" if path.is_dir() else path)
+    missing = [str(p) for p in files if not p.exists()]
+    if missing:
+        print(
+            f"repro-inspect service: not found: {', '.join(missing)}", file=sys.stderr
+        )
+        return 2
+
+    status = 0
+    for path in files:
+        events, skipped = load_records_tolerant(path)
+        if skipped:
+            print(
+                f"repro-inspect service: {path}: skipped {skipped} corrupt line(s)",
+                file=sys.stderr,
+            )
+        leases = [e for e in events if e.get("event") == "lease" and "lease" in e]
+        if not leases:
+            print(
+                f"repro-inspect service: {path}: no lease events — "
+                "not a distributed campaign log?",
+                file=sys.stderr,
+            )
+            status = 2
+            continue
+
+        done = {str(e["lease"]) for e in events if e.get("event") == "lease_done"}
+        re_leased = {
+            str(e["lease"]): int(e["resume_from"])
+            for e in events
+            if e.get("event") == "re_lease"
+        }
+        stolen = {
+            str(e["victim"]): int(e["split"])
+            for e in events
+            if e.get("event") == "steal"
+        }
+
+        rows = [
+            [
+                str(e["lease"]),
+                int(e["shard"]),
+                f"[{e['start']}, {e['stop']})",
+                int(e.get("attempt", 0)),
+                str(e.get("worker", "?")),
+                _lease_fate(str(e["lease"]), done, re_leased, stolen),
+            ]
+            for e in leases
+        ]
+        print(
+            format_table(
+                ["lease", "shard", "runs", "attempt", "worker", "fate"],
+                rows,
+                title=f"[{path.parent.name or path.name}] lease table",
+            ),
+            file=out,
+        )
+
+        workers: dict[str, dict[str, Any]] = {}
+
+        def slot(name: str) -> dict[str, Any]:
+            return workers.setdefault(
+                name, {"leases": 0, "runs": 0, "shards": set(), "deaths": 0, "lost": 0}
+            )
+
+        for e in events:
+            kind = e.get("event")
+            if kind == "worker_connected":
+                slot(str(e["worker"]))
+            elif kind == "lease" and "worker" in e:
+                w = slot(str(e["worker"]))
+                w["leases"] += 1
+                w["runs"] += int(e["stop"]) - int(e["start"])
+                w["shards"].add(int(e["shard"]))
+            elif kind == "worker_death" and "worker" in e:
+                slot(str(e["worker"]))["deaths"] += 1
+            elif kind == "worker_lost" and "worker" in e:
+                slot(str(e["worker"]))["lost"] += 1
+        print(
+            format_table(
+                ["worker", "leases", "runs leased", "shards", "deaths", "lost"],
+                [
+                    [name, w["leases"], w["runs"], len(w["shards"]), w["deaths"], w["lost"]]
+                    for name, w in sorted(workers.items())
+                ],
+                title=f"[{path.parent.name or path.name}] workers",
+            ),
+            file=out,
+        )
+
+        disruptions = []
+        for i, e in enumerate(events):
+            kind = str(e.get("event", ""))
+            if kind == "steal":
+                what = (
+                    f"split {e['victim']} at run {e['split']} "
+                    f"(was stop {e['stop']}, victim {e.get('victim_worker', '?')})"
+                )
+            elif kind == "re_lease":
+                what = f"{e['lease']} resumes at run {e['resume_from']}: {e.get('detail', '')}"
+            elif kind == "worker_death":
+                run = e.get("run")
+                where = f"run {run}" if run is not None else "between runs"
+                what = f"{e.get('worker', e.get('lease', '?'))} died at {where}: {e.get('detail', '')}"
+            elif kind == "quarantine":
+                what = f"run {e['run']} quarantined: {e.get('detail', '')}"
+            elif kind in ("reap", "worker_lost", "shard_failed"):
+                what = str(e.get("detail", ""))
+            else:
+                continue
+            disruptions.append([i, kind, e.get("shard", "-"), what])
+        if disruptions:
+            print(
+                format_table(
+                    ["#", "event", "shard", "what"],
+                    disruptions,
+                    title=f"[{path.parent.name or path.name}] disruptions",
+                ),
+                file=out,
+            )
+        else:
+            print(
+                f"[{path.parent.name or path.name}] disruptions: none — "
+                "every lease ran to completion undisturbed",
+                file=out,
+            )
+    return status
+
+
 def main(argv: list[str] | None = None, stream: IO[str] | None = None) -> int:
     """Entry point for the ``repro-inspect`` console script."""
     args_in = list(sys.argv[1:]) if argv is None else list(argv)
     out_stream = stream if stream is not None else sys.stdout
     if args_in and args_in[0] == "fuzz":
         return _fuzz_main(args_in[1:], out_stream)
+    if args_in and args_in[0] == "service":
+        return _service_main(args_in[1:], out_stream)
     parser = argparse.ArgumentParser(
         prog="repro-inspect",
         description="Join campaign.jsonl, trace.jsonl and metrics into one analytics report.",

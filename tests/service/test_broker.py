@@ -1,0 +1,152 @@
+"""Broker-mode campaigns over real TCP with real worker processes.
+
+The acceptance bar for the distributed service: the merged campaign
+log from broker mode with two workers — including a forced mid-lease
+worker kill and a forced straggler steal — must be byte-identical to
+the serial log.  Workers here are genuine ``repro-worker`` subprocesses
+talking to the broker over localhost sockets.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.carolfi.campaign import CampaignConfig, run_campaign
+from repro.carolfi.engine import RetryPolicy, campaign_fingerprint, run_sharded_campaign
+from repro.service.broker import BrokerBackend, lease_from_wire, lease_to_wire
+from repro.service.backend import ShardLease
+
+CONFIG = CampaignConfig(
+    benchmark="nw",
+    injections=16,
+    seed=13,
+    benchmark_params={"n": 16, "rows_per_step": 4},
+)
+FAST = RetryPolicy(max_attempts=8, backoff_base_s=0.01, backoff_cap_s=0.05)
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _spawn_worker(address, name, **env_extra):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    for var in ("REPRO_WORKER_DIE_AFTER", "REPRO_WORKER_SLOW_S"):
+        env.pop(var, None)  # never inherit chaos hooks from the outer env
+    env.update({k: str(v) for k, v in env_extra.items()})
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service.worker",
+            f"{address[0]}:{address[1]}",
+            "--name",
+            name,
+            "--once",
+        ],
+        env=env,
+    )
+
+
+def _broker_campaign(tmp_path, *, worker_envs, shard_size=None):
+    serial_log = tmp_path / "serial.jsonl"
+    run_campaign(CONFIG, log_path=serial_log)
+
+    broker = BrokerBackend(CONFIG, campaign_fingerprint(CONFIG, shard_size))
+    log = tmp_path / "broker.jsonl"
+    flog = tmp_path / "failures.jsonl"
+    workers = [
+        _spawn_worker(broker.address, f"w{i}", **env)
+        for i, env in enumerate(worker_envs)
+    ]
+    try:
+        result = run_sharded_campaign(
+            CONFIG,
+            workers=len(workers),
+            backend=broker,
+            retry=FAST,
+            shard_size=shard_size,
+            log_path=log,
+            failure_log=flog,
+        )
+    finally:
+        broker.close()
+        for proc in workers:
+            proc.wait(timeout=20)
+    events = [json.loads(line) for line in flog.read_text().splitlines()]
+    return result, serial_log.read_bytes(), log.read_bytes(), events
+
+
+def test_two_workers_merge_byte_identical(tmp_path):
+    _result, serial_bytes, broker_bytes, events = _broker_campaign(
+        tmp_path, worker_envs=[{}, {}]
+    )
+    assert broker_bytes == serial_bytes  # the cmp invariant, over real sockets
+    kinds = {e["event"] for e in events}
+    assert "lease" in kinds and "lease_done" in kinds and "worker_connected" in kinds
+
+
+def test_killed_worker_is_re_leased_and_log_stays_identical(tmp_path):
+    # Multi-run shards (8 runs each), so dying three records in is a
+    # mid-lease death with work left to re-lease — at the default
+    # shard size every lease here is a single run and a kill can only
+    # land on a lease boundary.
+    _result, serial_bytes, broker_bytes, events = _broker_campaign(
+        tmp_path,
+        worker_envs=[{"REPRO_WORKER_DIE_AFTER": 3}, {}],
+        shard_size=8,
+    )
+    assert broker_bytes == serial_bytes
+    kinds = {e["event"] for e in events}
+    assert "worker_death" in kinds, "the kill must be observed"
+    re_leases = [e for e in events if e["event"] == "re_lease"]
+    assert re_leases, "the dead worker's lease must be re-leased"
+    # Streamed records count: the re-lease resumes past at least one
+    # record the dead worker delivered, not from scratch, whenever it
+    # died mid-range with records already streamed.
+    lease_starts = {
+        (e["shard"], e["start"]): e for e in events if e["event"] == "lease"
+    }
+    for rl in re_leases:
+        resumed = lease_starts.get((rl["shard"], rl["resume_from"]))
+        assert resumed is not None, "a lease must cover the resumed range"
+
+
+def test_straggler_lease_is_stolen_and_log_stays_identical(tmp_path):
+    _result, serial_bytes, broker_bytes, events = _broker_campaign(
+        tmp_path,
+        worker_envs=[{"REPRO_WORKER_SLOW_S": 0.2}, {}],
+        shard_size=CONFIG.injections,  # one shard: only a steal can share it
+    )
+    assert broker_bytes == serial_bytes
+    steals = [e for e in events if e["event"] == "steal"]
+    assert steals, "idle capacity plus a straggler must trigger a steal"
+    split = steals[0]
+    assert split["split"] < split["stop"] <= CONFIG.injections
+    # The thief's lease covers [split, stop) — visible as a lease event.
+    thief = [
+        e
+        for e in events
+        if e["event"] == "lease" and e["start"] == split["split"]
+    ]
+    assert thief and thief[0]["stop"] == split["stop"]
+
+
+def test_lease_wire_round_trip():
+    lease = ShardLease(
+        lease_id="s00001.2",
+        shard_index=1,
+        start=4,
+        stop=9,
+        attempt=2,
+        skip={5: ("crash", "sandbox: quarantined after 2 deaths")},
+    )
+    assert lease_from_wire(json.loads(json.dumps(lease_to_wire(lease)))) == lease
+
+
+def test_lease_range_validation():
+    with pytest.raises(ValueError):
+        ShardLease(lease_id="x", shard_index=0, start=5, stop=5, attempt=1)
+    with pytest.raises(ValueError):
+        ShardLease(lease_id="x", shard_index=0, start=-1, stop=4, attempt=1)

@@ -1,0 +1,78 @@
+"""``repro-inspect service``: lease table and disruption log rendering."""
+
+import io
+import json
+
+from repro.telemetry.inspect import main
+
+EVENTS = [
+    {"event": "worker_connected", "worker": "w0"},
+    {"event": "worker_connected", "worker": "w1"},
+    {"event": "lease", "shard": 0, "lease": "s00000.1", "worker": "w0",
+     "start": 0, "stop": 8, "attempt": 1, "resume_from": None},
+    {"event": "lease", "shard": 1, "lease": "s00001.1", "worker": "w1",
+     "start": 8, "stop": 16, "attempt": 1, "resume_from": None},
+    {"event": "steal", "shard": 1, "victim": "s00001.1", "victim_worker": "w1",
+     "split": 13, "stop": 16},
+    {"event": "lease", "shard": 1, "lease": "s00001.2", "worker": "w0",
+     "start": 13, "stop": 16, "attempt": 2, "resume_from": 13},
+    {"event": "worker_death", "shard": 0, "run": 3, "attempt": 1, "deaths": 1,
+     "detail": "exit code 7", "lease": "s00000.1", "worker": "w0"},
+    {"event": "retry", "shard": 0, "attempt": 1, "delay_s": 0.01,
+     "detail": "exit code 7"},
+    {"event": "re_lease", "shard": 0, "lease": "s00000.1", "resume_from": 3,
+     "stop": 8, "detail": "exit code 7"},
+    {"event": "worker_lost", "worker": "w0", "detail": "connection dropped"},
+    {"event": "lease", "shard": 0, "lease": "s00000.2", "worker": "w1",
+     "start": 3, "stop": 8, "attempt": 2, "resume_from": 3},
+    {"event": "quarantine", "shard": 0, "run": 5,
+     "detail": "sandbox: quarantined after 2 worker deaths", "lease": "s00000.2"},
+    {"event": "lease_done", "shard": 1, "lease": "s00001.1", "worker": "w1",
+     "runs": 5},
+    {"event": "lease_done", "shard": 1, "lease": "s00001.2", "worker": "w0",
+     "runs": 3},
+    {"event": "lease_done", "shard": 0, "lease": "s00000.2", "worker": "w1",
+     "runs": 5},
+]
+
+
+def _write_log(tmp_path):
+    log = tmp_path / "failures.jsonl"
+    log.write_text("".join(json.dumps(e) + "\n" for e in EVENTS))
+    return log
+
+
+def test_service_view_renders_leases_workers_and_disruptions(tmp_path):
+    log = _write_log(tmp_path)
+    out = io.StringIO()
+    assert main(["service", str(log)], stream=out) == 0
+    text = out.getvalue()
+
+    # Lease table: every lease appears, with its fate.
+    assert "s00000.1" in text and "s00001.2" in text
+    assert "stolen@13, done" in text  # the victim finished its shrunk half
+    assert "re-leased@3" in text  # the dead worker's lease
+    # Worker summary: both workers, w0 carries the death and the drop.
+    assert "w0" in text and "w1" in text
+    # Disruption log includes the steal, the death and the quarantine.
+    assert "steal" in text
+    assert "worker_death" in text
+    assert "quarantine" in text
+    assert "run 5 quarantined" in text
+
+
+def test_service_view_accepts_campaign_directory(tmp_path):
+    _write_log(tmp_path)
+    out = io.StringIO()
+    assert main(["service", str(tmp_path)], stream=out) == 0
+    assert "lease table" in out.getvalue()
+
+
+def test_service_view_rejects_non_distributed_log(tmp_path):
+    log = tmp_path / "failures.jsonl"
+    log.write_text(json.dumps({"event": "retry", "shard": 0}) + "\n")
+    assert main(["service", str(log)], stream=io.StringIO()) == 2
+
+
+def test_service_view_missing_file(tmp_path):
+    assert main(["service", str(tmp_path / "nope.jsonl")], stream=io.StringIO()) == 2

@@ -1,0 +1,216 @@
+"""Scheduler semantics through a scripted streaming backend.
+
+These tests drive ``run_sharded_campaign`` with an in-process fake that
+speaks the streaming backend protocol (``rec`` events, terminal lease
+results) and injects scripted faults: a worker death after N records,
+a poison run that kills every worker that touches it.  They pin down
+the service-layer contracts the broker relies on:
+
+* a re-leased range resumes *after* the last streamed record;
+* a poison run is quarantined exactly once — with the triggering lease
+  on the event — and every subsequent lease ships it in its skip set;
+* the merged campaign is byte-identical to serial wherever no run was
+  quarantined, and complete either way.
+"""
+
+import json
+
+import pytest
+
+from repro.carolfi.campaign import CampaignConfig, run_campaign
+from repro.carolfi.engine import RetryPolicy, ShardSpec, _execute_shard
+from repro.service.backend import BackendEvent, LeaseResult, ShardBackend, ShardLease
+from repro.service.scheduler import StealPolicy, _contiguous_ranges
+
+CONFIG = CampaignConfig(
+    benchmark="nw",
+    injections=12,
+    seed=13,
+    benchmark_params={"n": 16, "rows_per_step": 4},
+)
+SHARD_SIZE = 6
+FAST = RetryPolicy(max_attempts=6, backoff_base_s=0.005, backoff_cap_s=0.01)
+
+
+class ScriptedBackend(ShardBackend):
+    """Executes leases synchronously, with scripted worker deaths."""
+
+    supports_steal = False
+    streams_records = True
+
+    def __init__(self, config, fingerprint, *, poison=(), die_after=None):
+        self.config = config
+        self.fingerprint = fingerprint
+        self.poison = set(poison)  # runs that kill their worker every time
+        self.die_after = dict(die_after or {})  # shard -> records before dying once
+        self.submitted: list[ShardLease] = []
+        self._pending: ShardLease | None = None
+        self._events: list[BackendEvent] = []
+        self._results: list[LeaseResult] = []
+
+    def capacity(self) -> int:
+        return 0 if self._pending is not None else 1
+
+    def submit(self, lease: ShardLease) -> str:
+        assert self._pending is None
+        self.submitted.append(lease)
+        self._pending = lease
+        return "scripted/worker"
+
+    def _execute(self, lease: ShardLease) -> None:
+        budget = self.die_after.pop(lease.shard_index, None)
+        sent = 0
+        for k in range(lease.start, lease.stop):
+            if k in self.poison and k not in lease.skip:
+                self._events.append(BackendEvent("run", lease.lease_id, run=k))
+                self._results.append(
+                    LeaseResult(
+                        lease.lease_id, "dead", detail="scripted poison run", worker="scripted/worker"
+                    )
+                )
+                return
+            self._events.append(BackendEvent("run", lease.lease_id, run=k))
+            _, rows = _execute_shard(
+                self.config,
+                ShardSpec(index=lease.shard_index, start=k, stop=k + 1),
+                None,
+                self.fingerprint,
+                skip_runs=lease.skip,
+            )
+            self._events.append(
+                BackendEvent("rec", lease.lease_id, run=k, row=rows[0])
+            )
+            sent += 1
+            if budget is not None and sent >= budget:
+                self._results.append(
+                    LeaseResult(
+                        lease.lease_id, "dead", detail="scripted mid-lease death", worker="scripted/worker"
+                    )
+                )
+                return
+        self._results.append(
+            LeaseResult(lease.lease_id, "done", worker="scripted/worker")
+        )
+
+    def heartbeats(self) -> list[BackendEvent]:
+        if self._pending is not None:
+            lease, self._pending = self._pending, None
+            self._execute(lease)
+        out, self._events = self._events, []
+        return out
+
+    def results(self) -> list[LeaseResult]:
+        out, self._results = self._results, []
+        return out
+
+    def cancel(self, lease_id: str, *, reap: bool = False) -> None:
+        if self._pending is not None and self._pending.lease_id == lease_id:
+            self._pending = None
+
+    def close(self) -> None:
+        self._pending = None
+
+
+def _run_scripted(tmp_path, **script):
+    from repro.carolfi.engine import campaign_fingerprint, run_sharded_campaign
+
+    backend = ScriptedBackend(
+        CONFIG, campaign_fingerprint(CONFIG, SHARD_SIZE), **script
+    )
+    events = []
+    result = run_sharded_campaign(
+        CONFIG,
+        workers=2,
+        shard_size=SHARD_SIZE,
+        backend=backend,
+        retry=FAST,
+        failure_log=tmp_path / "failures.jsonl",
+        checkpoint_dir=tmp_path / "ckpt",
+    )
+    for line in (tmp_path / "failures.jsonl").read_text().splitlines():
+        events.append(json.loads(line))
+    return result, backend, events
+
+
+@pytest.fixture(scope="module")
+def serial_rows():
+    return [r.to_dict() for r in run_campaign(CONFIG).records]
+
+
+def test_streaming_backend_matches_serial(tmp_path, serial_rows):
+    result, backend, _events = _run_scripted(tmp_path)
+    assert [r.to_dict() for r in result.records] == serial_rows
+    assert len(backend.submitted) == 2  # one lease per shard, no retries
+
+
+def test_re_lease_resumes_after_last_streamed_record(tmp_path, serial_rows):
+    result, backend, events = _run_scripted(tmp_path, die_after={0: 2})
+    assert [r.to_dict() for r in result.records] == serial_rows
+    re_leases = [e for e in events if e["event"] == "re_lease"]
+    assert len(re_leases) == 1
+    # Two records streamed before the death: resume at start + 2, not 0.
+    assert re_leases[0]["resume_from"] == 2
+    resumed = [l for l in backend.submitted if l.shard_index == 0 and l.start == 2]
+    assert len(resumed) == 1 and resumed[0].stop == SHARD_SIZE
+
+
+def test_poison_run_quarantined_once_with_lease_attribution(tmp_path, serial_rows):
+    poison = 7  # second shard
+    result, backend, events = _run_scripted(tmp_path, poison={poison})
+    rows = [r.to_dict() for r in result.records]
+    # Every non-poisoned record is still byte-identical to serial.
+    assert [r for r in rows if r["run_index"] != poison] == [
+        r for r in serial_rows if r["run_index"] != poison
+    ]
+    quarantined = rows[poison]
+    assert quarantined["run_index"] == poison
+    assert quarantined["outcome"] == "due"
+    assert "sandbox:" in quarantined["due_detail"]
+
+    quarantine_events = [e for e in events if e["event"] == "quarantine"]
+    assert len(quarantine_events) == 1, "quarantine must be deduped"
+    assert quarantine_events[0]["run"] == poison
+    # The triggering lease (shard attempt) is on the record.
+    assert quarantine_events[0]["lease"] in {l.lease_id for l in backend.submitted}
+    # Every lease issued after the quarantine ships the skip entry: the
+    # run is never re-leased anywhere without its sandbox event.
+    seen_quarantine = False
+    for lease in backend.submitted:
+        if lease.lease_id == quarantine_events[0]["lease"]:
+            seen_quarantine = True
+            continue
+        if seen_quarantine and lease.shard_index == 1:
+            assert poison in lease.skip
+    deaths = [e for e in events if e["event"] == "worker_death" and e.get("run") == poison]
+    assert len(deaths) == FAST.max_run_deaths
+
+
+def test_scheduler_writes_replayable_checkpoints(tmp_path, serial_rows):
+    result, _backend, _events = _run_scripted(tmp_path)
+    # A later campaign must replay entirely from the scheduler-written
+    # checkpoints: no backend, no new executions.
+    resumed = run_campaign(
+        CONFIG, workers=1, shard_size=SHARD_SIZE, checkpoint_dir=tmp_path / "ckpt"
+    )
+    assert [r.to_dict() for r in resumed.records] == serial_rows
+
+
+def test_lease_lifecycle_events_logged_for_streaming_backend(tmp_path):
+    _result, backend, events = _run_scripted(tmp_path)
+    kinds = {e["event"] for e in events}
+    assert "lease" in kinds and "lease_done" in kinds
+    leases = [e for e in events if e["event"] == "lease"]
+    assert {l["lease"] for l in leases} == {l.lease_id for l in backend.submitted}
+    assert all(l["worker"] == "scripted/worker" for l in leases)
+
+
+def test_contiguous_ranges_groups_runs():
+    assert _contiguous_ranges([]) == []
+    assert _contiguous_ranges([3]) == [(3, 4)]
+    assert _contiguous_ranges([1, 2, 3, 7, 9, 10]) == [(1, 4), (7, 8), (9, 11)]
+
+
+def test_steal_policy_validation():
+    with pytest.raises(ValueError):
+        StealPolicy(min_remaining=1)
+    assert StealPolicy().enabled

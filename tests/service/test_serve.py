@@ -1,0 +1,133 @@
+"""repro-serve end-to-end: submit, watch progress, fetch artifacts."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.carolfi.campaign import CampaignConfig, run_campaign
+from repro.service.serve import CampaignService
+
+INI = """
+[carol-fi]
+benchmark = nw
+injections = 12
+seed = 13
+
+[benchmark.params]
+n = 16
+rows_per_step = 4
+"""
+
+CONFIG = CampaignConfig(
+    benchmark="nw",
+    injections=12,
+    seed=13,
+    benchmark_params={"n": 16, "rows_per_step": 4},
+)
+
+
+def _get(base, path, timeout=60):
+    return urllib.request.urlopen(f"{base}{path}", timeout=timeout).read()
+
+
+def _get_json(base, path, timeout=60):
+    return json.loads(_get(base, path, timeout=timeout))
+
+
+def _post(base, path, body, timeout=60):
+    req = urllib.request.Request(f"{base}{path}", data=body, method="POST")
+    return json.loads(urllib.request.urlopen(req, timeout=timeout).read())
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    with CampaignService(tmp_path_factory.mktemp("serve"), workers=2) as svc:
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def base(service):
+    return f"http://127.0.0.1:{service.port}"
+
+
+def test_submit_stream_fetch_round_trip(base, tmp_path):
+    serial_log = tmp_path / "serial.jsonl"
+    run_campaign(CONFIG, log_path=serial_log)
+
+    sub = _post(base, "/campaigns", INI.encode())
+    assert sub["id"].startswith("job-")
+
+    # The stream yields progress snapshots as JSON lines and ends when
+    # the job does; the last line is the terminal state.
+    lines = _get(base, sub["links"]["stream"]).decode().splitlines()
+    snapshots = [json.loads(line) for line in lines]
+    assert snapshots, "stream must yield at least one snapshot"
+    assert snapshots[-1]["status"] == "done"
+    assert snapshots[-1]["records"] == CONFIG.injections
+    assert snapshots[-1]["progress"]["done_runs"] == CONFIG.injections
+
+    # The merged artifact is byte-identical to the serial log: the
+    # submission API cannot perturb campaign bytes either.
+    assert _get(base, sub["links"]["log"]) == serial_log.read_bytes()
+
+    status = _get_json(base, sub["links"]["self"])
+    assert status["status"] == "done"
+    assert sum(status["outcomes"].values()) == CONFIG.injections
+
+    metrics = _get_json(base, sub["links"]["metrics"])
+    counters = {
+        name: fam
+        for name, fam in metrics["metrics"].items()
+        if fam.get("kind") == "counter"
+    }
+    assert "repro_records_total" in counters
+
+    failures = _get(base, sub["links"]["failures"])
+    for line in failures.splitlines():
+        json.loads(line)  # structurally valid JSONL (may be empty)
+
+
+def test_submit_json_config(base):
+    body = json.dumps({"config": CONFIG.to_wire(), "workers": 2}).encode()
+    sub = _post(base, "/campaigns", body)
+    lines = _get(base, sub["links"]["stream"]).decode().splitlines()
+    assert json.loads(lines[-1])["status"] == "done"
+    listing = _get_json(base, "/campaigns")
+    assert any(j["id"] == sub["id"] for j in listing["campaigns"])
+
+
+def test_bad_submissions_rejected(base):
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(base, "/campaigns", b"this is not a config")
+    assert err.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(base, "/campaigns", json.dumps({"config": {"nope": 1}}).encode())
+    assert err.value.code == 400
+
+
+def test_unknown_routes_and_jobs_404(base):
+    for path in ("/campaigns/job-9999", "/campaigns/job-9999/log", "/nowhere"):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base, path, timeout=10)
+        assert err.value.code == 404
+
+
+def test_log_not_ready_is_conflict(base):
+    # Race a fetch against a freshly submitted job: while the job is
+    # still queued or running the merged log is a 409, never a partial
+    # artifact.  (If the tiny campaign wins the race, the fetch simply
+    # succeeds — both outcomes are legal; partial bytes are not.)
+    body = json.dumps(
+        {"config": CONFIG.to_wire(), "workers": 1}
+    ).encode()
+    sub = _post(base, "/campaigns", body)
+    try:
+        _get(base, sub["links"]["log"], timeout=10)
+    except urllib.error.HTTPError as err:
+        assert err.code == 409
+    # Either way the job finishes and the artifact appears.
+    lines = _get(base, sub["links"]["stream"]).decode().splitlines()
+    assert json.loads(lines[-1])["status"] == "done"
+    assert _get(base, sub["links"]["log"])
