@@ -224,15 +224,20 @@ class Dgemm(Benchmark):
         ``init_cursor`` is only consulted by the init steps; once the
         compute phase starts it is dead state — the scalar path leaves a
         corruption there sitting inert forever — so it only gates the
-        batch during the init phase."""
+        batch during the init phase.  Two more positions are dead at
+        *every* step and stay free: ``dims[2]`` (the m extent — unpacked
+        and discarded by ``_compute_step``) and ``thread_ctl[:, 8]``
+        (the scratch cursor — written at construction, read by nothing),
+        so a corruption there never reaches control flow on either
+        path."""
         if index < self.params["init_steps"] and not np.array_equal(
             state.init_cursor, golden.init_cursor
         ):
             return False
         return (
             np.array_equal(state.ptrs.addresses, golden.ptrs.addresses)
-            and np.array_equal(state.dims, golden.dims)
-            and np.array_equal(state.thread_ctl, golden.thread_ctl)
+            and np.array_equal(state.dims[:2], golden.dims[:2])
+            and np.array_equal(state.thread_ctl[:, :8], golden.thread_ctl[:, :8])
         )
 
     def step_batch(

@@ -126,16 +126,24 @@ class NeedlemanWunsch(Benchmark):
     # -- vectorized batch path ----------------------------------------------
 
     def batch_coherent(self, state: NwState, golden: NwState, index: int) -> bool:
-        """Besides control state, both sequences must stay in-alphabet:
+        """Besides control state, the sequences must stay in-alphabet:
         the scalar path bounds-checks every residue (``checked_index``,
         ``take(mode="raise")``), so an out-of-range residue is
         data-dependent control flow and must take the scalar fallback.
-        Stricter than scalar (negative residues that would wrap are
+        Only ``seq1``'s *live* region matters, though: row ``i`` reads
+        ``seq1[i - 1]`` and rows below ``index * rows_per_step + 1``
+        are never revisited (``step`` never writes either sequence), so
+        a residue corrupted in that dead prefix is dead state — the
+        scalar path tolerates it and the batch path may too
+        (``step_batch`` clips it before the hoisted gather).  ``seq2``
+        is read in full every row and stays fully checked.  Still
+        stricter than scalar (negative residues that would wrap are
         also refused) — strictness only costs a fallback."""
+        live = index * self.params["rows_per_step"]
         return (
             np.array_equal(state.ptrs.addresses, golden.ptrs.addresses)
             and np.array_equal(state.dp_ctl, golden.dp_ctl)
-            and bool(np.all((state.seq1 >= 0) & (state.seq1 < _ALPHABET)))
+            and bool(np.all((state.seq1[live:] >= 0) & (state.seq1[live:] < _ALPHABET)))
             and bool(np.all((state.seq2 >= 0) & (state.seq2 < _ALPHABET)))
         )
 
@@ -150,7 +158,12 @@ class NeedlemanWunsch(Benchmark):
             # the cursor walks inside the carry.
             n0 = [int(v) for v in states[0].dp_ctl][0]
             blosum = np.stack([st.blosum for st in states])
-            seq1 = np.stack([st.seq1 for st in states])
+            # Dead-prefix residues (rows already filled before any
+            # member joined) may be out of alphabet — ``batch_coherent``
+            # only vouches for the live region.  Clip so the gather
+            # cannot raise; clipped rows sit below every member's join
+            # step, so their substitution rows are never read.
+            seq1 = np.clip(np.stack([st.seq1 for st in states]), 0, _ALPHABET - 1)
             seq2 = np.stack([st.seq2 for st in states])
             bi = np.arange(len(states))
             carry = {

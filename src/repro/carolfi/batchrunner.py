@@ -239,13 +239,32 @@ class BatchRunner:
                 # falls back to the scalar path anyway).
                 carry: Any = None
                 carry_states: list[Any] = []
+                borrowed_snap: Any = None  # the store Snapshot behind `borrowed`
                 if anchor > 0 and sup.prefix is not None:
                     snap = sup.prefix.latest(anchor)
                     if snap is not None and snap.step == anchor:
                         borrowed = snap.state
+                        borrowed_snap = snap
                 if borrowed is None:
                     anchor = 0
                     borrowed = sup._pristine
+
+                def clone_view() -> Any:
+                    # A writable copy of the current golden reference.
+                    # Snapshot- and pristine-backed views go through the
+                    # store / supervisor so a shared-memory segment can
+                    # hand out copy-on-write mappings; a stepped carrier
+                    # is plainly deep-copied.  All three are bit-exact.
+                    if (
+                        borrowed_snap is not None
+                        and sup.prefix is not None
+                        and borrowed is borrowed_snap.state
+                    ):
+                        return sup.prefix.materialize(borrowed_snap)
+                    if borrowed is not None and borrowed is sup._pristine:
+                        return sup._fresh_state()
+                    return bench.restore(view)
+
                 for index in range(anchor, total):
                     view = carrier if borrowed is None else borrowed
                     if (
@@ -264,7 +283,7 @@ class BatchRunner:
                         # prefix: restore-at-anchor plus golden steps is
                         # indistinguishable from the scalar path's own
                         # restore-and-replay.
-                        member.state = bench.restore(view)
+                        member.state = clone_view()
                         member.site, member.bits = sup.flip.inject(
                             bench, member.state, index, member.model, member.rng
                         )
@@ -308,7 +327,7 @@ class BatchRunner:
                             # remaining reader, so stop maintaining it
                             # (dropping it also stops opportunistic
                             # store fills from a now-stale carrier).
-                            borrowed, carrier = None, None
+                            borrowed, carrier, borrowed_snap = None, None, None
                         else:
                             nxt = (
                                 sup.prefix.latest(index + 1)
@@ -317,11 +336,12 @@ class BatchRunner:
                             )
                             if nxt is not None and nxt.step == index + 1:
                                 borrowed, carrier = nxt.state, None
+                                borrowed_snap = nxt
                             else:
                                 if carrier is None:
-                                    carrier = bench.restore(view)
+                                    carrier = clone_view()
                                 bench.step(carrier, index)
-                                borrowed = None
+                                borrowed, borrowed_snap = None, None
                     if time.perf_counter() > deadline:
                         raise BenchmarkHang("batch group deadline expired")
                 if carry is not None:

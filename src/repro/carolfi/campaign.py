@@ -50,8 +50,20 @@ class CampaignConfig:
     are keyed by run index and divergent runs fall back to the scalar
     path, so records are byte-identical at any batch size — the knob is
     excluded from the checkpoint fingerprint and checkpoints stay
-    resumable across batch-size changes.  Only the in-process isolation
-    mode batches; subprocess sandboxing runs scalar regardless."""
+    resumable across batch-size changes.  Both isolation modes batch:
+    in-process through the engine's shard loop, subprocess by shipping
+    run groups into the sandboxed worker (fallback members return to
+    the parent's scalar sandbox path)."""
+
+    shared_store: bool = True
+    """Map golden prefix snapshots and the pristine input from a
+    host-wide shared-memory segment (:mod:`repro.carolfi.shmstore`)
+    instead of cloning them per worker process; restores become
+    copy-on-write views.  Engine campaigns only (the plain serial path
+    keeps private copies).  Pure execution strategy like ``snapshots``:
+    records are bit-identical either way and the flag is excluded from
+    the checkpoint fingerprint.  ``REPRO_SHM=0`` in the environment
+    overrides it off host-wide."""
 
     target_ci: float | None = None
     """Optional early-stopping precision target: stop the campaign at
@@ -95,6 +107,7 @@ class CampaignConfig:
             "benchmark_params": dict(self.benchmark_params),
             "snapshots": self.snapshots,
             "batch_size": self.batch_size,
+            "shared_store": self.shared_store,
             "target_ci": self.target_ci,
         }
 
@@ -111,6 +124,7 @@ class CampaignConfig:
             "benchmark_params",
             "snapshots",
             "batch_size",
+            "shared_store",
             "target_ci",
         }
         unknown = set(data) - known
@@ -134,6 +148,8 @@ class CampaignConfig:
             kwargs["benchmark_params"] = dict(data["benchmark_params"])
         if "snapshots" in data and data["snapshots"] is not None:
             kwargs["snapshots"] = bool(data["snapshots"])
+        if "shared_store" in data and data["shared_store"] is not None:
+            kwargs["shared_store"] = bool(data["shared_store"])
         if "target_ci" in data and data["target_ci"] is not None:
             kwargs["target_ci"] = float(data["target_ci"])
         return cls(**kwargs)

@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.carolfi import shmstore
 from repro.carolfi.batchrunner import BatchRunner
 from repro.carolfi.campaign import CampaignConfig, CampaignResult, model_for
 from repro.carolfi.isolation import (
@@ -60,6 +61,7 @@ from repro.carolfi.isolation import (
     IsolationConfig,
     IsolationMode,
     SandboxError,
+    campaign_store_key,
     make_due_record,
     supervisor_for,
     supervisor_key,
@@ -266,10 +268,10 @@ def campaign_fingerprint(config: CampaignConfig, shard_size: int | None = None) 
     Stored in every checkpoint header; a resume with a different
     benchmark, seed, size, fault-model set, policy or shard plan is
     detected before any stale record is trusted.  Isolation mode, retry
-    policy and the ``snapshots``/``batch_size`` fast-path knobs are
-    deliberately *excluded*: they change how runs are executed and
-    supervised, never what their records contain, so a campaign
-    checkpointed in one mode may resume in another — including resuming
+    policy and the ``snapshots``/``batch_size``/``shared_store``
+    fast-path knobs are deliberately *excluded*: they change how runs
+    are executed and supervised, never what their records contain, so a
+    campaign checkpointed in one mode may resume in another — including resuming
     a scalar checkpoint with batching on or vice versa (the payload
     lists fields explicitly for exactly this reason).
     """
@@ -418,21 +420,45 @@ def _execute_shard(
     skip = skip_runs or {}
     batched: dict[int, InjectionRecord] = {}
     if iso.mode is IsolationMode.SUBPROCESS:
+        if config.shared_store:
+            # Publish (or attach) the host-wide shared segment from
+            # *this* long-lived process before any sandbox worker
+            # exists: sandbox children exit via os._exit and never run
+            # teardown, so the publisher must be a process whose
+            # release path runs — the serial engine (released in
+            # run_sharded_campaign's finally) or a lease worker that
+            # inherited/attached the backend's warm-up segment.
+            try:
+                supervisor_for(config, golden_cache=golden_cache, on_event=on_failure)
+            except Exception:  # noqa: BLE001 — sandbox reports the real failure
+                pass
         sandbox = _sandbox_for(config, iso, golden_cache)
         sandbox.on_event = on_failure
         run_fn = sandbox.run_one
         total_steps, num_windows = sandbox.total_steps, sandbox.num_windows
+        if config.batch_size > 1:
+            # Vectorized fast path inside the sandbox: the whole group
+            # runs through BatchRunner in one forked worker, and only
+            # vectorized-path records come back.  Fallback members (and
+            # any batch-wide abort) flow through the unchanged scalar
+            # sandbox machinery below — per-run death attribution,
+            # retry and quarantine intact.
+            todo = [
+                (run_index, model_for(config, run_index))
+                for run_index in spec.run_indices()
+                if run_index not in skip
+            ]
+            batched = sandbox.run_batch(todo, config.batch_size)
     else:
-        supervisor = supervisor_for(config, golden_cache=golden_cache)
+        supervisor = supervisor_for(config, golden_cache=golden_cache, on_event=on_failure)
         run_fn = supervisor.run_one
         total_steps = supervisor.total_steps
         num_windows = supervisor.benchmark.num_windows
         if config.batch_size > 1:
-            # Vectorized fast path (in-process only: a sandbox's whole
-            # point is per-run blast-radius containment).  Runs the
-            # batch path completes are looked up below; everything else
-            # — fallbacks, skips — flows through the unchanged scalar
-            # machinery, including its error attribution.
+            # Vectorized fast path.  Runs the batch path completes are
+            # looked up below; everything else — fallbacks, skips —
+            # flows through the unchanged scalar machinery, including
+            # its error attribution.
             todo = [
                 (run_index, model_for(config, run_index))
                 for run_index in spec.run_indices()
@@ -920,6 +946,17 @@ def run_sharded_campaign(
             reporter.tick(force=True)
     finally:
         sink.close()
+        # Unlink any shared-memory snapshot segments this process
+        # published (attachers' mappings stay valid; only the directory
+        # entry goes — the /dev/shm leak-check contract).  Then sweep
+        # this campaign's key outright: a worker that published and was
+        # then killed (-9, chaos hook) can never reap its own segment.
+        shmstore.release_published()
+        if config.shared_store:
+            try:
+                shmstore.reap(campaign_store_key(config))
+            except Exception:  # noqa: BLE001 — teardown must not mask the result
+                pass
 
     if log_path is not None:
         with JsonlLog(log_path) as log:
@@ -1108,6 +1145,7 @@ def _run_pool(
             isolation=isolation,
             telemetry=tel,
             golden_cache=golden_cache,
+            on_event=sink,
         )
     try:
         run_shards(

@@ -37,12 +37,15 @@ import multiprocessing
 import os
 import signal as signal_mod
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.benchmarks.base import window_of_step
 from repro.benchmarks.registry import create
+from repro.carolfi import shmstore
+from repro.carolfi.batchrunner import BatchRunner
+from repro.carolfi.prefixcache import DEFAULT_SNAPSHOT_BUDGET
 from repro.carolfi.supervisor import Supervisor
 from repro.faults.models import FaultModel
 from repro.faults.outcome import DueKind, InjectionRecord, Outcome
@@ -150,7 +153,8 @@ def supervisor_key(config: "CampaignConfig") -> str:
     ``snapshots`` is part of the key even though it never changes
     records: a snapshots-off campaign must not silently reuse (or be
     reused by) a snapshots-on Supervisor, or the fastpath-vs-slowpath
-    equivalence tests would compare one path to itself.
+    equivalence tests would compare one path to itself.  ``shared``
+    (the shared-memory snapshot store) is keyed for the same reason.
     """
     return json.dumps(
         {
@@ -160,19 +164,46 @@ def supervisor_key(config: "CampaignConfig") -> str:
             "watchdog_factor": config.watchdog_factor,
             "benchmark_params": config.benchmark_params,
             "snapshots": config.snapshots,
+            "shared": config.shared_store,
         },
         sort_keys=True,
     )
 
 
+def campaign_store_key(config: "CampaignConfig") -> str:
+    """The shared-segment store key a campaign's supervisors use.
+
+    Mirrors the :class:`Supervisor` construction in
+    :func:`supervisor_for` (default snapshot budget, default density),
+    so the engine can sweep the campaign's segment at teardown even
+    when the publisher was a worker process that died abruptly.  The
+    benchmark is instantiated because the key hashes the *resolved*
+    param dict — a campaign passing partial params must map to the
+    same segment its supervisors used.
+    """
+    benchmark = create(config.benchmark, **config.benchmark_params)
+    return shmstore.store_key(
+        benchmark.name,
+        config.seed,
+        config.watchdog_factor,
+        benchmark.params,
+        density=None,
+        byte_budget=DEFAULT_SNAPSHOT_BUDGET,
+    )
+
+
 def supervisor_for(
-    config: "CampaignConfig", golden_cache: "str | None" = None
+    config: "CampaignConfig",
+    golden_cache: "str | None" = None,
+    on_event: EventCallback | None = None,
 ) -> Supervisor:
     """The (cached) Supervisor for one campaign config.
 
-    ``golden_cache`` (a directory path) only matters on a cache miss —
-    an already-built Supervisor is returned as-is, since the cache is an
-    accelerator for construction, not part of the supervisor's identity.
+    ``golden_cache`` (a directory path) and ``on_event`` (structured
+    operational events, e.g. snapshot-budget degradation) only matter on
+    a cache miss — an already-built Supervisor is returned as-is, since
+    both are construction-time concerns, not part of the supervisor's
+    identity.
     """
     key = supervisor_key(config)
     supervisor = _SUPERVISORS.get(key)
@@ -184,6 +215,8 @@ def supervisor_for(
             watchdog_factor=config.watchdog_factor,
             snapshots=config.snapshots,
             golden_cache=golden_cache,
+            shared=config.shared_store,
+            on_event=on_event,
         )
         _SUPERVISORS[key] = supervisor
     return supervisor
@@ -292,6 +325,7 @@ def _worker_main(
     config: "CampaignConfig",
     conn: "Connection",
     golden_cache: "str | None" = None,
+    parent_end: "Connection | None" = None,
 ) -> None:
     """Sandbox worker: build a Supervisor, then serve run requests.
 
@@ -300,6 +334,15 @@ def _worker_main(
     so ``supervisor_for`` is free; under spawn, ``golden_cache`` lets it
     at least skip the golden re-run.
     """
+    if parent_end is not None:
+        # Close our inherited copy of the parent's pipe end.  Without
+        # this, a parent that dies abruptly (SIGKILL, a lease worker's
+        # os._exit) never delivers EOF — our own fd keeps the socket
+        # alive — and the recv loop below blocks forever as an orphan.
+        try:
+            parent_end.close()
+        except OSError:  # pragma: no cover
+            pass
     # Under fork this grandchild inherits the shard worker's active
     # telemetry scope, but its spans/metrics could never be merged back
     # (records travel over the verdict pipe, telemetry over the shard
@@ -324,6 +367,17 @@ def _worker_main(
             },
         )
     )
+    try:
+        _serve(supervisor, conn)
+    finally:
+        # Multiprocessing children skip regular atexit (os._exit), so
+        # reap any segment *this* process published — normally none:
+        # the engine publishes before the sandbox forks, and the pid
+        # guard keeps this from touching the parent's segments.
+        shmstore.release_published()
+
+
+def _serve(supervisor: Supervisor, conn: "Connection") -> None:
     while True:
         try:
             msg = conn.recv()
@@ -331,6 +385,23 @@ def _worker_main(
             return  # parent is gone; die quietly
         if msg[0] == "close":
             return
+        if msg[0] == "run_batch":
+            # A group of runs driven through the vectorized batch path
+            # inside this one forked process.  Only vectorized-path
+            # records come back; structural fallbacks stay absent and
+            # the parent finishes them through the scalar sandbox path,
+            # keeping per-run death attribution (and therefore records)
+            # identical to unbatched subprocess mode.
+            _, run_specs, batch_size = msg
+            todo = [(int(idx), FaultModel(value)) for idx, value in run_specs]
+            batched = BatchRunner(supervisor, int(batch_size)).run_many(todo)
+            conn.send(
+                (
+                    "batch_records",
+                    {idx: record.to_dict() for idx, record in batched.items()},
+                )
+            )
+            continue
         _, run_index, model_value = msg
         record = supervisor.run_one(run_index, FaultModel(model_value))
         conn.send(("record", record.to_dict()))
@@ -361,6 +432,15 @@ class InjectionSandbox:
         self.isolation = isolation or IsolationConfig(mode=IsolationMode.SUBPROCESS)
         self.on_event = on_event
         self.golden_cache = golden_cache
+        if getattr(config, "shared_store", False):
+            # Publish (or attach) the host-wide shared segment from the
+            # sandbox's owner before any worker forks: a worker that
+            # published would leak its segment when killed — and being
+            # killed is a sandbox worker's job description.
+            try:
+                supervisor_for(config, golden_cache=golden_cache, on_event=on_event)
+            except Exception:  # noqa: BLE001 — the worker reports the real failure
+                pass
         self._ctx = mp_context()
         self._proc: BaseProcess | None = None
         self._conn: Connection | None = None
@@ -424,7 +504,7 @@ class InjectionSandbox:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(self.config, child_conn, self.golden_cache),
+            args=(self.config, child_conn, self.golden_cache, parent_conn),
             daemon=True,
             name=f"sandbox-{self.config.benchmark}",
         )
@@ -547,6 +627,86 @@ class InjectionSandbox:
                     f"sandbox: quarantined after {deaths} worker deaths ({detail})",
                 )
             # else: respawn and retry the same run to rule out flakiness.
+
+    # -- one supervised batch group --------------------------------------------
+
+    def run_batch(
+        self, runs: "Sequence[tuple[int, FaultModel]]", batch_size: int
+    ) -> dict[int, InjectionRecord]:
+        """Drive a group of runs through the worker's vectorized path.
+
+        :meth:`BatchRunner.run_many`'s contract lifted over the pipe:
+        the returned mapping holds records only for runs the worker
+        completed vectorized; a missing run means "finish it with the
+        scalar :meth:`run_one`" — which preserves the scalar path's
+        per-run death attribution, retry and quarantine behaviour, and
+        therefore byte-identical records.  A worker death, RSS overrun
+        or deadline *during* the batch aborts the whole group (returns
+        ``{}``): nothing is ever classified from a batch-wide failure,
+        every member simply retries scalar.
+        """
+        if not runs:
+            return {}
+        self._ensure_worker()
+        assert self._conn is not None and self._proc is not None
+        payload = [(int(idx), FaultModel(model).value) for idx, model in runs]
+        try:
+            self._conn.send(("run_batch", payload, int(batch_size)))
+        except (OSError, ValueError):
+            self._emit("sandbox_death", run_index=None, detail="died while idle")
+            self._teardown()
+            return {}
+        rows = self._await_batch(len(runs))
+        if rows is None:
+            return {}
+        return {
+            int(idx): InjectionRecord.from_dict(row) for idx, row in rows.items()
+        }
+
+    def _await_batch(self, count: int) -> dict[Any, Any] | None:
+        """Wait for batch records, or ``None`` if the group aborted."""
+        assert self._conn is not None and self._proc is not None
+        # The group does the work of up to ``count`` scalar runs, so it
+        # gets the sum of their individual budgets (mirroring the batch
+        # runner's own occupancy-scaled cooperative deadline).
+        budget = self.hard_deadline_s * max(count, 1)
+        deadline = time.monotonic() + budget
+        limit = self.isolation.mem_limit_mb
+        limit_bytes = None if limit is None else int(limit * (1 << 20))
+        while True:
+            try:
+                if self._conn.poll(self.isolation.poll_interval_s):
+                    msg = self._conn.recv()
+                    if msg[0] == "batch_records":
+                        return msg[1]
+                    continue  # pragma: no cover — unexpected chatter
+            except (EOFError, OSError):
+                pass  # fall through to the death check
+            if not self._proc.is_alive():
+                self._proc.join(timeout=5.0)
+                detail = describe_exitcode(self._proc.exitcode)
+                self._teardown()
+                self._emit("sandbox_batch_abort", detail=detail, runs=count)
+                return None
+            if limit_bytes is not None:
+                rss = rss_bytes(self._proc.pid)  # type: ignore[arg-type]
+                if rss is None:
+                    limit_bytes = None  # unreadable: scalar path warns
+                elif rss > limit_bytes:
+                    _kill(self._proc)
+                    self._teardown()
+                    detail = (
+                        f"rss {rss / (1 << 20):.0f} MiB exceeded the "
+                        f"{limit:.0f} MiB ceiling during a batch; worker killed"
+                    )
+                    self._emit("sandbox_batch_abort", detail=detail, runs=count)
+                    return None
+            if time.monotonic() > deadline:
+                _kill(self._proc)
+                self._teardown()
+                detail = f"batch wall-clock budget {budget:.1f}s exceeded; worker killed"
+                self._emit("sandbox_batch_abort", detail=detail, runs=count)
+                return None
 
     def _await_verdict(self, run_index: int) -> tuple[str, Any] | tuple[str, DueKind, str]:
         """Wait for a record, a deadline, an RSS overrun, or a death."""

@@ -23,20 +23,34 @@ snapshot.
 
 A byte budget caps memory: once the stored snapshots exceed it, capture
 stops and runs interrupted beyond the last snapshot simply replay a
-longer prefix — graceful degradation, never an error.
+longer prefix — graceful degradation, never an error.  The first time
+the budget actually blocks a wanted capture the store fires its
+``on_degrade`` hook (once), so the campaign can log a single structured
+event instead of silently shortening the fast path.
+
+:class:`SharedPrefixStore` is the zero-copy flavour: a read-only view
+over a published shared-memory segment (:mod:`repro.carolfi.shmstore`).
+It never captures — the segment was filled once, by the host's
+publisher — and its restores are copy-on-write materialisations, so a
+worker's RSS does not scale with the snapshot set and the budget is
+accounted once per host rather than once per process.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.benchmarks.base import Benchmark, state_nbytes
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (typing only)
+    from repro.carolfi.shmstore import ShmSegment
 
 __all__ = [
     "DEFAULT_SNAPSHOT_BUDGET",
     "PrefixStore",
+    "SharedPrefixStore",
     "Snapshot",
     "snapshot_interval",
 ]
@@ -52,13 +66,18 @@ SNAPSHOT_DENSITY = 4
 DEFAULT_SNAPSHOT_BUDGET = 256 << 20
 
 
-def snapshot_interval(total_steps: int, num_windows: int) -> int:
+def snapshot_interval(
+    total_steps: int, num_windows: int, density: int | None = None
+) -> int:
     """Steps between snapshots for a benchmark's window geometry."""
     if total_steps < 1:
         raise ValueError("total_steps must be positive")
     if num_windows < 1:
         raise ValueError("num_windows must be positive")
-    return max(1, total_steps // (SNAPSHOT_DENSITY * num_windows))
+    density = SNAPSHOT_DENSITY if density is None else int(density)
+    if density < 1:
+        raise ValueError("density must be positive")
+    return max(1, total_steps // (density * num_windows))
 
 
 @dataclass(frozen=True)
@@ -85,14 +104,21 @@ class PrefixStore:
         benchmark: Benchmark,
         total_steps: int,
         byte_budget: int = DEFAULT_SNAPSHOT_BUDGET,
+        density: int | None = None,
     ):
         if byte_budget < 0:
             raise ValueError("byte_budget must be non-negative")
         self.benchmark = benchmark
         self.total_steps = int(total_steps)
-        self.interval = snapshot_interval(self.total_steps, benchmark.num_windows)
+        self.interval = snapshot_interval(
+            self.total_steps, benchmark.num_windows, density
+        )
         self.byte_budget = int(byte_budget)
         self.used_bytes = 0
+        #: Set once, the first time the byte budget blocks a wanted
+        #: capture; ``on_degrade`` (if any) fires at that moment.
+        self.degraded = False
+        self.on_degrade: Callable[[PrefixStore], None] | None = None
         self._snapshots: dict[int, Snapshot] = {}
         self._steps_sorted: list[int] = []
 
@@ -107,13 +133,19 @@ class PrefixStore:
         lasts — callers sprinkle ``if store.wants(i): store.capture(i,
         state)`` into their step loops at near-zero cost.
         """
-        return (
+        wanted = (
             step > 0
             and step < self.total_steps
             and step % self.interval == 0
             and step not in self._snapshots
-            and self.used_bytes < self.byte_budget
         )
+        if wanted and self.used_bytes >= self.byte_budget:
+            if not self.degraded:
+                self.degraded = True
+                if self.on_degrade is not None:
+                    self.on_degrade(self)
+            return False
+        return wanted
 
     def capture(self, step: int, state: Any) -> None:
         """Snapshot ``state`` as the prefix ending at the entry of ``step``."""
@@ -135,6 +167,16 @@ class PrefixStore:
             return None
         return self._snapshots[self._steps_sorted[pos - 1]]
 
+    def materialize(self, snap: Snapshot) -> Any:
+        """A writable state rehydrated from ``snap``.
+
+        The base store deep-copies via the benchmark's ``restore``;
+        :class:`SharedPrefixStore` overrides this with a copy-on-write
+        mapping of the shared segment.  Both produce bit-identical
+        states — only the memory mechanics differ.
+        """
+        return self.benchmark.restore(snap.state)
+
     def anchor_step(self, interrupt_step: int) -> int:
         """The restore step runs interrupted at ``interrupt_step`` share.
 
@@ -149,3 +191,40 @@ class PrefixStore:
 
     def __len__(self) -> int:
         return len(self._snapshots)
+
+
+class SharedPrefixStore(PrefixStore):
+    """A read-only :class:`PrefixStore` over a shared-memory segment.
+
+    Built by attaching a segment another process (or this one) already
+    published: the snapshot states are zero-copy read-only views of the
+    host-wide mapping, :meth:`wants` is always ``False`` (the segment is
+    complete; nothing is ever captured into an attachment), and
+    :meth:`materialize` rebuilds writable states over private
+    copy-on-write mappings instead of deep-copying.
+
+    ``used_bytes`` reports the *segment* payload size — bytes that exist
+    once per host — so budget accounting across a worker fleet counts
+    shared snapshots once, not once per process.
+    """
+
+    def __init__(self, benchmark: Benchmark, segment: "ShmSegment"):
+        super().__init__(benchmark, segment.total_steps)
+        self.segment = segment
+        self.interval = segment.interval
+        self.used_bytes = segment.payload_bytes
+        self.degraded = segment.degraded
+        for step, nbytes in zip(segment.snapshot_steps, segment.snapshot_nbytes):
+            self._snapshots[step] = Snapshot(
+                step=step, state=segment.snapshot_state(step), nbytes=nbytes
+            )
+            bisect.insort(self._steps_sorted, step)
+
+    def wants(self, step: int) -> bool:
+        return False
+
+    def capture(self, step: int, state: Any) -> None:
+        raise RuntimeError("SharedPrefixStore is read-only; captures belong to the publisher")
+
+    def materialize(self, snap: Snapshot) -> Any:
+        return self.segment.materialize(snap.step)

@@ -44,7 +44,12 @@ from repro.carolfi.goldencache import (
     golden_cache_key,
     resolve_golden_cache,
 )
-from repro.carolfi.prefixcache import DEFAULT_SNAPSHOT_BUDGET, PrefixStore
+from repro.carolfi import shmstore
+from repro.carolfi.prefixcache import (
+    DEFAULT_SNAPSHOT_BUDGET,
+    PrefixStore,
+    SharedPrefixStore,
+)
 from repro.faults.models import FaultModel
 from repro.faults.outcome import DueKind, InjectionRecord, Outcome
 from repro.faults.site import FaultSite
@@ -79,6 +84,16 @@ class Supervisor:
     or ``None`` to consult ``REPRO_GOLDEN_CACHE`` — persists the golden
     output and runtime across processes and sessions, so spawn-based
     workers and resumed campaigns skip the golden re-run entirely.
+
+    ``shared`` additionally publishes (or attaches) the host-wide
+    shared-memory snapshot segment (:mod:`repro.carolfi.shmstore`): the
+    pristine input, the snapshot store, and the golden output are then
+    zero-copy read-only views that every worker process on the host
+    maps once, and restores are copy-on-write materialisations.  The
+    records are bit-identical with sharing on or off; only the memory
+    mechanics change.  ``on_event`` receives structured operational
+    events (currently ``snapshot_budget_degraded``) destined for the
+    campaign's ``failures.jsonl``.
     """
 
     def __init__(
@@ -90,6 +105,9 @@ class Supervisor:
         snapshots: bool = True,
         golden_cache: "GoldenCache | str | Path | None" = None,
         snapshot_budget: int = DEFAULT_SNAPSHOT_BUDGET,
+        snapshot_density: int | None = None,
+        shared: bool = False,
+        on_event: "Any | None" = None,
     ):
         self.benchmark = benchmark
         self.seed = int(seed)
@@ -98,14 +116,45 @@ class Supervisor:
         self._input_path = ("carolfi", benchmark.name, "input")
         self._pristine: Any = None
         self._snapshot_budget = int(snapshot_budget)
+        self._snapshot_density = snapshot_density
+        self._on_event = on_event
+        self._shm: "shmstore.ShmSegment | None" = None
+        want_shared = bool(shared) and snapshots and shmstore.shm_enabled()
+        shm_key: str | None = None
+        if want_shared:
+            shm_key = shmstore.store_key(
+                benchmark.name,
+                self.seed,
+                self.watchdog_factor,
+                benchmark.params,
+                density=snapshot_density,
+                byte_budget=self._snapshot_budget,
+            )
+            segment = shmstore.attach(shm_key)
+            if segment is not None:
+                # Another process on this host already published the
+                # golden prefix: adopt it wholesale.  No dataset
+                # generation, no warm-up, no golden run, no captures —
+                # and no per-process copies of any of it.
+                self._adopt_segment(segment)
+                self._count("repro_shm_attach_total", result="hit")
+                return
+            self._count("repro_shm_attach_total", result="miss")
         # Generate the campaign dataset once and compute the golden copy.
         state = self._fresh_state()
         self.total_steps = benchmark.num_steps(state)
         self.prefix: PrefixStore | None = (
-            PrefixStore(benchmark, self.total_steps, byte_budget=self._snapshot_budget)
+            PrefixStore(
+                benchmark,
+                self.total_steps,
+                byte_budget=self._snapshot_budget,
+                density=snapshot_density,
+            )
             if snapshots
             else None
         )
+        if self.prefix is not None:
+            self.prefix.on_degrade = self._budget_degraded
         cache = resolve_golden_cache(golden_cache)
         cache_key = golden_cache_key(
             benchmark.name, self.seed, self.watchdog_factor, benchmark.params
@@ -118,6 +167,17 @@ class Supervisor:
             self.golden = entry.golden
             self.golden_runtime = entry.runtime
             self._count("repro_golden_cache_total", result="hit")
+            if want_shared and self.prefix is not None:
+                # A published segment must carry the full snapshot set —
+                # walk the golden trajectory once to capture it (the
+                # walk this host's workers will collectively never pay).
+                warm = self._fresh_state()
+                for index in range(self.total_steps):
+                    if self.prefix.wants(index):
+                        self.prefix.capture(index, warm)
+                    benchmark.step(warm, index)
+            if shm_key is not None:
+                self._publish_shared(shm_key)
             return
         if cache is not None:
             self._count("repro_golden_cache_total", result="miss")
@@ -146,6 +206,70 @@ class Supervisor:
                     total_steps=self.total_steps,
                 ),
             )
+        if shm_key is not None:
+            self._publish_shared(shm_key)
+
+    # -- shared-memory segment plumbing ---------------------------------------
+
+    def _adopt_segment(self, segment: "shmstore.ShmSegment") -> None:
+        """Back this supervisor's golden prefix by ``segment``.
+
+        After adoption the pristine state, the snapshot store, and the
+        golden output are read-only views over the host-wide mapping,
+        and every restore goes through a private copy-on-write mapping
+        — this process holds no duplicated snapshot bytes.
+        """
+        self._shm = segment
+        self.total_steps = segment.total_steps
+        self._pristine = segment.pristine
+        self.prefix = SharedPrefixStore(self.benchmark, segment)
+        self.golden = segment.golden
+        self.golden_runtime = segment.golden_runtime
+
+    def _publish_shared(self, key: str) -> None:
+        """Publish this supervisor's prefix as the host's shared segment."""
+        if self.prefix is None or self._pristine is None:
+            return
+        snaps = [
+            (snap.step, snap.state, snap.nbytes)
+            for snap in (
+                self.prefix._snapshots[step] for step in self.prefix._steps_sorted
+            )
+        ]
+        segment = shmstore.publish(
+            key,
+            benchmark=self.benchmark.name,
+            total_steps=self.total_steps,
+            interval=self.prefix.interval,
+            golden_runtime=self.golden_runtime,
+            degraded=self.prefix.degraded,
+            pristine=self._pristine,
+            snapshots=snaps,
+            golden=self.golden,
+        )
+        if segment is None:
+            self._count("repro_shm_publish_total", result="failed")
+            return
+        self._count("repro_shm_publish_total", result="ok")
+        # Re-attach our own publication: the private copies captured
+        # above become garbage, so the publisher's RSS is as flat as
+        # any attacher's — and the attach path is exercised constantly.
+        self._adopt_segment(segment)
+
+    def _budget_degraded(self, store: PrefixStore) -> None:
+        """The byte budget just blocked a wanted capture (fires once)."""
+        self._count("repro_snapshot_budget_degraded_total")
+        if self._on_event is not None:
+            self._on_event(
+                {
+                    "event": "snapshot_budget_degraded",
+                    "benchmark": self.benchmark.name,
+                    "byte_budget": store.byte_budget,
+                    "used_bytes": store.used_bytes,
+                    "snapshots": len(store),
+                    "interval": store.interval,
+                }
+            )
 
     def _count(self, name: str, amount: float = 1.0, **labels: Any) -> None:
         """Bump a cache-efficiency counter (no-op with telemetry off).
@@ -155,7 +279,9 @@ class Supervisor:
         topologies (a sandbox grandchild's restores are never merged
         back) — consumers comparing serial to parallel registries must
         exclude the ``repro_snapshot_*``/``repro_steps_skipped``/
-        ``repro_compare_fastpath``/``repro_golden_cache`` families.
+        ``repro_compare_fastpath``/``repro_golden_cache``/``repro_shm_*``
+        families (``repro_snapshot_*`` includes
+        ``repro_snapshot_budget_degraded``).
         """
         current_registry().counter(
             name, help="CAROL-FI fast-path cache efficiency counter."
@@ -179,7 +305,11 @@ class Supervisor:
         The input arrays are generated once (first call) and memoised;
         every later call hands out a bit-exact clone instead of
         re-deriving the RNG dataset — the memo *is* the step-0 snapshot.
+        With a shared segment attached, the clone is a copy-on-write
+        view of the host-wide mapping instead of a deep copy.
         """
+        if self._shm is not None:
+            return self._shm.materialize(None)
         if self._pristine is None:
             self._pristine = self.benchmark.make_state(
                 derive_rng(self.seed, *self._input_path)
@@ -317,7 +447,7 @@ class Supervisor:
         if self.prefix is not None:
             snap = self.prefix.latest(first_step)
             if snap is not None:
-                state = bench.restore(snap.state)
+                state = self.prefix.materialize(snap)
                 start_step = snap.step
                 self._count("repro_snapshot_restores_total")
                 self._count("repro_steps_skipped_total", amount=float(start_step))

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import selectors
 import socket
+import time
 from typing import TYPE_CHECKING, Any
 
 from repro.service.backend import BackendEvent, LeaseResult, ShardBackend, ShardLease
@@ -154,6 +155,28 @@ class BrokerBackend(ShardBackend):
             },
         )
         return agent.name or "worker"
+
+    def wait_for_workers(self, count: int, timeout: float = 30.0) -> bool:
+        """Pump until ``count`` workers have said hello, or ``timeout``.
+
+        Campaign kick-off helper: leases dispatched before every worker
+        has connected all land on the early arrivals, which makes any
+        orchestration that expects a particular worker to hold a lease
+        (chaos drills, the broker acceptance tests) a scheduling race.
+        Only the socket pump runs here — queued events stay queued for
+        the next :meth:`heartbeats` call.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            self._pump()
+            connected = sum(
+                1 for a in self._agents if a.name is not None and not a.closed
+            )
+            if connected >= count:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
 
     def heartbeats(self) -> list[BackendEvent]:
         self._pump()

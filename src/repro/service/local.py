@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, Any
 
+from repro.carolfi import shmstore
 from repro.carolfi.isolation import IsolationConfig, describe_exitcode, mp_context, supervisor_for
 from repro.service.backend import BackendEvent, LeaseResult, ShardBackend, ShardLease
 from repro.service.wire import FrameError, decode_frame, encode_frame
@@ -111,6 +112,20 @@ def _lease_worker_main(
         run = exc.run_index if isinstance(exc, _engine.ShardRunError) else None
         _send(conn, {"kind": "error", "detail": f"{type(exc).__name__}: {exc}", "run": run})
         raise SystemExit(1) from exc
+    finally:
+        # Multiprocessing children skip regular atexit (os._exit), so
+        # daemon grandchildren are never auto-terminated and any
+        # segment registered here is never auto-unlinked.  Close our
+        # sandbox workers explicitly — an orphaned sandbox blocks in
+        # conn.recv() forever, because its own inherited copy of the
+        # parent pipe end keeps EOF from ever arriving — and reap any
+        # segment *this* process published (normally none: the backend
+        # publishes before forking; the pid guard protects the
+        # parent's segments from us).
+        for sandbox in _engine._SANDBOXES.values():
+            sandbox.close()
+        _engine._SANDBOXES.clear()
+        shmstore.release_published()
 
 
 class _LeaseProc:
@@ -148,6 +163,7 @@ class LocalBackend(ShardBackend):
         isolation: IsolationConfig | None = None,
         telemetry: Telemetry | None = None,
         golden_cache: str | None = None,
+        on_event: Any = None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -160,7 +176,11 @@ class LocalBackend(ShardBackend):
         self._ctx = mp_context()
         self._live: dict[str, _LeaseProc] = {}
         self._results: list[LeaseResult] = []
-        if self._ctx.get_start_method() == "fork" or golden_cache is not None:
+        if (
+            self._ctx.get_start_method() == "fork"
+            or golden_cache is not None
+            or config.shared_store
+        ):
             # Warm the per-process supervisor cache so every forked
             # worker (and, under subprocess isolation, every sandbox
             # grandchild) inherits the golden run — prefix-snapshot
@@ -168,8 +188,12 @@ class LocalBackend(ShardBackend):
             # on-disk golden cache the warm-up pays off under *any*
             # start method: the parent computes and persists the golden
             # run once and spawn-started workers load it from disk.
+            # With the shared store on, this is also the publication
+            # point of the host-wide shared-memory segment (and
+            # ``on_event`` — the engine's failure sink — receives the
+            # budget-degradation event exactly once per host).
             try:
-                supervisor_for(config, golden_cache=golden_cache)
+                supervisor_for(config, golden_cache=golden_cache, on_event=on_event)
             except Exception:  # noqa: BLE001 — let workers report the real failure
                 pass
 

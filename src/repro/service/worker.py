@@ -168,36 +168,45 @@ def run_worker(
     or unreachable); otherwise it reconnects forever — the behaviour a
     long-lived worker host wants.
     """
+    from repro.carolfi import shmstore
+
     worker_name = name or f"{socket.gethostname()}/pid{os.getpid()}"
     state = {"records": 0}
-    while True:
-        try:
-            sock = socket.create_connection((host, port), timeout=10)
-        except OSError:
-            if once:
-                return 1
-            time.sleep(reconnect_delay)
-            continue
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        link = _Link(sock)
-        try:
-            link.send({"kind": "hello", "worker": worker_name})
-            while True:
-                frame = link.wait(timeout=3600.0)
-                if frame is None:
-                    continue
-                if frame.get("kind") == "lease":
-                    _execute_lease(link, frame, state)
-        except _SessionClosed:
-            pass
-        finally:
+    try:
+        while True:
             try:
-                sock.close()
-            except OSError:  # pragma: no cover
+                sock = socket.create_connection((host, port), timeout=10)
+            except OSError:
+                if once:
+                    return 1
+                time.sleep(reconnect_delay)
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            link = _Link(sock)
+            try:
+                link.send({"kind": "hello", "worker": worker_name})
+                while True:
+                    frame = link.wait(timeout=3600.0)
+                    if frame is None:
+                        continue
+                    if frame.get("kind") == "lease":
+                        _execute_lease(link, frame, state)
+            except _SessionClosed:
                 pass
-        if once:
-            return 0
-        time.sleep(reconnect_delay)
+            finally:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+            if once:
+                return 0
+            time.sleep(reconnect_delay)
+    finally:
+        # Unlink any shared-memory snapshot segments this agent
+        # published (first agent on a host publishes; later ones
+        # attach).  Best effort — an abrupt death leaves the atexit
+        # hook, and the engine-side teardown, as backstops.
+        shmstore.release_published()
 
 
 def main(argv: Sequence[str] | None = None) -> int:

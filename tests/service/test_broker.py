@@ -61,6 +61,11 @@ def _broker_campaign(tmp_path, *, worker_envs, shard_size=None):
         for i, env in enumerate(worker_envs)
     ]
     try:
+        # Don't lease until every worker is connected: on a loaded
+        # 1-CPU host an early arrival can otherwise drain both shards
+        # before the chaos worker's interpreter finishes booting, and
+        # the kill/steal the test means to observe never happens.
+        assert broker.wait_for_workers(len(workers), timeout=30.0)
         result = run_sharded_campaign(
             CONFIG,
             workers=len(workers),
