@@ -119,6 +119,19 @@ class ShardBackend(abc.ABC):
     #: delivered record; non-streaming ones re-run the whole range.
     streams_records: bool = False
 
+    def attach_telemetry(self, telemetry: Any) -> None:
+        """Optional hook: the scheduler hands over the campaign's
+        :class:`~repro.telemetry.Telemetry` bundle before dispatching.
+
+        Backends that observe fleet state the scheduler cannot see
+        (worker membership, heartbeat round trips) register their
+        fleet-only series on the campaign registry here, and backends
+        that ship work to other hosts capture the current span context
+        so remote executors can continue the campaign trace.  The
+        default is a no-op — local backends receive telemetry at
+        construction and have nothing host-level to add.
+        """
+
     @abc.abstractmethod
     def capacity(self) -> int:
         """Free executor slots right now (0 = submit would have to wait)."""

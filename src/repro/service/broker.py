@@ -16,12 +16,26 @@ Frames the broker **sends**::
 
 Frames the broker **receives**::
 
-    {"kind": "hello", "worker": name}
+    {"kind": "hello", "worker": name, "pid": n}
     {"kind": "run",  "lease": id, "run": k}        # liveness beat
     {"kind": "rec",  "lease": id, "run": k, "row": {...}}
     {"kind": "metrics", "delta": {...}} / {"kind": "spans", "batch": [...]}
     {"kind": "failure", "event": {...}}
+    {"kind": "pong", "seq": n}                     # heartbeat RTT probe
     {"kind": "done", "lease": id} / {"kind": "error", "lease": id, ...}
+
+Observability: when the scheduler attaches its telemetry bundle
+(:meth:`BrokerBackend.attach_telemetry`), lease frames carry the
+campaign span's :class:`~repro.telemetry.spans.SpanContext` — workers
+continue the trace and stream their spans back as ``spans`` frames —
+and the broker registers its fleet-only series (``repro_service_
+worker_up``, per-worker heartbeat-RTT histograms, disconnect and
+per-worker run counters) on the campaign registry.  These series exist
+*only* behind a broker, so a local campaign's registry stays
+counter-for-counter identical to its serial twin.  With
+``metrics_port`` set, a tiny daemon thread answers ``GET /metrics``
+scrapes with the Prometheus text rendering of that continuously merged
+registry.
 
 Fault model: a worker that disconnects (or is reaped) while holding a
 lease yields a ``dead`` :class:`~repro.service.backend.LeaseResult`;
@@ -36,16 +50,41 @@ from __future__ import annotations
 
 import selectors
 import socket
+import threading
 import time
 from typing import TYPE_CHECKING, Any
 
 from repro.service.backend import BackendEvent, LeaseResult, ShardBackend, ShardLease
 from repro.service.wire import FrameDecoder, encode_frame
+from repro.telemetry.exporters import prometheus_text
+from repro.telemetry.metrics import NULL_REGISTRY, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.carolfi.campaign import CampaignConfig
+    from repro.telemetry import Telemetry
+    from repro.telemetry.spans import SpanContext
 
-__all__ = ["BrokerBackend", "lease_to_wire", "lease_from_wire"]
+__all__ = ["BrokerBackend", "RTT_BUCKETS", "lease_to_wire", "lease_from_wire"]
+
+#: Heartbeat-RTT histogram bounds (seconds): localhost round trips
+#: (~100µs) through congested cross-host links (~seconds).
+RTT_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+#: Seconds between heartbeat-RTT pings to each connected worker.
+_PING_INTERVAL_S = 0.5
 
 
 def lease_to_wire(lease: ShardLease) -> dict[str, Any]:
@@ -76,15 +115,32 @@ def lease_from_wire(data: dict[str, Any]) -> ShardLease:
 class _Agent:
     """One connected worker: socket, frame decoder, outbox, lease."""
 
-    __slots__ = ("sock", "decoder", "name", "lease_id", "outbox", "closed")
+    __slots__ = (
+        "sock",
+        "decoder",
+        "name",
+        "lease_id",
+        "outbox",
+        "closed",
+        "addr",
+        "pid",
+        "ping_seq",
+        "ping_sent",
+        "last_frame",
+    )
 
-    def __init__(self, sock: socket.socket):
+    def __init__(self, sock: socket.socket, addr: str = "?"):
         self.sock = sock
         self.decoder = FrameDecoder()
         self.name: str | None = None  # set by hello
         self.lease_id: str | None = None
         self.outbox = bytearray()
         self.closed = False
+        self.addr = addr  # peer address, for disruption attribution
+        self.pid: int | None = None  # set by hello
+        self.ping_seq = 0
+        self.ping_sent: float | None = None  # monotonic send time of open ping
+        self.last_frame = time.monotonic()
 
 
 class BrokerBackend(ShardBackend):
@@ -100,6 +156,7 @@ class BrokerBackend(ShardBackend):
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        metrics_port: int | None = None,
     ):
         self._config_wire = config.to_wire()
         self._fingerprint = fingerprint
@@ -115,12 +172,80 @@ class BrokerBackend(ShardBackend):
         self._events: list[BackendEvent] = []
         self._results: list[LeaseResult] = []
         self._seq = 0
+        # Fleet telemetry: null until the scheduler attaches its bundle.
+        self._registry: MetricsRegistry | None = None
+        self._trace_context: "SpanContext | None" = None
+        self._worker_up = NULL_REGISTRY.gauge("repro_service_worker_up")
+        self._rtt_hist = NULL_REGISTRY.histogram("repro_service_heartbeat_rtt_seconds")
+        self._worker_runs = NULL_REGISTRY.counter("repro_service_worker_runs_total")
+        self._disconnects = NULL_REGISTRY.counter("repro_service_disconnects_total")
+        self._worker_idle = NULL_REGISTRY.gauge("repro_service_worker_idle_seconds")
+        self._last_ping = 0.0
+        self._metrics_listener: socket.socket | None = None
+        if metrics_port is not None:
+            self._metrics_listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._metrics_listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._metrics_listener.bind((host, metrics_port))
+            self._metrics_listener.listen(8)
+            threading.Thread(
+                target=self._serve_metrics, name="repro-broker-metrics", daemon=True
+            ).start()
 
     @property
     def address(self) -> tuple[str, int]:
         """The ``(host, port)`` workers should connect to."""
         host, port = self._listener.getsockname()[:2]
         return str(host), int(port)
+
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        """``(host, port)`` of the ``/metrics`` endpoint, if one is up."""
+        if self._metrics_listener is None:
+            return None
+        host, port = self._metrics_listener.getsockname()[:2]
+        return str(host), int(port)
+
+    def attach_telemetry(self, telemetry: "Telemetry") -> None:
+        """Adopt the campaign's registry and span context (scheduler hook).
+
+        The fleet-only series registered here exist exclusively behind a
+        broker: local campaigns never reach this code, so their registry
+        stays identical to a serial run's (the equality invariant).
+        """
+        if telemetry.registry.enabled:
+            reg = telemetry.registry
+            self._registry = reg
+            self._worker_up = reg.gauge(
+                "repro_service_worker_up",
+                help="1 while the named worker is connected to the broker.",
+            )
+            self._rtt_hist = reg.histogram(
+                "repro_service_heartbeat_rtt_seconds",
+                help="Broker<->worker heartbeat round-trip time, by worker.",
+                buckets=RTT_BUCKETS,
+            )
+            self._worker_runs = reg.counter(
+                "repro_service_worker_runs_total",
+                help="Records streamed through the broker, by worker and outcome.",
+            )
+            self._disconnects = reg.counter(
+                "repro_service_disconnects_total",
+                help="Unexpected worker disconnects observed by the broker.",
+            )
+            self._worker_idle = reg.gauge(
+                "repro_service_worker_idle_seconds",
+                help="Seconds since the broker last heard from each worker.",
+            )
+            # Workers routinely say hello before the campaign attaches
+            # its telemetry (wait_for_workers runs first): backfill the
+            # membership gauge so they are not invisible until they
+            # reconnect.
+            for agent in self._agents:
+                if agent.name is not None and not agent.closed:
+                    self._worker_up.set(1, worker=agent.name)
+        self._trace_context = (
+            telemetry.tracer.current_context() if telemetry.tracing else None
+        )
 
     # -- scheduler-facing protocol -------------------------------------------
 
@@ -145,15 +270,17 @@ class BrokerBackend(ShardBackend):
         agent = min(idle, key=lambda a: a.name or "")
         agent.lease_id = lease.lease_id
         self._leases[lease.lease_id] = agent
-        self._send(
-            agent,
-            {
-                "kind": "lease",
-                "lease": lease_to_wire(lease),
-                "config": self._config_wire,
-                "fingerprint": self._fingerprint,
-            },
-        )
+        frame = {
+            "kind": "lease",
+            "lease": lease_to_wire(lease),
+            "config": self._config_wire,
+            "fingerprint": self._fingerprint,
+        }
+        if self._trace_context is not None:
+            # The worker opens its lease/run spans as children of the
+            # campaign span, so the merged trace.jsonl is one tree.
+            frame["trace"] = self._trace_context.to_wire()
+        self._send(agent, frame)
         return agent.name or "worker"
 
     def wait_for_workers(self, count: int, timeout: float = 30.0) -> bool:
@@ -217,6 +344,78 @@ class BrokerBackend(ShardBackend):
             pass
         self._listener.close()
         self._selector.close()
+        if self._metrics_listener is not None:
+            try:
+                self._metrics_listener.close()  # unblocks the scrape thread
+            except OSError:  # pragma: no cover
+                pass
+            self._metrics_listener = None
+
+    # -- /metrics scrape endpoint ---------------------------------------------
+
+    def _serve_metrics(self) -> None:
+        """Answer ``GET /metrics`` scrapes (daemon thread, one per broker).
+
+        Renders whatever registry :meth:`attach_telemetry` installed —
+        the campaign registry the scheduler merges worker deltas into —
+        so a mid-campaign scrape sees live fleet counters.  Rendering
+        races the scheduler thread's writes; a registry that grew a new
+        series mid-iteration raises ``RuntimeError`` and the render is
+        simply retried.  Exits when :meth:`close` closes the listener.
+        """
+        listener = self._metrics_listener
+        if listener is None:  # pragma: no cover — defensive
+            return
+        while True:
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                return  # listener closed: broker shut down
+            try:
+                conn.settimeout(5.0)
+                request = b""
+                while b"\r\n\r\n" not in request and len(request) < (1 << 16):
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    request += chunk
+                head = request.split(b"\r\n", 1)[0].split(b" ")
+                target = head[1].decode("latin-1", "replace") if len(head) >= 2 else ""
+                conn.sendall(self._metrics_response(target))
+            except OSError:  # pragma: no cover — scraper went away
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+    def _metrics_response(self, target: str) -> bytes:
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if path not in ("/", "/metrics"):
+            body = b"not found\n"
+            status = "404 Not Found"
+            ctype = "text/plain; charset=utf-8"
+        else:
+            registry = self._registry
+            text = ""
+            if registry is not None:
+                for _attempt in range(5):
+                    try:
+                        text = prometheus_text(registry)
+                        break
+                    except RuntimeError:  # racing a writer: retry
+                        continue
+            body = text.encode("utf-8")
+            status = "200 OK"
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        return head.encode("latin-1") + body
 
     # -- socket plumbing ------------------------------------------------------
 
@@ -238,7 +437,7 @@ class BrokerBackend(ShardBackend):
             del agent.outbox[:sent]
 
     def _pump(self) -> None:
-        """One non-blocking pass: accept, read, flush, judge."""
+        """One non-blocking pass: accept, read, flush, ping, judge."""
         while True:
             ready = self._selector.select(timeout=0)
             if not ready:
@@ -250,18 +449,41 @@ class BrokerBackend(ShardBackend):
                     self._read(key.data)
         for agent in self._agents:
             self._flush(agent)
+        if self._registry is not None:
+            self._ping_cycle()
+
+    def _ping_cycle(self) -> None:
+        """Probe heartbeat RTT and refresh per-worker idle gauges.
+
+        One outstanding ping per worker at a time; a lost pong (worker
+        died) is simply superseded by the next probe.  Runs only when a
+        registry is attached — without one there is nowhere to record
+        the observation and no reason to put frames on the wire.
+        """
+        now = time.monotonic()
+        if now - self._last_ping < _PING_INTERVAL_S:
+            return
+        self._last_ping = now
+        for agent in self._agents:
+            if agent.name is None or agent.closed:
+                continue
+            self._worker_idle.set(round(now - agent.last_frame, 6), worker=agent.name)
+            if agent.ping_sent is None:
+                agent.ping_seq += 1
+                agent.ping_sent = now
+                self._send(agent, {"kind": "ping", "seq": agent.ping_seq})
 
     def _accept(self) -> None:
         while True:
             try:
-                sock, _addr = self._listener.accept()
+                sock, addr = self._listener.accept()
             except (BlockingIOError, InterruptedError):
                 return
             except OSError:  # pragma: no cover — listener closing
                 return
             sock.setblocking(False)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            agent = _Agent(sock)
+            agent = _Agent(sock, addr=f"{addr[0]}:{addr[1]}")
             self._agents.append(agent)
             self._selector.register(sock, selectors.EVENT_READ, agent)
 
@@ -277,6 +499,7 @@ class BrokerBackend(ShardBackend):
             if not data:
                 self._drop(agent, announce=True, detail="connection closed")
                 return
+            agent.last_frame = time.monotonic()
             for frame in agent.decoder.feed(data):
                 self._dispatch(agent, frame)
 
@@ -288,22 +511,38 @@ class BrokerBackend(ShardBackend):
             names = {a.name for a in self._agents if a is not agent}
             name = base if base not in names else f"{base}#{self._seq}"
             agent.name = name
+            if frame.get("pid") is not None:
+                agent.pid = int(frame["pid"])
+            self._worker_up.set(1, worker=name)
             self._events.append(
                 BackendEvent(
-                    "worker", payload={"event": "worker_connected", "worker": name}
+                    "worker",
+                    payload={
+                        "event": "worker_connected",
+                        "worker": name,
+                        "addr": agent.addr,
+                        "pid": agent.pid,
+                    },
                 )
             )
+            return
+        if kind == "pong":
+            if agent.ping_sent is not None and int(frame.get("seq", -1)) == agent.ping_seq:
+                self._rtt_hist.observe(
+                    time.monotonic() - agent.ping_sent, worker=agent.name or "worker"
+                )
+                agent.ping_sent = None
             return
         lease_id = frame.get("lease")
         active = lease_id is not None and self._leases.get(lease_id) is agent
         if kind == "run" and active:
             self._events.append(BackendEvent("run", lease_id, run=int(frame["run"])))
         elif kind == "rec" and active:
-            self._events.append(
-                BackendEvent(
-                    "rec", lease_id, run=int(frame["run"]), row=dict(frame["row"])
-                )
+            row = dict(frame["row"])
+            self._worker_runs.inc(
+                worker=agent.name or "worker", outcome=str(row.get("outcome", "?"))
             )
+            self._events.append(BackendEvent("rec", lease_id, run=int(frame["run"]), row=row))
         elif kind == "metrics":
             self._events.append(BackendEvent("metrics", payload=frame["delta"]))
         elif kind == "spans":
@@ -362,10 +601,18 @@ class BrokerBackend(ShardBackend):
                 )
             )
         if announce and agent.name is not None:
+            self._worker_up.set(0, worker=name)
+            self._disconnects.inc(worker=name)
             self._events.append(
                 BackendEvent(
                     "worker",
-                    payload={"event": "worker_lost", "worker": name, "detail": detail},
+                    payload={
+                        "event": "worker_lost",
+                        "worker": name,
+                        "addr": agent.addr,
+                        "pid": agent.pid,
+                        "detail": detail,
+                    },
                 )
             )
 

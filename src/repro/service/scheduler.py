@@ -46,6 +46,7 @@ from repro.carolfi.engine import (
 from repro.faults.outcome import DueKind
 from repro.service.backend import BackendEvent, LeaseResult, ShardBackend, ShardLease
 from repro.telemetry import Telemetry
+from repro.telemetry.metrics import NULL_REGISTRY, Histogram
 from repro.util.jsonlog import JsonlLog
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -60,17 +61,50 @@ _POLL_S = 0.005
 
 @dataclass(frozen=True)
 class StealPolicy:
-    """When to split a straggler lease's remaining range."""
+    """When to split a straggler lease's remaining range.
+
+    With ``adaptive`` (the default) the straggler threshold is not a
+    fixed run count but an estimate from the observed latency
+    distribution: the scheduler keeps a per-worker EWMA of record
+    inter-arrival gaps plus a fleet-wide latency histogram, and a lease
+    is only split when the victim's expected remaining wall time
+    (``remaining × ewma``) exceeds the larger of ``min_benefit_s``, the
+    fleet's ``quantile`` latency, and four heartbeat round trips (the
+    coordination cost of the split).  Workers with no latency evidence
+    yet fall back to the fixed ``min_remaining`` floor.
+    """
 
     enabled: bool = True
 
     min_remaining: int = 4
-    """Only leases with at least this many undelivered runs are split;
-    below that the steal costs more coordination than it saves."""
+    """Evidence-free fallback: a worker that has not streamed a record
+    yet is only split when at least this many runs remain; below that
+    the steal costs more coordination than it saves."""
+
+    adaptive: bool = True
+    """Estimate the straggler threshold from observed latency instead
+    of treating ``min_remaining`` alone as the bar."""
+
+    quantile: float = 0.95
+    """Fleet latency / heartbeat-RTT quantile used as the overhead
+    estimate a steal must beat."""
+
+    ewma_alpha: float = 0.25
+    """Smoothing factor for the per-worker record-gap EWMA (1 = only
+    the latest observation counts)."""
+
+    min_benefit_s: float = 0.05
+    """Absolute floor on the expected tail time worth stealing."""
 
     def __post_init__(self) -> None:
         if self.min_remaining < 2:
             raise ValueError("min_remaining must be >= 2 (victim and thief both keep work)")
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.min_benefit_s < 0:
+            raise ValueError("min_benefit_s must be >= 0")
 
 
 @dataclass
@@ -83,6 +117,8 @@ class _Lease:
     current_run: int | None = None
     done_through: int = -1  # last run index whose record arrived (streaming)
     last_beat: float = 0.0
+    dispatched_mono: float = 0.0  # monotonic submit time (turnaround base)
+    last_rec_mono: float | None = None  # monotonic arrival of latest record
 
     def __post_init__(self) -> None:
         self.done_through = self.lease.start - 1
@@ -184,6 +220,11 @@ def run_shards(
     steal = steal or StealPolicy()
     streaming = backend.streams_records
     announce = streaming  # lease lifecycle events only exist off-host
+    # Hand the backend the campaign's telemetry bundle before anything
+    # is dispatched: a broker registers its fleet-only series here and
+    # captures the campaign span context (run_shards executes inside it)
+    # so lease frames can carry the trace across hosts.
+    backend.attach_telemetry(tel)
     shard_done = tel.registry.gauge(
         "repro_shard_runs_done", help="Runs completed so far, by shard."
     )
@@ -202,11 +243,38 @@ def run_shards(
         steal_counter = tel.registry.counter(
             "repro_service_steals_total", help="Straggler leases split by work stealing."
         )
+        turnaround_hist = tel.registry.histogram(
+            "repro_service_lease_turnaround_seconds",
+            help="Dispatch-to-done wall time of completed leases, by worker.",
+        )
+        run_latency_hist = tel.registry.histogram(
+            "repro_service_run_latency_seconds",
+            help="Gap between consecutive streamed records of a lease, by worker.",
+        )
+        slowest_gauge = tel.registry.gauge(
+            "repro_service_lease_slowest_seconds",
+            help="Slowest completed lease turnaround so far, by worker.",
+        )
     else:
-        from repro.telemetry.metrics import NULL_REGISTRY
-
         lease_counter = NULL_REGISTRY.counter("repro_service_leases_total")
         steal_counter = NULL_REGISTRY.counter("repro_service_steals_total")
+        turnaround_hist = NULL_REGISTRY.histogram("repro_service_lease_turnaround_seconds")
+        run_latency_hist = NULL_REGISTRY.histogram("repro_service_run_latency_seconds")
+        slowest_gauge = NULL_REGISTRY.gauge("repro_service_lease_slowest_seconds")
+    # Adaptive-steal evidence lives outside the registry so the
+    # estimator works even with telemetry disabled (the broker
+    # byte-identity drills): a per-worker EWMA of record gaps plus one
+    # private fleet-wide latency histogram for the quantile threshold.
+    worker_ewma: dict[str, float] = {}
+    slowest_by_worker: dict[str, float] = {}
+    fleet_latency = Histogram("fleet_run_latency_seconds")
+    rtt_hist: Histogram | None = None
+    if announce and tel.registry.enabled:
+        for metric in tel.registry.metrics():
+            if metric.name == "repro_service_heartbeat_rtt_seconds" and isinstance(
+                metric, Histogram
+            ):
+                rtt_hist = metric  # registered by the broker's attach hook
 
     shards = {
         spec.index: _Shard(spec=spec, pending=[(spec.start, spec.stop)]) for spec in pending
@@ -228,7 +296,9 @@ def run_shards(
             checkpoint_file=None if streaming else ckpt_file(shard.spec),
         )
         worker = backend.submit(lease)
-        state = _Lease(lease=lease, worker=worker, stop=stop, last_beat=now)
+        state = _Lease(
+            lease=lease, worker=worker, stop=stop, last_beat=now, dispatched_mono=now
+        )
         shard.active[lease_id] = state
         shard.dispatched_at = time.perf_counter()
         lease_to_shard[lease_id] = shard.spec.index
@@ -394,6 +464,11 @@ def run_shards(
         state = drop_lease(shard, result.lease_id)
         if result.status == "done":
             lease_counter.inc(event="done")
+            turnaround = max(0.0, now - state.dispatched_mono)
+            turnaround_hist.observe(turnaround, worker=state.worker)
+            if turnaround > slowest_by_worker.get(state.worker, 0.0):
+                slowest_by_worker[state.worker] = turnaround
+                slowest_gauge.set(round(turnaround, 6), worker=state.worker)
             if announce:
                 sink(
                     {
@@ -468,23 +543,73 @@ def run_shards(
             shard.rows.setdefault(event.run, event.row)
             state.done_through = max(state.done_through, event.run)
             shard_done.set(len(shard.rows), shard=index)
+            # Record-gap latency: evidence for the adaptive stealer and
+            # the per-worker run-latency histogram.
+            gap = now - (
+                state.last_rec_mono if state.last_rec_mono is not None else state.dispatched_mono
+            )
+            state.last_rec_mono = now
+            if gap >= 0:
+                fleet_latency.observe(gap)
+                run_latency_hist.observe(gap, worker=state.worker)
+                prev = worker_ewma.get(state.worker)
+                worker_ewma[state.worker] = (
+                    gap
+                    if prev is None
+                    else steal.ewma_alpha * gap + (1.0 - steal.ewma_alpha) * prev
+                )
         elif event.kind == "failure":
             sink({"shard": index, **event.payload})
+
+    def steal_overhead() -> tuple[float, float | None, float | None]:
+        """``(overhead_s, fleet_q, rtt_q)`` — the latency bar a steal must beat.
+
+        The overhead estimate is the largest of the policy's absolute
+        floor, the fleet's ``quantile`` record latency (a healthy worker
+        would clear that much tail itself almost immediately) and four
+        heartbeat round trips (shrink + re-lease coordination cost).
+        """
+        fleet_q = fleet_latency.quantile(steal.quantile)
+        rtt_q = rtt_hist.quantile(steal.quantile) if rtt_hist is not None else None
+        overhead = steal.min_benefit_s
+        if fleet_q is not None:
+            overhead = max(overhead, fleet_q)
+        if rtt_q is not None:
+            overhead = max(overhead, 4.0 * rtt_q)
+        return overhead, fleet_q, rtt_q
 
     def try_steal(now: float) -> None:
         if not (backend.supports_steal and steal.enabled):
             return
         if any(s.pending for s in shards.values()) or backend.capacity() < 1:
             return
-        best: tuple[int, _Shard, _Lease] | None = None
+        overhead, fleet_q, rtt_q = (
+            steal_overhead() if steal.adaptive else (0.0, None, None)
+        )
+        # Candidate score: the victim's expected remaining wall time
+        # (runs × EWMA latency) when latency evidence exists, else the
+        # raw remaining-run count behind the fixed min_remaining floor.
+        best: tuple[float, _Shard, _Lease, int, float | None, str] | None = None
         for shard in shards.values():
             for state in shard.active.values():
                 remaining = state.stop - (state.done_through + 1)
-                if remaining >= steal.min_remaining and (best is None or remaining > best[0]):
-                    best = (remaining, shard, state)
+                if remaining < 2:  # victim and thief both keep work
+                    continue
+                latency = worker_ewma.get(state.worker) if steal.adaptive else None
+                if latency is None:
+                    if remaining < steal.min_remaining:
+                        continue
+                    score, estimator = float(remaining), "fixed"
+                else:
+                    expected = remaining * latency
+                    if expected < overhead:
+                        continue
+                    score, estimator = expected, "ewma"
+                if best is None or score > best[0]:
+                    best = (score, shard, state, remaining, latency, estimator)
         if best is None:
             return
-        remaining, shard, victim = best
+        _score, shard, victim, remaining, latency, estimator = best
         next_undone = victim.done_through + 1
         mid = next_undone + (remaining + 1) // 2  # victim keeps the in-flight half
         if mid >= victim.stop or not backend.shrink(victim.lease.lease_id, mid):
@@ -501,12 +626,22 @@ def run_shards(
                 "victim_worker": victim.worker,
                 "split": mid,
                 "stop": old_stop,
+                # Evidence behind the decision: what was observed, what
+                # threshold it had to beat, and which estimator judged it.
+                "estimator": estimator,
+                "remaining": remaining,
+                "observed_latency_s": None if latency is None else round(latency, 6),
+                "expected_tail_s": None if latency is None else round(remaining * latency, 6),
+                "threshold_s": round(overhead, 6) if steal.adaptive else None,
+                "fleet_latency_q": None if fleet_q is None else round(fleet_q, 6),
+                "heartbeat_rtt_q": None if rtt_q is None else round(rtt_q, 6),
+                "quantile": steal.quantile if steal.adaptive else None,
             }
         )
         heartbeat.emit(
             "stolen",
             shard.spec,
-            detail=f"lease {victim.lease.lease_id} split at run {mid}",
+            detail=f"lease {victim.lease.lease_id} split at run {mid} ({estimator})",
         )
         dispatch(shard, mid, old_stop, now)
 

@@ -29,11 +29,18 @@ Routes::
     GET  /campaigns/<id>/log         merged campaign.jsonl (when done)
     GET  /campaigns/<id>/failures    failure-event JSONL
     GET  /campaigns/<id>/metrics     registry snapshot (live)
+    GET  /metrics                    Prometheus scrape: all jobs merged
+
+``/metrics`` is the fleet scrape endpoint: every job's live registry —
+for a broker-backed job that includes the continuously merged worker
+deltas and the broker's fleet series — folded into one exposition-text
+page, each sample labelled with its ``job`` id.
 
 With ``--broker-port`` each campaign executes through a
 :class:`~repro.service.broker.BrokerBackend` bound to that port and
 remote ``repro-worker`` agents do the work; otherwise the local
-fault-domain pool runs it in-process.
+fault-domain pool runs it in-process.  ``--broker-metrics-port``
+additionally exposes the broker's own ``/metrics`` scrape endpoint.
 """
 
 from __future__ import annotations
@@ -52,7 +59,8 @@ from typing import Any, Sequence
 from repro.carolfi.campaign import CampaignConfig
 from repro.carolfi.configfile import parse_config_text
 from repro.telemetry import Telemetry, TelemetryConfig
-from repro.telemetry.exporters import snapshot_record, write_metrics_file
+from repro.telemetry.exporters import prometheus_text, snapshot_record, write_metrics_file
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["CampaignService", "main"]
 
@@ -114,6 +122,7 @@ class CampaignService:
         workers: int = 2,
         broker_host: str = "127.0.0.1",
         broker_port: int | None = None,
+        broker_metrics_port: int | None = None,
     ):
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
@@ -122,6 +131,7 @@ class CampaignService:
         self.default_workers = workers
         self.broker_host = broker_host
         self.broker_port = broker_port
+        self.broker_metrics_port = broker_metrics_port
         self.jobs: dict[str, CampaignJob] = {}
         self._order: list[str] = []
         self._lock = threading.Lock()
@@ -185,6 +195,7 @@ class CampaignService:
                     campaign_fingerprint(job.config, None),
                     host=self.broker_host,
                     port=self.broker_port,
+                    metrics_port=self.broker_metrics_port,
                 )
             result = run_sharded_campaign(
                 job.config,
@@ -206,6 +217,37 @@ class CampaignService:
         finally:
             if backend is not None:
                 backend.close()
+
+    def _fleet_registry(self) -> MetricsRegistry:
+        """Every job's live registry merged into one, samples labelled ``job``.
+
+        The ``job`` label keeps jobs' series apart (merging would
+        otherwise add their counters together) and lets one scrape
+        follow a whole fleet of campaigns.  Snapshots race the runner
+        thread's writes; a registry that grew a series mid-iteration
+        raises ``RuntimeError`` and that job is retried, then skipped
+        for this scrape.
+        """
+        merged = MetricsRegistry()
+        with self._lock:
+            jobs = [(job_id, self.jobs[job_id].telemetry) for job_id in self._order]
+        for job_id, tel in jobs:
+            if tel is None or not tel.registry.enabled:
+                continue
+            snap: dict[str, Any] | None = None
+            for _attempt in range(3):
+                try:
+                    snap = tel.registry.snapshot()
+                    break
+                except RuntimeError:  # pragma: no cover — racing a writer
+                    continue
+            if snap is None:  # pragma: no cover — persistent race
+                continue
+            for wire in snap.values():
+                for pair in wire.get("values", []):
+                    pair[0] = list(pair[0]) + [["job", job_id]]
+            merged.merge(snap)
+        return merged
 
     # -- HTTP ----------------------------------------------------------------
 
@@ -263,6 +305,17 @@ class CampaignService:
             return
         if method != "GET":
             await self._respond_json(writer, 405, {"error": "method not allowed"})
+            return
+        if path == "/metrics":
+            body = prometheus_text(self._fleet_registry()).encode("utf-8")
+            writer.write(
+                f"HTTP/1.1 200 OK\r\n"
+                f"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n".encode("latin-1")
+                + body
+            )
+            await writer.drain()
             return
         if path == "/campaigns":
             with self._lock:
@@ -476,13 +529,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="lease shards to repro-worker agents on this TCP port "
         "instead of running them locally",
     )
+    parser.add_argument(
+        "--broker-metrics-port",
+        type=int,
+        default=None,
+        help="also expose the broker's own /metrics scrape endpoint "
+        "on this TCP port (requires --broker-port)",
+    )
     args = parser.parse_args(argv)
+    if args.broker_metrics_port is not None and args.broker_port is None:
+        parser.error("--broker-metrics-port requires --broker-port")
     service = CampaignService(
         args.data,
         host=args.host,
         port=args.port,
         workers=args.workers,
         broker_port=args.broker_port,
+        broker_metrics_port=args.broker_metrics_port,
     )
     service.start()
     print(f"repro-serve listening on http://{args.host}:{service.port}", flush=True)

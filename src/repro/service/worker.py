@@ -5,7 +5,18 @@ BrokerBackend`, announces itself, and then executes the leases the
 broker sends — one at a time, one run at a time, streaming each run's
 record back as it completes (``rec`` frames).  Between runs it polls
 the socket for control frames, so a ``shrink`` (work stealing) or
-``cancel`` takes effect at the next run boundary.
+``cancel`` takes effect at the next run boundary, and a ``ping`` is
+answered immediately (the broker's heartbeat-RTT probe).
+
+Observability: when the lease frame carries a span context, the worker
+builds a local tracer parented on the broker's campaign span, wraps the
+lease and each run in spans, and streams finished spans back as
+``spans`` frames — always *before* the terminal ``done``/``error``
+frame, so they arrive while the scheduler is still draining events for
+this lease.  None of this touches record production: spans and metrics
+never draw from the campaign's RNG streams, and a campaign without
+tracing sends no span frames at all, so ``campaign.jsonl`` stays
+byte-identical to serial either way.
 
 Determinism: every run is executed through the engine's own
 ``_execute_shard`` on a single-run range, so record production — RNG
@@ -38,6 +49,7 @@ from repro.service.broker import lease_from_wire
 from repro.service.wire import FrameDecoder, encode_frame
 from repro.telemetry import NOOP_TRACER, activate
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import SpanContext, Tracer
 
 __all__ = ["main", "run_worker"]
 
@@ -89,7 +101,12 @@ class _Link:
                 return None
 
 
-def _execute_lease(link: _Link, frame: dict[str, Any], state: dict[str, int]) -> None:
+def _execute_lease(
+    link: _Link,
+    frame: dict[str, Any],
+    state: dict[str, int],
+    worker_name: str = "worker",
+) -> None:
     """Run one lease, streaming records; returns when the lease ends."""
     from repro.carolfi import engine as _engine
 
@@ -104,54 +121,88 @@ def _execute_lease(link: _Link, frame: dict[str, Any], state: dict[str, int]) ->
     def forward_failure(event: dict[str, Any]) -> None:
         link.send({"kind": "failure", "lease": lease_id, "event": event})
 
+    # Continue the broker's campaign trace when the lease carries its
+    # span context: our lease/run spans become children of the campaign
+    # span, and the merged trace.jsonl is one tree across hosts.
+    spans: list[dict[str, Any]] = []
+    if frame.get("trace") is not None:
+        tracer: Any = Tracer(spans.append, parent=SpanContext.from_wire(frame["trace"]))
+    else:
+        tracer = NOOP_TRACER
+
+    def flush_spans() -> None:
+        if spans:
+            link.send({"kind": "spans", "lease": lease_id, "batch": list(spans)})
+            spans.clear()
+
     registry = MetricsRegistry()
-    k = lease.start
-    while k < stop:
-        # Control frames act at run boundaries: shrink narrows the
-        # range (steal), cancel abandons the lease.  Anything the
-        # broker sent for an older lease is stale and dropped.
-        for control in link.poll(0):
-            if control.get("kind") == "shrink" and control.get("lease") == lease_id:
-                stop = min(stop, int(control["stop"]))
-            elif control.get("kind") == "cancel" and control.get("lease") == lease_id:
-                return
-        if k >= stop:
-            break
-        link.send({"kind": "run", "lease": lease_id, "run": k})
-        if slow_s > 0:
-            time.sleep(slow_s)
-        spec = _engine.ShardSpec(index=lease.shard_index, start=k, stop=k + 1)
-        try:
-            with activate(registry, NOOP_TRACER):
-                _, rows = _engine._execute_shard(
-                    config,
-                    spec,
-                    None,
-                    fingerprint,
-                    skip_runs=lease.skip,
-                    on_failure=forward_failure,
-                )
-        except Exception as exc:  # noqa: BLE001 — reported, worker survives
-            link.send(
-                {
-                    "kind": "error",
-                    "lease": lease_id,
-                    "detail": f"{type(exc).__name__}: {exc}",
-                    "run": k,
-                }
-            )
-            return
-        link.send({"kind": "rec", "lease": lease_id, "run": k, "row": rows[0]})
-        delta = registry.drain_delta()
-        if delta:
-            link.send({"kind": "metrics", "lease": lease_id, "delta": delta})
-        state["records"] += 1
-        if die_after and state["records"] >= die_after:
-            # Chaos hook: vanish mid-lease with no goodbye — exactly
-            # what a dying worker host looks like to the broker.
-            os._exit(7)
-        k += 1
-    link.send({"kind": "done", "lease": lease_id})
+    outcome = "done"  # done | cancelled | error
+    error: tuple[str, int] | None = None
+    with tracer.span(
+        "lease",
+        lease=lease_id,
+        shard=lease.shard_index,
+        start=lease.start,
+        stop=lease.stop,
+        attempt=lease.attempt,
+        worker=worker_name,
+    ) as lease_span:
+        k = lease.start
+        while k < stop:
+            # Control frames act at run boundaries: shrink narrows the
+            # range (steal), cancel abandons the lease, ping is answered
+            # in place.  Anything for an older lease is stale, dropped.
+            for control in link.poll(0):
+                kind = control.get("kind")
+                if kind == "ping":
+                    link.send({"kind": "pong", "seq": control.get("seq")})
+                elif kind == "shrink" and control.get("lease") == lease_id:
+                    stop = min(stop, int(control["stop"]))
+                elif kind == "cancel" and control.get("lease") == lease_id:
+                    outcome = "cancelled"
+                    break
+            if outcome == "cancelled" or k >= stop:
+                break
+            link.send({"kind": "run", "lease": lease_id, "run": k})
+            if slow_s > 0:
+                time.sleep(slow_s)
+            spec = _engine.ShardSpec(index=lease.shard_index, start=k, stop=k + 1)
+            try:
+                with activate(registry, tracer), tracer.span("run", run=k):
+                    _, rows = _engine._execute_shard(
+                        config,
+                        spec,
+                        None,
+                        fingerprint,
+                        skip_runs=lease.skip,
+                        on_failure=forward_failure,
+                    )
+            except Exception as exc:  # noqa: BLE001 — reported, worker survives
+                outcome = "error"
+                error = (f"{type(exc).__name__}: {exc}", k)
+                break
+            link.send({"kind": "rec", "lease": lease_id, "run": k, "row": rows[0]})
+            delta = registry.drain_delta()
+            if delta:
+                link.send({"kind": "metrics", "lease": lease_id, "delta": delta})
+            flush_spans()
+            state["records"] += 1
+            if die_after and state["records"] >= die_after:
+                # Chaos hook: vanish mid-lease with no goodbye — exactly
+                # what a dying worker host looks like to the broker.
+                os._exit(7)
+            k += 1
+        if outcome != "done":
+            lease_span.set_attr("outcome", outcome)
+    # The lease span is finished now; ship it (and any stragglers)
+    # before the terminal frame so the scheduler still drains it.
+    flush_spans()
+    if outcome == "error" and error is not None:
+        detail, run = error
+        link.send({"kind": "error", "lease": lease_id, "detail": detail, "run": run})
+    elif outcome == "done":
+        link.send({"kind": "done", "lease": lease_id})
+    # A cancelled lease ends silently: the scheduler already dropped it.
 
 
 def run_worker(
@@ -184,13 +235,16 @@ def run_worker(
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             link = _Link(sock)
             try:
-                link.send({"kind": "hello", "worker": worker_name})
+                link.send({"kind": "hello", "worker": worker_name, "pid": os.getpid()})
                 while True:
                     frame = link.wait(timeout=3600.0)
                     if frame is None:
                         continue
-                    if frame.get("kind") == "lease":
-                        _execute_lease(link, frame, state)
+                    kind = frame.get("kind")
+                    if kind == "ping":
+                        link.send({"kind": "pong", "seq": frame.get("seq")})
+                    elif kind == "lease":
+                        _execute_lease(link, frame, state, worker_name)
             except _SessionClosed:
                 pass
             finally:

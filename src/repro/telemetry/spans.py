@@ -36,10 +36,22 @@ SpanSink = Callable[[dict[str, Any]], None]
 
 @dataclass(frozen=True)
 class SpanContext:
-    """The picklable coordinates a child process continues a trace from."""
+    """The picklable coordinates a child process continues a trace from.
+
+    Also JSON-serialisable (:meth:`to_wire` / :meth:`from_wire`) so the
+    broker can attach it to lease frames and a ``repro-worker`` on
+    another host can continue the campaign trace.
+    """
 
     trace_id: str
     span_id: str
+
+    def to_wire(self) -> dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, data: dict[str, Any]) -> "SpanContext":
+        return cls(trace_id=str(data["trace_id"]), span_id=str(data["span_id"]))
 
 
 class Span:

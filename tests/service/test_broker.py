@@ -11,6 +11,8 @@ import json
 import os
 import subprocess
 import sys
+import threading
+import urllib.request
 from pathlib import Path
 
 import pytest
@@ -19,6 +21,8 @@ from repro.carolfi.campaign import CampaignConfig, run_campaign
 from repro.carolfi.engine import RetryPolicy, campaign_fingerprint, run_sharded_campaign
 from repro.service.broker import BrokerBackend, lease_from_wire, lease_to_wire
 from repro.service.backend import ShardLease
+from repro.telemetry import Telemetry, TelemetryConfig
+from repro.telemetry.exporters import parse_prometheus_samples
 
 CONFIG = CampaignConfig(
     benchmark="nw",
@@ -136,6 +140,133 @@ def test_straggler_lease_is_stolen_and_log_stays_identical(tmp_path):
         if e["event"] == "lease" and e["start"] == split["split"]
     ]
     assert thief and thief[0]["stop"] == split["stop"]
+
+
+def test_fleet_trace_and_live_metrics_scrape(tmp_path):
+    """The full observability acceptance drill, over real sockets.
+
+    A forced-steal broker campaign (one straggler, one healthy worker,
+    a single shard) must leave ``campaign.jsonl`` byte-identical to
+    serial while producing (a) one merged ``trace.jsonl`` rooted at the
+    campaign span with worker-side lease/run spans from two distinct
+    worker processes, and (b) a live ``/metrics`` endpoint whose
+    mid-campaign scrapes parse and whose final scrape reconciles with
+    the campaign log.
+    """
+    serial_log = tmp_path / "serial.jsonl"
+    run_campaign(CONFIG, log_path=serial_log)
+
+    tel = Telemetry(
+        TelemetryConfig(
+            trace_path=tmp_path / "trace.jsonl",
+            metrics_path=tmp_path / "metrics.prom",
+        )
+    )
+    broker = BrokerBackend(
+        CONFIG, campaign_fingerprint(CONFIG, CONFIG.injections), metrics_port=0
+    )
+    assert broker.metrics_address is not None
+    url = "http://{}:{}/metrics".format(*broker.metrics_address)
+    log = tmp_path / "broker.jsonl"
+    flog = tmp_path / "failures.jsonl"
+    workers = [
+        _spawn_worker(broker.address, "w0", REPRO_WORKER_SLOW_S=0.2),
+        _spawn_worker(broker.address, "w1"),
+    ]
+
+    scrapes: list[str] = []
+    stop_scraping = threading.Event()
+
+    def scrape_loop():
+        while not stop_scraping.is_set():
+            try:
+                with urllib.request.urlopen(url, timeout=5) as resp:
+                    scrapes.append(resp.read().decode("utf-8"))
+            except OSError:
+                pass
+            stop_scraping.wait(0.05)
+
+    scraper = threading.Thread(target=scrape_loop, daemon=True)
+    try:
+        assert broker.wait_for_workers(len(workers), timeout=30.0)
+        scraper.start()
+        run_sharded_campaign(
+            CONFIG,
+            workers=len(workers),
+            backend=broker,
+            retry=FAST,
+            shard_size=CONFIG.injections,  # one shard: only a steal can share it
+            log_path=log,
+            failure_log=flog,
+            telemetry=tel,
+        )
+        stop_scraping.set()
+        scraper.join(timeout=10)
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            final_text = resp.read().decode("utf-8")
+    finally:
+        stop_scraping.set()
+        broker.close()
+        for proc in workers:
+            proc.wait(timeout=20)
+    tel.finalize()
+
+    # (1) Observability never perturbs records.
+    assert log.read_bytes() == serial_log.read_bytes()
+
+    # (2) One coherent trace tree across broker and worker processes.
+    spans = [
+        json.loads(line)
+        for line in (tmp_path / "trace.jsonl").read_text().splitlines()
+    ]
+    assert spans and all(s["kind"] == "span" for s in spans)
+    assert len({s["trace"] for s in spans}) == 1, "one campaign, one trace id"
+    campaigns = [s for s in spans if s["name"] == "campaign"]
+    assert len(campaigns) == 1 and campaigns[0].get("parent") is None
+    campaign_id = campaigns[0]["span"]
+    leases = [s for s in spans if s["name"] == "lease"]
+    assert leases and all(s["parent"] == campaign_id for s in leases)
+    assert len({s["pid"] for s in leases}) >= 2, "spans from two worker processes"
+    assert {s["pid"] for s in leases}.isdisjoint({campaigns[0]["pid"]})
+    lease_ids = {s["span"] for s in leases}
+    runs = [s for s in spans if s["name"] == "run"]
+    assert any(s["parent"] in lease_ids for s in runs), "runs hang off leases"
+    # The whole forest is one rooted tree: every non-root parent resolves.
+    all_ids = {s["span"] for s in spans}
+    assert all(s["parent"] in all_ids for s in spans if s.get("parent") is not None)
+
+    # (3) Mid-campaign scrapes parse and show fleet membership.
+    live = [s for s in scrapes if "repro_service_worker_up" in s]
+    assert live, "a scrape during the campaign must see the fleet gauge"
+    mid = parse_prometheus_samples(live[-1])
+    up_workers = {
+        dict(labels)["worker"]
+        for (name, labels), value in mid.items()
+        if name == "repro_service_worker_up" and value == 1.0
+    }
+    assert {"w0", "w1"} <= up_workers
+
+    # (4) The final scrape reconciles with the campaign log.
+    final = parse_prometheus_samples(final_text)
+    done = sum(
+        value
+        for (name, _labels), value in final.items()
+        if name == "repro_shard_runs_done"
+    )
+    records = [json.loads(line) for line in log.read_text().splitlines()]
+    assert done == len(records) == CONFIG.injections
+    assert any(
+        name == "repro_service_heartbeat_rtt_seconds_bucket" for name, _ in final
+    ), "heartbeat RTT probes must have landed in the histogram"
+    assert any(name == "repro_service_lease_turnaround_seconds_bucket" for name, _ in final)
+
+    # (5) The steal decision carries its evidence.
+    events = [json.loads(line) for line in flog.read_text().splitlines()]
+    steals = [e for e in events if e["event"] == "steal"]
+    assert steals, "idle capacity plus a straggler must trigger a steal"
+    assert {"estimator", "remaining", "threshold_s", "quantile"} <= steals[0].keys()
+    connected = [e for e in events if e["event"] == "worker_connected"]
+    assert connected and all("addr" in e and "pid" in e for e in connected)
 
 
 def test_lease_wire_round_trip():

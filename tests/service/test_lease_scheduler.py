@@ -14,6 +14,7 @@ the service-layer contracts the broker relies on:
 """
 
 import json
+import time
 
 import pytest
 
@@ -213,4 +214,166 @@ def test_contiguous_ranges_groups_runs():
 def test_steal_policy_validation():
     with pytest.raises(ValueError):
         StealPolicy(min_remaining=1)
-    assert StealPolicy().enabled
+    with pytest.raises(ValueError):
+        StealPolicy(quantile=0.0)
+    with pytest.raises(ValueError):
+        StealPolicy(quantile=1.5)
+    with pytest.raises(ValueError):
+        StealPolicy(ewma_alpha=0.0)
+    with pytest.raises(ValueError):
+        StealPolicy(ewma_alpha=1.1)
+    with pytest.raises(ValueError):
+        StealPolicy(min_benefit_s=-0.1)
+    assert StealPolicy().enabled and StealPolicy().adaptive
+
+
+class StealableBackend(ShardBackend):
+    """Two-slot streaming backend with one deliberately slow worker.
+
+    The "slow" slot (first submit wins it) sleeps ``latency`` seconds
+    and then streams exactly one record per ``heartbeats()`` drain; the
+    "fast" slot executes its whole lease instantly.  ``shrink`` narrows
+    the slow lease at the next run boundary — the same protocol the
+    broker speaks over the wire, scripted deterministically here so the
+    adaptive (EWMA) steal path can be pinned down in-process.
+    """
+
+    supports_steal = True
+    streams_records = True
+
+    def __init__(self, config, fingerprint, *, latency=0.0):
+        self.config = config
+        self.fingerprint = fingerprint
+        self.latency = latency
+        self.slow: dict | None = None  # {"lease":, "next":, "stop":}
+        self.fast: ShardLease | None = None
+        self.submitted: list[ShardLease] = []
+        self._events: list[BackendEvent] = []
+        self._results: list[LeaseResult] = []
+
+    def capacity(self) -> int:
+        return int(self.slow is None) + int(self.fast is None)
+
+    def submit(self, lease: ShardLease) -> str:
+        self.submitted.append(lease)
+        if self.slow is None:
+            self.slow = {"lease": lease, "next": lease.start, "stop": lease.stop}
+            return "slow"
+        assert self.fast is None
+        self.fast = lease
+        return "fast"
+
+    def _row(self, lease: ShardLease, k: int) -> dict:
+        _, rows = _execute_shard(
+            self.config,
+            ShardSpec(index=lease.shard_index, start=k, stop=k + 1),
+            None,
+            self.fingerprint,
+            skip_runs=lease.skip,
+        )
+        return rows[0]
+
+    def heartbeats(self) -> list[BackendEvent]:
+        if self.fast is not None:
+            lease, self.fast = self.fast, None
+            for k in range(lease.start, lease.stop):
+                self._events.append(BackendEvent("run", lease.lease_id, run=k))
+                self._events.append(
+                    BackendEvent("rec", lease.lease_id, run=k, row=self._row(lease, k))
+                )
+            self._results.append(LeaseResult(lease.lease_id, "done", worker="fast"))
+        if self.slow is not None:
+            st = self.slow
+            k = st["next"]
+            if k >= st["stop"]:
+                self._results.append(
+                    LeaseResult(st["lease"].lease_id, "done", worker="slow")
+                )
+                self.slow = None
+            else:
+                if self.latency:
+                    time.sleep(self.latency)
+                self._events.append(BackendEvent("run", st["lease"].lease_id, run=k))
+                self._events.append(
+                    BackendEvent(
+                        "rec", st["lease"].lease_id, run=k, row=self._row(st["lease"], k)
+                    )
+                )
+                st["next"] = k + 1
+        out, self._events = self._events, []
+        return out
+
+    def results(self) -> list[LeaseResult]:
+        out, self._results = self._results, []
+        return out
+
+    def shrink(self, lease_id: str, new_stop: int) -> bool:
+        if self.slow is not None and self.slow["lease"].lease_id == lease_id:
+            self.slow["stop"] = min(self.slow["stop"], new_stop)
+            return True
+        return False
+
+    def cancel(self, lease_id: str, *, reap: bool = False) -> None:
+        if self.slow is not None and self.slow["lease"].lease_id == lease_id:
+            self.slow = None
+        if self.fast is not None and self.fast.lease_id == lease_id:
+            self.fast = None
+
+    def close(self) -> None:
+        self.slow = self.fast = None
+
+
+def _run_stealable(tmp_path, *, latency, policy):
+    from repro.carolfi.engine import campaign_fingerprint, run_sharded_campaign
+
+    backend = StealableBackend(
+        CONFIG, campaign_fingerprint(CONFIG, CONFIG.injections), latency=latency
+    )
+    result = run_sharded_campaign(
+        CONFIG,
+        workers=2,
+        shard_size=CONFIG.injections,  # one shard: the slow worker gets it all
+        backend=backend,
+        retry=FAST,
+        steal=policy,
+        failure_log=tmp_path / "failures.jsonl",
+        checkpoint_dir=tmp_path / "ckpt",
+    )
+    events = [
+        json.loads(line)
+        for line in (tmp_path / "failures.jsonl").read_text().splitlines()
+    ]
+    return result, backend, events
+
+
+def test_adaptive_steal_fires_on_latency_evidence(tmp_path, serial_rows):
+    # min_remaining=100 blocks the evidence-free fallback entirely: the
+    # only way this campaign can steal is the EWMA estimator judging the
+    # slow worker's expected tail against the observed-latency bar.
+    policy = StealPolicy(min_remaining=100, min_benefit_s=0.01)
+    result, backend, events = _run_stealable(tmp_path, latency=0.05, policy=policy)
+    assert [r.to_dict() for r in result.records] == serial_rows
+    steals = [e for e in events if e["event"] == "steal"]
+    assert steals, "latency evidence must trigger an adaptive steal"
+    first = steals[0]
+    assert first["estimator"] == "ewma"
+    assert first["victim_worker"] == "slow"
+    assert first["observed_latency_s"] > 0
+    assert first["threshold_s"] > 0
+    assert first["expected_tail_s"] >= first["threshold_s"]
+    assert first["remaining"] >= 2
+    assert first["quantile"] == policy.quantile
+    # The stolen tail landed on the fast slot as a real lease.
+    stolen = [l for l in backend.submitted if l.start == first["split"]]
+    assert stolen and stolen[0].stop == first["stop"]
+
+
+def test_adaptive_steal_suppressed_below_benefit_floor(tmp_path, serial_rows):
+    # Same topology, same idle capacity — but the expected tail of a
+    # near-instant worker never clears a 5 s benefit floor, so the
+    # latency-driven policy leaves the lease alone instead of splitting
+    # on raw run counts the way the old fixed threshold did.
+    policy = StealPolicy(min_remaining=100, min_benefit_s=5.0)
+    result, _backend, events = _run_stealable(tmp_path, latency=0.0, policy=policy)
+    assert [r.to_dict() for r in result.records] == serial_rows
+    assert [e for e in events if e["event"] == "steal"] == []

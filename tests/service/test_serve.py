@@ -114,6 +114,35 @@ def test_unknown_routes_and_jobs_404(base):
         assert err.value.code == 404
 
 
+def test_metrics_scrape_endpoint(base):
+    from repro.telemetry.exporters import parse_prometheus_samples
+
+    # At least one job has completed by the time this runs (module-scoped
+    # service); /metrics must render every job's registry under a job label.
+    body = json.dumps({"config": CONFIG.to_wire(), "workers": 2}).encode()
+    sub = _post(base, "/campaigns", body)
+    lines = _get(base, sub["links"]["stream"]).decode().splitlines()
+    assert json.loads(lines[-1])["status"] == "done"
+
+    samples = parse_prometheus_samples(_get(base, "/metrics").decode())
+    assert samples, "the fleet scrape must expose at least one series"
+    records = {
+        dict(labels).get("job"): value
+        for (name, labels), value in samples.items()
+        if name == "repro_records_total" and dict(labels).get("outcome") is None
+    }
+    # Every series carries its job id — per-job counters never sum together.
+    assert sub["id"] in records or any(
+        dict(labels).get("job") == sub["id"] for (_n, labels) in samples
+    )
+    per_job = [
+        value
+        for (name, labels), value in samples.items()
+        if name == "repro_records_total" and dict(labels).get("job") == sub["id"]
+    ]
+    assert per_job and sum(per_job) == CONFIG.injections
+
+
 def test_log_not_ready_is_conflict(base):
     # Race a fetch against a freshly submitted job: while the job is
     # still queued or running the merged log is a 409, never a partial

@@ -116,3 +116,38 @@ def test_decoder_ignores_blank_lines():
     decoder = FrameDecoder()
     assert decoder.feed(b"\n\n" + encode_frame({"a": 1}) + b"\n") == [{"a": 1}]
     assert decoder.skipped == 0
+
+
+def test_decoder_skips_oversized_line_and_resyncs():
+    # A newline-terminated line longer than any legal frame is dropped
+    # as one skip, and the decoder locks back on at the next frame.
+    oversized = b"z" * (MAX_FRAME_BYTES + 10) + b"\n"
+    good = encode_frame({"after": True})
+    decoder = FrameDecoder()
+    assert decoder.feed(oversized + good) == [{"after": True}]
+    assert decoder.skipped == 1
+    assert decoder.pending == 0
+
+
+def test_decoder_crc_corrupt_frame_then_valid_frame():
+    corrupt = bytearray(encode_frame({"kind": "rec", "run": 1, "row": {"v": 1}}))
+    corrupt[-6] ^= 0x40  # payload no longer matches the CRC tag
+    follow = encode_frame({"kind": "done", "lease": "s00001.1"})
+    decoder = FrameDecoder()
+    out = decoder.feed(bytes(corrupt) + follow)
+    assert out == [{"kind": "done", "lease": "s00001.1"}]
+    assert decoder.skipped == 1
+
+
+def test_decoder_frame_split_across_many_chunks():
+    frames = [{"kind": "rec", "run": k, "row": {"blob": "y" * 200}} for k in range(3)]
+    stream = b"".join(encode_frame(f) for f in frames)
+    # Five chunks per frame on average: every frame spans > 2 feeds.
+    chunk = max(1, len(stream) // 15)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(0, len(stream), chunk):
+        out.extend(decoder.feed(stream[i : i + chunk]))
+    assert out == frames
+    assert decoder.skipped == 0
+    assert decoder.pending == 0
